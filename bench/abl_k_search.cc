@@ -1,0 +1,59 @@
+// Ablation: the concave Δk-halving search vs an exhaustive k sweep for
+// reverse first-k scheduling (Section 5.1: "the above heuristic search can
+// efficiently find the optimal k"). Reports search quality (fraction of the
+// exhaustive optimum reached) and probe counts.
+
+#include "bench/bench_common.h"
+#include "src/core/k_search.h"
+#include "src/core/reverse_k.h"
+#include "src/nn/model_zoo.h"
+#include "src/runtime/data_parallel_engine.h"
+
+int main() {
+  using namespace oobp;
+  BenchHeader("Ablation", "concave k search vs exhaustive sweep");
+
+  Table table({"model", "GPUs", "L", "probes", "k*", "k(exh)", "quality"});
+  double worst_quality = 1.0;
+  struct Case {
+    const char* label;
+    NnModel model;
+    int gpus;
+  };
+  for (Case c : {Case{"ResNet-50", ResNet(50, 128), 16},
+                 Case{"ResNet-101", ResNet(101, 96), 16},
+                 Case{"ResNet-50", ResNet(50, 128), 32}}) {
+    const TrainGraph graph(&c.model);
+    DataParallelConfig config;
+    config.cluster = ClusterSpec::PubA();
+    config.num_gpus = c.gpus;
+    config.measured_iterations = 2;
+    const DataParallelEngine engine(config);
+
+    auto throughput = [&](int k) {
+      return engine.Run(c.model, ReverseFirstK(graph, k).order).throughput;
+    };
+    const KSearchResult search = SearchBestK(c.model.num_layers(), throughput);
+
+    // Exhaustive sweep at stride 1 over all k.
+    double exhaustive_best = 0;
+    int exhaustive_k = 0;
+    for (int k = 0; k <= c.model.num_layers(); ++k) {
+      const double t = throughput(k);
+      if (t > exhaustive_best) {
+        exhaustive_best = t;
+        exhaustive_k = k;
+      }
+    }
+    const double quality = search.best_throughput / exhaustive_best;
+    worst_quality = std::min(worst_quality, quality);
+    table.Row({c.label, StrFormat("%d", c.gpus),
+               StrFormat("%d", c.model.num_layers()),
+               StrFormat("%zu", search.evaluations.size()),
+               StrFormat("%d", search.best_k), StrFormat("%d", exhaustive_k),
+               StrFormat("%.3f", quality)});
+  }
+
+  ShapeCheck("search reaches >=99% of exhaustive optimum", 0.99, worst_quality);
+  return 0;
+}

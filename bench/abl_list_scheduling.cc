@@ -1,0 +1,67 @@
+// Section 5.1, last paragraph: reverse first-k vs an explicit list
+// scheduler for data-parallel training. The list scheduler needs per-layer
+// synchronization-time estimates; reverse first-k only needs a throughput
+// probe for k. This bench quantifies both the schedule quality and the
+// estimate sensitivity (what happens when sync estimates are off by 2-4x).
+
+#include "bench/bench_common.h"
+#include "src/core/k_search.h"
+#include "src/core/list_dp_scheduler.h"
+#include "src/core/reverse_k.h"
+#include "src/nn/model_zoo.h"
+#include "src/runtime/data_parallel_engine.h"
+
+int main() {
+  using namespace oobp;
+  BenchHeader("Ablation (Sec 5.1)", "reverse first-k vs DP list scheduling");
+
+  const NnModel model = ResNet(50, 128);
+  const TrainGraph graph(&model);
+  const CostModel cost(GpuSpec::V100(), SystemProfile::TensorFlow());
+
+  DataParallelConfig config;
+  config.cluster = ClusterSpec::PubA();
+  config.num_gpus = 32;
+  const DataParallelEngine engine(config);
+
+  const TrainMetrics conv = engine.Run(model, graph.ConventionalBackprop());
+
+  const KSearchResult search = SearchBestK(model.num_layers(), [&](int k) {
+    return engine.Run(model, ReverseFirstK(graph, k).order).throughput;
+  });
+
+  std::vector<TimeNs> ideal(model.num_layers());
+  for (int l = 0; l < model.num_layers(); ++l) {
+    ideal[l] = engine.IdealSyncTime(model, l);
+  }
+
+  Table table({"schedule", "sync estimate", "img/s", "vs conv"});
+  table.Row({"conventional", "-", StrFormat("%.0f", conv.throughput), "1.00x"});
+  table.Row({"reverse-k", StrFormat("probe k*=%d", search.best_k),
+             StrFormat("%.0f", search.best_throughput),
+             StrFormat("%.2fx", search.best_throughput / conv.throughput)});
+
+  double list_exact = 0;
+  for (double scale : {1.0, 0.25, 4.0}) {
+    std::vector<TimeNs> est(ideal);
+    for (TimeNs& t : est) {
+      t = static_cast<TimeNs>(t * scale);
+    }
+    const ListDpResult list =
+        ListScheduleDataParallel(graph, BuildListDpInputs(model, cost, est));
+    const TrainMetrics m = engine.Run(model, list.order);
+    if (scale == 1.0) {
+      list_exact = m.throughput;
+    }
+    table.Row({"list-sched", StrFormat("%.2fx of ideal", scale),
+               StrFormat("%.0f", m.throughput),
+               StrFormat("%.2fx", m.throughput / conv.throughput)});
+  }
+
+  std::printf("\n");
+  ShapeCheck("reverse-k >= list scheduling with exact estimates", 1.0,
+             search.best_throughput / list_exact);
+  ShapeCheck("list scheduling improves on conventional when estimates hold",
+             1.05, list_exact / conv.throughput);
+  return 0;
+}

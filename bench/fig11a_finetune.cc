@@ -1,0 +1,119 @@
+// Figure 11(a): pipeline-parallel fine-tuning of the RNN (16 cells, batch
+// 1024, no micro-batches), BERT-24 (batch 96) and a 16-layer FFNN on four
+// NVLink-connected V100s, normalized to single-GPU training. Systems:
+// cross-layer model parallelism, GPipe, OOO-Pipe1 (gradient fast-
+// forwarding), OOO-Pipe2 (+ modulo allocation), PipeDream (reference —
+// weight stashing changes semantics).
+//
+// Paper: OOO-Pipe2 = 1.99x GPipe (RNN), 1.59x (BERT, with 3.2x over one
+// GPU), 1.5x (FFNN); OOO-Pipe1 alone: 1.15x (BERT), 1.22x-ideal (FFNN);
+// GPipe is *slower* than plain model parallelism for the RNN.
+
+#include <functional>
+
+#include "bench/bench_common.h"
+#include "src/nn/model_zoo.h"
+#include "src/runtime/pipeline_engine.h"
+
+namespace {
+
+using namespace oobp;
+
+struct Workload {
+  std::string name;
+  std::function<NnModel(int)> micro_model;  // arg: micro-batch size
+  int global_batch;
+  int micro_batches;  // 1 => no micro-batching (the RNN case)
+};
+
+struct Row {
+  double mp, gpipe, pipe1, pipe2, pipedream, single;
+};
+
+Row RunWorkload(const Workload& w) {
+  PipelineConfig config;
+  config.cluster = ClusterSpec::PubB(1);
+  config.num_gpus = 4;
+
+  Row row{};
+  // Single-GPU reference: the whole model on one device, full batch.
+  {
+    PipelineConfig single = config;
+    single.num_gpus = 1;
+    single.num_micro_batches = 1;
+    row.single = PipelineEngine(single)
+                     .Run(w.micro_model(w.global_batch),
+                          PipelineStrategy::kGPipe)
+                     .metrics.throughput;
+  }
+  // Cross-layer model parallelism: no micro-batches.
+  {
+    PipelineConfig mp = config;
+    mp.num_micro_batches = 1;
+    row.mp = PipelineEngine(mp)
+                 .Run(w.micro_model(w.global_batch), PipelineStrategy::kGPipe)
+                 .metrics.throughput;
+  }
+  config.num_micro_batches = w.micro_batches;
+  const NnModel micro = w.micro_model(w.global_batch / w.micro_batches);
+  const PipelineEngine engine(config);
+  row.gpipe = engine.Run(micro, PipelineStrategy::kGPipe).metrics.throughput;
+  row.pipe1 = engine.Run(micro, PipelineStrategy::kOooPipe1).metrics.throughput;
+  row.pipe2 = engine.Run(micro, PipelineStrategy::kOooPipe2).metrics.throughput;
+  row.pipedream =
+      engine.Run(micro, PipelineStrategy::kPipeDream).metrics.throughput;
+  return row;
+}
+
+}  // namespace
+
+int main() {
+  using namespace oobp;
+  BenchHeader("Figure 11(a)", "fine-tuning on 4x V100 (NVLink)");
+
+  const std::vector<Workload> workloads = {
+      // The RNN trains without micro-batches (Section 8.4.1).
+      {"RNN-16cell", [](int b) { return RnnModel(16, b); }, 1024, 1},
+      {"BERT-24", [](int b) { return Bert(24, b); }, 96, 4},
+      {"FFNN-16", [](int b) { return Ffnn(16, b, 4096); }, 256, 4},
+  };
+
+  double bert_pipe2_vs_gpipe = 0, bert_vs_single = 0, rnn_pipe2_vs_gpipe = 0;
+  double rnn_gpipe_vs_mp = 0, ffnn_pipe2_vs_gpipe = 0;
+  for (const Workload& w : workloads) {
+    const Row r = RunWorkload(w);
+    std::printf("\n%s (normalized to 1-GPU = 1.0, absolute seqs/s in <>)\n",
+                w.name.c_str());
+    Table table({"system", "norm", "seqs/s"});
+    auto print = [&](const char* name, double tp) {
+      table.Row({name, StrFormat("%.2f", tp / r.single),
+                 StrFormat("<%.1f>", tp)});
+    };
+    print("1 GPU", r.single);
+    print("model-parallel", r.mp);
+    print("GPipe", r.gpipe);
+    print("OOO-Pipe1", r.pipe1);
+    print("OOO-Pipe2", r.pipe2);
+    print("PipeDream*", r.pipedream);
+    if (w.name == "BERT-24") {
+      bert_pipe2_vs_gpipe = r.pipe2 / r.gpipe;
+      bert_vs_single = r.pipe2 / r.single;
+    } else if (w.name == "RNN-16cell") {
+      rnn_pipe2_vs_gpipe = r.pipe2 / r.gpipe;
+      rnn_gpipe_vs_mp = r.gpipe / r.mp;
+    } else {
+      ffnn_pipe2_vs_gpipe = r.pipe2 / r.gpipe;
+    }
+  }
+
+  std::printf("\n(* PipeDream stashes weights: staleness, reference only)\n");
+  // Our cell-granularity cost model cannot reproduce the paper's RNN
+  // micro-batch interference (GPipe < MP), so the RNN is compared against
+  // cross-layer model parallelism as the paper also reports (1.47x).
+  ShapeCheck("RNN OOO-Pipe2 vs model-parallel (paper 1.47)", 1.47,
+             rnn_pipe2_vs_gpipe / rnn_gpipe_vs_mp);
+  ShapeCheck("BERT OOO-Pipe2 vs GPipe (paper 1.59)", 1.59, bert_pipe2_vs_gpipe);
+  ShapeCheck("BERT OOO-Pipe2 vs 1 GPU (paper 3.2)", 3.2, bert_vs_single);
+  ShapeCheck("FFNN OOO-Pipe2 vs GPipe (paper 1.5)", 1.5, ffnn_pipe2_vs_gpipe);
+  return 0;
+}

@@ -1,0 +1,97 @@
+// Google-benchmark micro-benchmarks for the infrastructure itself: event
+// engine throughput, fluid-processor reallocation, and the cost of the
+// paper's scheduling algorithms (these run once per model+GPU pair, so they
+// must be cheap relative to training).
+
+#include <benchmark/benchmark.h>
+
+#include "src/core/corun_profiler.h"
+#include "src/core/joint_scheduler.h"
+#include "src/core/region.h"
+#include "src/core/reverse_k.h"
+#include "src/nn/model_zoo.h"
+#include "src/runtime/pipeline_engine.h"
+#include "src/runtime/single_gpu_engine.h"
+#include "src/sim/engine.h"
+#include "src/sim/fluid.h"
+
+namespace oobp {
+namespace {
+
+void BM_SimEngineEventThroughput(benchmark::State& state) {
+  for (auto _ : state) {
+    SimEngine engine;
+    int64_t count = 0;
+    for (int i = 0; i < 10000; ++i) {
+      engine.ScheduleAt(i, [&count] { ++count; });
+    }
+    engine.Run();
+    benchmark::DoNotOptimize(count);
+  }
+  state.SetItemsProcessed(state.iterations() * 10000);
+}
+BENCHMARK(BM_SimEngineEventThroughput);
+
+void BM_FluidProcessorChurn(benchmark::State& state) {
+  for (auto _ : state) {
+    SimEngine engine;
+    FluidProcessor proc(&engine, 1520.0);
+    for (int i = 0; i < 1000; ++i) {
+      proc.Add(1000.0 * (1 + i % 7), 100.0 + i % 400, i % 2, nullptr);
+    }
+    engine.Run();
+    benchmark::DoNotOptimize(proc.busy_integral());
+  }
+  state.SetItemsProcessed(state.iterations() * 1000);
+}
+BENCHMARK(BM_FluidProcessorChurn);
+
+void BM_Algorithm1JointSchedule(benchmark::State& state) {
+  const NnModel model = DenseNet(121, 32, 32, 224);
+  const TrainGraph graph(&model);
+  const CostModel cost(GpuSpec::V100(), SystemProfile::TensorFlowXla());
+  const CorunProfiler profiler(graph, cost, BuildRegions(graph));
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(MultiRegionJointSchedule(graph, profiler));
+  }
+}
+BENCHMARK(BM_Algorithm1JointSchedule);
+
+void BM_Algorithm2ReverseFirstK(benchmark::State& state) {
+  const NnModel model = ResNet(101, 96);
+  const TrainGraph graph(&model);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(ReverseFirstK(graph, 45, 8LL << 30));
+  }
+}
+BENCHMARK(BM_Algorithm2ReverseFirstK);
+
+void BM_SingleGpuIterationSim(benchmark::State& state) {
+  const NnModel model = DenseNet(121, 32, 32, 224);
+  const TrainGraph graph(&model);
+  const SingleGpuEngine engine(
+      {GpuSpec::V100(), SystemProfile::TensorFlowXla(), true, 2});
+  const IterationSchedule sched = ConventionalIteration(graph);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(engine.Run(model, sched));
+  }
+}
+BENCHMARK(BM_SingleGpuIterationSim);
+
+void BM_PipelineIterationSim(benchmark::State& state) {
+  const NnModel micro = Bert(24, 8);
+  PipelineConfig config;
+  config.cluster = ClusterSpec::PubB(1);
+  config.num_gpus = 4;
+  config.num_micro_batches = 4;
+  const PipelineEngine engine(config);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(engine.Run(micro, PipelineStrategy::kOooPipe2));
+  }
+}
+BENCHMARK(BM_PipelineIterationSim);
+
+}  // namespace
+}  // namespace oobp
+
+BENCHMARK_MAIN();

@@ -1,0 +1,58 @@
+// Pipeline-parallel training example: BERT fine-tuning on 4 GPUs
+// (Section 5.2 / Figure 11 of the paper).
+//
+//   $ ./examples/bert_pipeline [num_gpus] [bert_layers] [micro_batches]
+//
+// Compares GPipe, PipeDream (weight stashing — reported as reference, since
+// it changes training semantics), OOO-Pipe1 (gradient fast-forwarding) and
+// OOO-Pipe2 (+ modulo allocation).
+
+#include <cstdio>
+#include <cstdlib>
+
+#include "src/nn/model_zoo.h"
+#include "src/runtime/pipeline_engine.h"
+
+int main(int argc, char** argv) {
+  using namespace oobp;
+
+  const int num_gpus = argc > 1 ? std::atoi(argv[1]) : 4;
+  const int bert_layers = argc > 2 ? std::atoi(argv[2]) : 24;
+  const int micro_batches = argc > 3 ? std::atoi(argv[3]) : 4;
+  const int global_batch = 96;  // the paper's fine-tuning batch size
+  const int micro_batch = std::max(1, global_batch / micro_batches);
+
+  const NnModel model = Bert(bert_layers, micro_batch);
+  std::printf("%s fine-tuning: %d GPUs, %d micro-batches of %d (global %d)\n",
+              model.name.c_str(), num_gpus, micro_batches, micro_batch,
+              micro_batch * micro_batches);
+
+  PipelineConfig config;
+  config.cluster = ClusterSpec::PubB(1);  // 8xV100, NVLink
+  config.num_gpus = num_gpus;
+  config.num_micro_batches = micro_batches;
+
+  const PipelineEngine engine(config);
+  std::printf("%-12s %10s %10s %8s %10s %8s\n", "system", "seqs/s", "iter(ms)",
+              "util", "mem/GPU", "stale");
+  double gpipe_tp = 0;
+  for (PipelineStrategy s :
+       {PipelineStrategy::kGPipe, PipelineStrategy::kDapple,
+        PipelineStrategy::kPipeDream, PipelineStrategy::kOooPipe1,
+        PipelineStrategy::kOooPipe2}) {
+    const PipelineResult r = engine.Run(model, s);
+    if (s == PipelineStrategy::kGPipe) {
+      gpipe_tp = r.metrics.throughput;
+    }
+    std::printf("%-12s %10.1f %10.1f %7.1f%% %8.0fMB %8d\n",
+                PipelineStrategyName(s), r.metrics.throughput,
+                ToMs(r.metrics.iteration_time),
+                100.0 * r.metrics.gpu_utilization,
+                r.metrics.peak_memory_bytes / 1e6, r.weight_versions);
+    if (s == PipelineStrategy::kOooPipe2) {
+      std::printf("OOO-Pipe2 vs GPipe: %.2fx\n",
+                  r.metrics.throughput / gpipe_tp);
+    }
+  }
+  return 0;
+}

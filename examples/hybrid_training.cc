@@ -1,0 +1,54 @@
+// Hybrid data+pipeline parallel training example (Section 6 of the paper):
+// replicate an OOO-Pipe2 pipeline across data-parallel groups and combine
+// gradient fast-forwarding with reverse first-k ordering of the deferred
+// weight gradients.
+//
+//   $ ./examples/hybrid_training [pipeline_gpus] [dp_groups] [bert_layers]
+
+#include <cstdio>
+#include <cstdlib>
+
+#include "src/nn/model_zoo.h"
+#include "src/runtime/hybrid_engine.h"
+
+int main(int argc, char** argv) {
+  using namespace oobp;
+
+  const int pipeline_gpus = argc > 1 ? std::atoi(argv[1]) : 8;
+  const int dp_groups = argc > 2 ? std::atoi(argv[2]) : 2;
+  const int bert_layers = argc > 3 ? std::atoi(argv[3]) : 24;
+
+  const NnModel micro = Bert(bert_layers, 16);
+  std::printf("%s: %d-stage pipeline x %d replicas (%d GPUs total)\n",
+              micro.name.c_str(), pipeline_gpus, dp_groups,
+              pipeline_gpus * dp_groups);
+
+  HybridConfig config;
+  config.pipeline.cluster = ClusterSpec::PubB(5);
+  config.pipeline.num_gpus = pipeline_gpus;
+  config.pipeline.num_micro_batches = pipeline_gpus;
+  config.dp_groups = dp_groups;
+
+  std::printf("%-14s %-12s %10s %12s %12s\n", "strategy", "reverse-k",
+              "seqs/s", "pipe(ms)", "exposed(ms)");
+  for (PipelineStrategy s :
+       {PipelineStrategy::kGPipe, PipelineStrategy::kDapple,
+        PipelineStrategy::kOooPipe2}) {
+    const HybridResult r = HybridEngine(config).Run(micro, s);
+    std::printf("%-14s %-12s %10.1f %12.1f %12.1f\n", PipelineStrategyName(s),
+                "-", r.metrics.throughput, ToMs(r.pipeline_makespan),
+                ToMs(r.exposed_sync));
+  }
+  // Section 6's combination: order the deferred dW pool so the first k
+  // layers' synchronizations start earliest.
+  for (int k : {8, micro.num_layers()}) {
+    HybridConfig with_k = config;
+    with_k.pipeline.reverse_first_k = k;
+    const HybridResult r =
+        HybridEngine(with_k).Run(micro, PipelineStrategy::kOooPipe2);
+    std::printf("%-14s k=%-10d %10.1f %12.1f %12.1f\n", "OOO-Pipe2", k,
+                r.metrics.throughput, ToMs(r.pipeline_makespan),
+                ToMs(r.exposed_sync));
+  }
+  return 0;
+}

@@ -1,0 +1,74 @@
+// Lightweight CHECK macros for invariant enforcement.
+//
+// These are always-on (release builds included): the simulator's correctness
+// depends on schedule invariants, and a silently-corrupted schedule would
+// produce plausible-looking but wrong throughput numbers. Failures print the
+// expression, location, and an optional streamed message, then abort.
+
+#ifndef OOBP_SRC_COMMON_CHECK_H_
+#define OOBP_SRC_COMMON_CHECK_H_
+
+#include <cstdlib>
+#include <iostream>
+#include <sstream>
+#include <string>
+
+namespace oobp {
+
+namespace check_internal {
+
+// Collects a streamed message and aborts on destruction. Used as the
+// right-hand side of the CHECK macros so call sites can write
+// `OOBP_CHECK(x) << "detail " << v;`.
+class FailureStream {
+ public:
+  FailureStream(const char* expr, const char* file, int line) {
+    stream_ << "CHECK failed: " << expr << " at " << file << ":" << line << " ";
+  }
+  FailureStream(const FailureStream&) = delete;
+  FailureStream& operator=(const FailureStream&) = delete;
+
+  [[noreturn]] ~FailureStream() {
+    std::cerr << stream_.str() << std::endl;
+    std::abort();
+  }
+
+  template <typename T>
+  FailureStream& operator<<(const T& value) {
+    stream_ << value;
+    return *this;
+  }
+
+ private:
+  std::ostringstream stream_;
+};
+
+// Swallows the streamed message when the check passes.
+class NullStream {
+ public:
+  template <typename T>
+  NullStream& operator<<(const T&) {
+    return *this;
+  }
+};
+
+}  // namespace check_internal
+
+// Streaming form: `OOBP_CHECK(x) << "detail";`. The dangling-else shape is
+// intentional (glog-style); wrap call sites in braces as usual.
+#define OOBP_CHECK(cond)                                                    \
+  if (cond)                                                                 \
+    ::oobp::check_internal::NullStream();                                   \
+  else                                                                      \
+    ::oobp::check_internal::FailureStream(#cond, __FILE__, __LINE__)
+
+#define OOBP_CHECK_EQ(a, b) OOBP_CHECK((a) == (b))
+#define OOBP_CHECK_NE(a, b) OOBP_CHECK((a) != (b))
+#define OOBP_CHECK_LT(a, b) OOBP_CHECK((a) < (b))
+#define OOBP_CHECK_LE(a, b) OOBP_CHECK((a) <= (b))
+#define OOBP_CHECK_GT(a, b) OOBP_CHECK((a) > (b))
+#define OOBP_CHECK_GE(a, b) OOBP_CHECK((a) >= (b))
+
+}  // namespace oobp
+
+#endif  // OOBP_SRC_COMMON_CHECK_H_

@@ -1,0 +1,75 @@
+// Small statistics helpers used by benches and metric reporting.
+
+#ifndef OOBP_SRC_COMMON_STATS_H_
+#define OOBP_SRC_COMMON_STATS_H_
+
+#include <cmath>
+#include <cstddef>
+#include <vector>
+
+#include "src/common/check.h"
+
+namespace oobp {
+
+// Online accumulator for mean / stddev / min / max (Welford's algorithm).
+class RunningStat {
+ public:
+  void Add(double x) {
+    ++count_;
+    const double delta = x - mean_;
+    mean_ += delta / static_cast<double>(count_);
+    m2_ += delta * (x - mean_);
+    if (count_ == 1 || x < min_) {
+      min_ = x;
+    }
+    if (count_ == 1 || x > max_) {
+      max_ = x;
+    }
+  }
+
+  size_t count() const { return count_; }
+  double mean() const { return mean_; }
+  double min() const { return min_; }
+  double max() const { return max_; }
+
+  double variance() const {
+    return count_ > 1 ? m2_ / static_cast<double>(count_ - 1) : 0.0;
+  }
+  double stddev() const { return std::sqrt(variance()); }
+  // Standard error of the mean, as reported by the paper for throughput.
+  double stderr_mean() const {
+    return count_ > 0 ? stddev() / std::sqrt(static_cast<double>(count_)) : 0.0;
+  }
+
+ private:
+  size_t count_ = 0;
+  double mean_ = 0.0;
+  double m2_ = 0.0;
+  double min_ = 0.0;
+  double max_ = 0.0;
+};
+
+inline double Mean(const std::vector<double>& xs) {
+  OOBP_CHECK(!xs.empty());
+  double s = 0.0;
+  for (double x : xs) {
+    s += x;
+  }
+  return s / static_cast<double>(xs.size());
+}
+
+// Geometric mean of strictly positive samples; the paper reports average
+// speedups that are geometric in nature.
+inline double GeoMean(const std::vector<double>& xs) {
+  OOBP_CHECK(!xs.empty());
+  double log_sum = 0.0;
+  for (double x : xs) {
+    OOBP_CHECK_GT(x, 0.0);
+    log_sum += std::log(x);
+  }
+  return std::exp(log_sum / static_cast<double>(xs.size()));
+}
+
+}  // namespace oobp
+
+#endif  // OOBP_SRC_COMMON_STATS_H_

@@ -1,0 +1,63 @@
+#include "src/common/str_util.h"
+
+#include <cstdarg>
+#include <cstdio>
+
+namespace oobp {
+
+std::string StrFormat(const char* fmt, ...) {
+  va_list args;
+  va_start(args, fmt);
+  va_list args_copy;
+  va_copy(args_copy, args);
+  const int needed = std::vsnprintf(nullptr, 0, fmt, args);
+  va_end(args);
+  std::string out;
+  if (needed > 0) {
+    out.resize(static_cast<size_t>(needed));
+    std::vsnprintf(out.data(), out.size() + 1, fmt, args_copy);
+  }
+  va_end(args_copy);
+  return out;
+}
+
+std::string Join(const std::vector<std::string>& parts, const std::string& sep) {
+  std::string out;
+  for (size_t i = 0; i < parts.size(); ++i) {
+    if (i > 0) {
+      out += sep;
+    }
+    out += parts[i];
+  }
+  return out;
+}
+
+std::string HumanBytes(int64_t bytes) {
+  const char* units[] = {"B", "KiB", "MiB", "GiB", "TiB"};
+  double value = static_cast<double>(bytes);
+  int unit = 0;
+  while (value >= 1024.0 && unit < 4) {
+    value /= 1024.0;
+    ++unit;
+  }
+  if (unit == 0) {
+    return StrFormat("%lldB", static_cast<long long>(bytes));
+  }
+  return StrFormat("%.1f%s", value, units[unit]);
+}
+
+std::string PadLeft(const std::string& s, size_t width) {
+  if (s.size() >= width) {
+    return s;
+  }
+  return std::string(width - s.size(), ' ') + s;
+}
+
+std::string PadRight(const std::string& s, size_t width) {
+  if (s.size() >= width) {
+    return s;
+  }
+  return s + std::string(width - s.size(), ' ');
+}
+
+}  // namespace oobp

@@ -1,0 +1,32 @@
+// Simulation time representation.
+//
+// All simulated durations and timestamps are int64_t nanoseconds. Integer
+// nanoseconds keep event ordering exact (no float comparison hazards) while
+// covering ~292 years of simulated time, far beyond any training run we
+// model. Helpers convert to/from the microsecond and millisecond quantities
+// that appear in the paper's text.
+
+#ifndef OOBP_SRC_COMMON_TIME_H_
+#define OOBP_SRC_COMMON_TIME_H_
+
+#include <cstdint>
+
+namespace oobp {
+
+using TimeNs = int64_t;
+
+constexpr TimeNs kNsPerUs = 1000;
+constexpr TimeNs kNsPerMs = 1000 * 1000;
+constexpr TimeNs kNsPerSec = 1000 * 1000 * 1000;
+
+constexpr TimeNs Us(double us) { return static_cast<TimeNs>(us * kNsPerUs); }
+constexpr TimeNs Ms(double ms) { return static_cast<TimeNs>(ms * kNsPerMs); }
+constexpr TimeNs Sec(double s) { return static_cast<TimeNs>(s * kNsPerSec); }
+
+constexpr double ToUs(TimeNs t) { return static_cast<double>(t) / kNsPerUs; }
+constexpr double ToMs(TimeNs t) { return static_cast<double>(t) / kNsPerMs; }
+constexpr double ToSec(TimeNs t) { return static_cast<double>(t) / kNsPerSec; }
+
+}  // namespace oobp
+
+#endif  // OOBP_SRC_COMMON_TIME_H_

@@ -1,0 +1,35 @@
+#include "src/core/fast_forward.h"
+
+#include <algorithm>
+
+#include "src/common/check.h"
+
+namespace oobp {
+
+std::vector<TrainOp> StageBackwardOrder(const TrainGraph& graph,
+                                        const std::vector<int>& stage_layers,
+                                        bool fast_forward) {
+  std::vector<int> layers = stage_layers;
+  OOBP_CHECK(std::is_sorted(layers.begin(), layers.end()));
+  std::vector<TrainOp> order;
+  if (fast_forward) {
+    for (auto it = layers.rbegin(); it != layers.rend(); ++it) {
+      order.push_back({TrainOpType::kOutputGrad, *it});
+    }
+    for (auto it = layers.rbegin(); it != layers.rend(); ++it) {
+      if (graph.HasWgrad(*it)) {
+        order.push_back({TrainOpType::kWeightGrad, *it});
+      }
+    }
+  } else {
+    for (auto it = layers.rbegin(); it != layers.rend(); ++it) {
+      order.push_back({TrainOpType::kOutputGrad, *it});
+      if (graph.HasWgrad(*it)) {
+        order.push_back({TrainOpType::kWeightGrad, *it});
+      }
+    }
+  }
+  return order;
+}
+
+}  // namespace oobp

@@ -1,0 +1,28 @@
+// Gradient fast-forwarding for pipeline-parallel training (Section 5.2.1).
+//
+// Within one pipeline stage's backward pass, all output-gradient
+// computations are prioritized over all weight-gradient computations, so the
+// gradient reaching the *previous* stage is produced as early as possible
+// and that stage can start working while this one fills its idle time with
+// the deferred weight gradients. This is the pipeline instantiation of
+// out-of-order backprop.
+
+#ifndef OOBP_SRC_CORE_FAST_FORWARD_H_
+#define OOBP_SRC_CORE_FAST_FORWARD_H_
+
+#include <vector>
+
+#include "src/nn/train_graph.h"
+
+namespace oobp {
+
+// Backward op order for a stage owning `stage_layers` (any subset of model
+// layers, ascending). Conventional: dO/dW interleaved in descending layer
+// order. Fast-forwarded: all dO (descending), then all dW (descending).
+std::vector<TrainOp> StageBackwardOrder(const TrainGraph& graph,
+                                        const std::vector<int>& stage_layers,
+                                        bool fast_forward);
+
+}  // namespace oobp
+
+#endif  // OOBP_SRC_CORE_FAST_FORWARD_H_

@@ -1,0 +1,227 @@
+#include "src/core/joint_scheduler.h"
+
+#include <algorithm>
+#include <cmath>
+#include <map>
+#include <set>
+#include <utility>
+
+#include "src/common/check.h"
+
+namespace oobp {
+
+namespace {
+
+// Runs the greedy core of Algorithm 1 with the first `pre_k` backward
+// regions pre-scheduled eagerly. Returns per-region ordered dW layer lists.
+std::vector<std::vector<int>> RunAlgorithm1(const TrainGraph& graph,
+                                            const CorunProfiler& profiler,
+                                            int pre_k) {
+  const int L = graph.num_layers();
+  const int N = profiler.num_regions();
+  std::vector<std::vector<int>> region_order(N);
+
+  // U <- {dW_i | layer i has weights}, minus eagerly pre-scheduled ones.
+  std::set<int> unscheduled;
+  for (int i = 0; i < L; ++i) {
+    if (!graph.HasWgrad(i)) {
+      continue;
+    }
+    const TrainOp op{TrainOpType::kWeightGrad, i};
+    const auto [ready_region, ready_offset] = profiler.ReadyPoint(op);
+    if (ready_region < pre_k) {
+      // Pre-scheduled region: run as soon as ready, in readiness order.
+      region_order[ready_region].push_back(i);
+      continue;
+    }
+    unscheduled.insert(i);
+  }
+
+  std::vector<TimeNs> now(N, 0);
+  std::set<int> candidates;
+  for (int r = pre_k; r < N; ++r) {
+    candidates.insert(r);
+  }
+
+  while (!unscheduled.empty() && !candidates.empty()) {
+    // Lines 4-8: per candidate region, the runnable dW with max speedup;
+    // then the globally best (region, kernel) pair.
+    int best_region = -1;
+    int best_layer = -1;
+    int64_t best_speedup = -1;
+    for (int r : candidates) {
+      for (int i : unscheduled) {
+        const TrainOp op{TrainOpType::kWeightGrad, i};
+        const auto [ready_region, ready_offset] = profiler.ReadyPoint(op);
+        const bool runnable =
+            (ready_region < r) || (ready_region == r && ready_offset <= now[r]);
+        if (!runnable || r >= profiler.DeadlineRegion(op)) {
+          continue;
+        }
+        // Quantize to percent so float noise does not override the
+        // tie-break; among near-equal speedups prefer the earliest region
+        // (shorter tensor lifetimes, lower memory pressure) and the lowest
+        // layer.
+        const int64_t p = static_cast<int64_t>(
+            std::llround(100.0 * profiler.SpeedupAt(r, op, now[r])));
+        if (p > best_speedup ||
+            (p == best_speedup &&
+             (r < best_region || (r == best_region && i < best_layer)))) {
+          best_speedup = p;
+          best_region = r;
+          best_layer = i;
+        }
+      }
+    }
+
+    if (best_region < 0) {
+      // No kernel is runnable in any remaining region (deadlines exclude
+      // them all). Fall back: place the earliest-deadline kernel into the
+      // last region its deadline allows, so the simulation stays valid —
+      // only slower.
+      const int i = *unscheduled.begin();
+      const TrainOp op{TrainOpType::kWeightGrad, i};
+      const auto [ready_region, ready_offset] = profiler.ReadyPoint(op);
+      int r = std::min(profiler.DeadlineRegion(op) - 1, N - 1);
+      r = std::max(r, ready_region);
+      region_order[r].push_back(i);
+      unscheduled.erase(i);
+      continue;
+    }
+
+    // Lines 9-11: commit, advance the region's simulated clock, retire the
+    // region once its main-stream budget is spent.
+    const TrainOp op{TrainOpType::kWeightGrad, best_layer};
+    region_order[best_region].push_back(best_layer);
+    unscheduled.erase(best_layer);
+    now[best_region] += profiler.SubTimeAt(best_region, op, now[best_region]);
+    if (now[best_region] >= profiler.MainDuration(best_region)) {
+      candidates.erase(best_region);
+    }
+  }
+
+  // Regions exhausted with kernels left: append to the last legal region.
+  for (int i : unscheduled) {
+    const TrainOp op{TrainOpType::kWeightGrad, i};
+    const auto [ready_region, ready_offset] = profiler.ReadyPoint(op);
+    int r = std::min(profiler.DeadlineRegion(op) - 1, N - 1);
+    r = std::max(r, ready_region);
+    region_order[r].push_back(i);
+  }
+  return region_order;
+}
+
+// Turns per-region dW lists into the interleaved two-stream issue order.
+IterationSchedule BuildSchedule(const TrainGraph& graph,
+                                const CorunProfiler& profiler,
+                                const std::vector<std::vector<int>>& region_order) {
+  const int N = profiler.num_regions();
+
+  // Flatten main-stream ops and record positions.
+  std::vector<TrainOp> main_ops;
+  std::vector<int> region_first_main(N, 0);
+  std::map<int, int> dgrad_pos;  // dO layer -> main position
+  for (int r = 0; r < N; ++r) {
+    region_first_main[r] = static_cast<int>(main_ops.size());
+    for (const TrainOp& op : profiler.region(r).main_ops) {
+      if (op.type == TrainOpType::kOutputGrad) {
+        dgrad_pos[op.layer] = static_cast<int>(main_ops.size());
+      }
+      main_ops.push_back(op);
+    }
+  }
+
+  // For each dW: the main-op position after which it is issued. It must
+  // follow both its region's first main op (placement) and its producer
+  // dO_{i+1} (so the engine can reference the dependency).
+  struct SubOp {
+    int layer;
+    int region;
+  };
+  std::map<int, std::vector<SubOp>> attach_after;  // main pos -> sub ops
+  for (int r = 0; r < N; ++r) {
+    for (int layer : region_order[r]) {
+      int pos = region_first_main[r];
+      const int producer = layer + 1;
+      auto it = dgrad_pos.find(producer);
+      if (it != dgrad_pos.end()) {
+        pos = std::max(pos, it->second);
+      }
+      attach_after[pos].push_back({layer, r});
+    }
+  }
+
+  IterationSchedule sched;
+  std::vector<int> final_main_index(main_ops.size(), -1);
+  for (size_t m = 0; m < main_ops.size(); ++m) {
+    final_main_index[m] = static_cast<int>(sched.ops.size());
+    sched.ops.push_back({main_ops[m], kMainStream, -1});
+    auto it = attach_after.find(static_cast<int>(m));
+    if (it == attach_after.end()) {
+      continue;
+    }
+    for (const SubOp& sub : it->second) {
+      const int wait_idx = final_main_index[region_first_main[sub.region]];
+      sched.ops.push_back(
+          {{TrainOpType::kWeightGrad, sub.layer}, kSubStream, wait_idx});
+      sched.ops.push_back(
+          {{TrainOpType::kWeightUpdate, sub.layer}, kSubStream, -1});
+    }
+  }
+  OOBP_CHECK(graph.ValidateBackpropOrder([&] {
+    std::vector<TrainOp> grads;
+    for (const ScheduledOp& s : sched.ops) {
+      if (s.op.type == TrainOpType::kOutputGrad ||
+          s.op.type == TrainOpType::kWeightGrad) {
+        grads.push_back(s.op);
+      }
+    }
+    return grads;
+  }()));
+  return sched;
+}
+
+int CountBackwardRegions(const CorunProfiler& profiler) {
+  int n = 0;
+  for (int r = 0; r < profiler.num_regions(); ++r) {
+    if (profiler.region(r).kind == Region::Kind::kBackward) {
+      ++n;
+    }
+  }
+  return n;
+}
+
+}  // namespace
+
+JointScheduleResult MultiRegionJointSchedule(const TrainGraph& graph,
+                                             const CorunProfiler& profiler,
+                                             const JointScheduleOptions& options) {
+  const int bwd_regions = CountBackwardRegions(profiler);
+  JointScheduleResult result;
+
+  for (int pre_k = 0; pre_k <= bwd_regions; ++pre_k) {
+    const std::vector<std::vector<int>> region_order =
+        RunAlgorithm1(graph, profiler, pre_k);
+    IterationSchedule sched = BuildSchedule(graph, profiler, region_order);
+    const MemoryTimeline mem =
+        EstimateBackpropMemory(graph.model(), sched.MergedOrder());
+
+    result.schedule = std::move(sched);
+    result.pre_scheduled_regions = pre_k;
+    result.peak_memory = mem.peak;
+    result.assigned_ops.clear();
+    result.assigned_region.clear();
+    for (int r = 0; r < profiler.num_regions(); ++r) {
+      for (int layer : region_order[r]) {
+        result.assigned_ops.push_back({TrainOpType::kWeightGrad, layer});
+        result.assigned_region.push_back(r);
+      }
+    }
+    if (options.memory_cap_bytes < 0 || mem.peak <= options.memory_cap_bytes) {
+      break;  // within budget (or unconstrained)
+    }
+  }
+  return result;
+}
+
+}  // namespace oobp

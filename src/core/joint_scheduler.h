@@ -1,0 +1,52 @@
+// Multi-region joint scheduling — Algorithm 1 of the paper (Section 4.1).
+//
+// Greedy list scheduling over profiled regions: the main stream executes
+// forward and output-gradient kernels in their natural order; weight
+// gradients are placed, one at a time, into the (region, time) slot with the
+// highest profiled co-run speedup, respecting readiness (dW_i becomes
+// runnable when dO_{i+1} completes) and deadlines (dW_i and its update must
+// land before the next iteration's F_i). A region leaves the candidate set
+// once its simulated sub-stream time budget is exhausted (now[j] >=
+// T_main(R[j])).
+//
+// Memory fallback (Section 4.1, last paragraph): if the resulting schedule's
+// peak memory exceeds the cap, the first k backward regions are
+// "pre-scheduled" — their weight gradients run as soon as they are ready —
+// and the algorithm re-runs for the remaining regions with increasing k.
+
+#ifndef OOBP_SRC_CORE_JOINT_SCHEDULER_H_
+#define OOBP_SRC_CORE_JOINT_SCHEDULER_H_
+
+#include <cstdint>
+#include <vector>
+
+#include "src/core/corun_profiler.h"
+#include "src/core/memory_model.h"
+#include "src/core/schedule.h"
+
+namespace oobp {
+
+struct JointScheduleOptions {
+  // Peak activation-memory cap in bytes; < 0 means unconstrained. The paper
+  // uses 1.1x the conventional execution's peak.
+  int64_t memory_cap_bytes = -1;
+};
+
+struct JointScheduleResult {
+  IterationSchedule schedule;
+  // Region index each dW op was assigned to, parallel to `assigned_ops`.
+  std::vector<TrainOp> assigned_ops;
+  std::vector<int> assigned_region;
+  // Number of leading backward regions that were pre-scheduled eagerly to
+  // satisfy the memory cap (0 when the cap never bound).
+  int pre_scheduled_regions = 0;
+  int64_t peak_memory = 0;  // activation peak of the final schedule
+};
+
+JointScheduleResult MultiRegionJointSchedule(
+    const TrainGraph& graph, const CorunProfiler& profiler,
+    const JointScheduleOptions& options = {});
+
+}  // namespace oobp
+
+#endif  // OOBP_SRC_CORE_JOINT_SCHEDULER_H_

@@ -1,0 +1,62 @@
+#include "src/core/k_search.h"
+
+#include <algorithm>
+#include <map>
+
+#include "src/common/check.h"
+
+namespace oobp {
+
+KSearchResult SearchBestK(int num_layers,
+                          const std::function<double(int)>& throughput) {
+  OOBP_CHECK_GT(num_layers, 0);
+  KSearchResult result;
+  std::map<int, double> memo;
+
+  auto eval = [&](int k) {
+    k = std::clamp(k, 0, num_layers);
+    auto it = memo.find(k);
+    if (it != memo.end()) {
+      return it->second;
+    }
+    const double t = throughput(k);
+    memo.emplace(k, t);
+    result.evaluations.emplace_back(k, t);
+    return t;
+  };
+
+  // Initial coarse scan: k = 0, dk, 2*dk, ... < L with dk = L/10.
+  int dk = std::max(1, num_layers / 10);
+  int best_k = 0;
+  double best_t = eval(0);
+  for (int k = dk; k < num_layers; k += dk) {
+    const double t = eval(k);
+    if (t > best_t) {
+      best_t = t;
+      best_k = k;
+    }
+  }
+
+  // Refine: re-scan (best-dk, best+dk) with the step halved, repeatedly.
+  while (dk > 1) {
+    const int lo = std::max(0, best_k - dk);
+    const int hi = std::min(num_layers, best_k + dk);
+    dk = std::max(1, dk / 2);
+    for (int k = lo; k <= hi; k += dk) {
+      const double t = eval(k);
+      if (t > best_t) {
+        best_t = t;
+        best_k = k;
+      }
+    }
+    if (dk == 1) {
+      break;
+    }
+  }
+
+  result.best_k = best_k;
+  result.best_throughput = best_t;
+  return result;
+}
+
+}  // namespace oobp

@@ -1,0 +1,29 @@
+// The heuristic search for the optimal reverse-first-k parameter
+// (Section 5.1): assume throughput is roughly concave in k, scan with step
+// dk = L/10, then repeatedly re-scan the interval (best-dk, best+dk) with
+// the step halved until it reaches one layer.
+
+#ifndef OOBP_SRC_CORE_K_SEARCH_H_
+#define OOBP_SRC_CORE_K_SEARCH_H_
+
+#include <functional>
+#include <vector>
+
+namespace oobp {
+
+struct KSearchResult {
+  int best_k = 0;
+  double best_throughput = 0.0;
+  // Every (k, throughput) pair that was measured, in evaluation order; the
+  // paper's claim is that this stays far below the L+1 exhaustive sweep.
+  std::vector<std::pair<int, double>> evaluations;
+};
+
+// `throughput(k)` must be valid for k in [0, num_layers]. Evaluations are
+// memoized, so repeated k values cost nothing.
+KSearchResult SearchBestK(int num_layers,
+                          const std::function<double(int)>& throughput);
+
+}  // namespace oobp
+
+#endif  // OOBP_SRC_CORE_K_SEARCH_H_

@@ -1,0 +1,117 @@
+#include "src/core/list_dp_scheduler.h"
+
+#include <algorithm>
+#include <limits>
+#include <set>
+
+#include "src/common/check.h"
+
+namespace oobp {
+
+ListDpInputs BuildListDpInputs(const NnModel& model, const CostModel& cost,
+                               const std::vector<TimeNs>& sync_times) {
+  const int L = model.num_layers();
+  OOBP_CHECK_EQ(static_cast<int>(sync_times.size()), L);
+  ListDpInputs in;
+  in.fwd.resize(L);
+  in.dgrad.resize(L);
+  in.wgrad.resize(L);
+  in.sync = sync_times;
+  for (int l = 0; l < L; ++l) {
+    in.fwd[l] = cost.Cost(model.layers[l], TrainOpType::kForward).duration;
+    in.dgrad[l] = cost.Cost(model.layers[l], TrainOpType::kOutputGrad).duration;
+    in.wgrad[l] = model.layers[l].has_params()
+                      ? cost.Cost(model.layers[l], TrainOpType::kWeightGrad)
+                            .duration
+                      : 0;
+  }
+  return in;
+}
+
+ListDpResult ListScheduleDataParallel(const TrainGraph& graph,
+                                      const ListDpInputs& inputs) {
+  const int L = graph.num_layers();
+  OOBP_CHECK_EQ(static_cast<int>(inputs.fwd.size()), L);
+
+  // Forward start offsets relative to the start of the forward pass.
+  std::vector<TimeNs> fwd_offset(L, 0);
+  for (int l = 1; l < L; ++l) {
+    fwd_offset[l] = fwd_offset[l - 1] + inputs.fwd[l - 1];
+  }
+
+  // Remaining backward compute (used to estimate when forward will start).
+  TimeNs bwd_remaining = 0;
+  for (int l = 0; l < L; ++l) {
+    bwd_remaining += inputs.dgrad[l] + inputs.wgrad[l];
+  }
+
+  ListDpResult result;
+  TimeNs t = 0;             // GPU clock
+  TimeNs channel_free = 0;  // serialized-channel clock
+  int next_dgrad = L - 1;   // the critical chain
+  std::set<int> ready_wgrads;
+  std::vector<TimeNs> sync_done(L, 0);
+
+  auto schedule_wgrad = [&](int l) {
+    result.order.push_back({TrainOpType::kWeightGrad, l});
+    t += inputs.wgrad[l];
+    bwd_remaining -= inputs.wgrad[l];
+    const TimeNs start = std::max(t, channel_free);
+    channel_free = start + inputs.sync[l];
+    sync_done[l] = channel_free;
+    ready_wgrads.erase(l);
+  };
+  auto schedule_dgrad = [&]() {
+    const int l = next_dgrad--;
+    result.order.push_back({TrainOpType::kOutputGrad, l});
+    t += inputs.dgrad[l];
+    bwd_remaining -= inputs.dgrad[l];
+    if (l - 1 >= 0 && graph.HasWgrad(l - 1)) {
+      ready_wgrads.insert(l - 1);
+    }
+  };
+  if (graph.HasWgrad(L - 1)) {
+    ready_wgrads.insert(L - 1);  // the loss gradient is available at t = 0
+  }
+
+  while (next_dgrad >= 0 || !ready_wgrads.empty()) {
+    // Slack of a ready dW if scheduled right now: time to its deadline (the
+    // next forward of the same layer) minus its projected sync completion.
+    int urgent = -1;
+    TimeNs urgent_slack = std::numeric_limits<TimeNs>::max();
+    for (int l : ready_wgrads) {
+      const TimeNs done = std::max(t + inputs.wgrad[l], channel_free) +
+                          inputs.sync[l];
+      const TimeNs deadline = t + bwd_remaining + fwd_offset[l];
+      const TimeNs slack = deadline - done;
+      if (slack < urgent_slack) {
+        urgent_slack = slack;
+        urgent = l;
+      }
+    }
+    if (next_dgrad < 0) {
+      OOBP_CHECK_GE(urgent, 0);
+      schedule_wgrad(urgent);
+    } else if (urgent >= 0 && urgent_slack <= 0) {
+      schedule_wgrad(urgent);  // a synchronization is about to become late
+    } else if (urgent >= 0 && channel_free <= t + inputs.wgrad[urgent]) {
+      // Work conservation: the channel would go idle before another
+      // gradient reaches it — feed it the most critical ready dW now.
+      schedule_wgrad(urgent);
+    } else {
+      schedule_dgrad();  // advance the critical chain
+    }
+  }
+
+  // Makespan estimate: forward gated per layer by its synchronization.
+  TimeNs ft = t;
+  for (int l = 0; l < L; ++l) {
+    ft = std::max(ft, sync_done[l]);
+    ft += inputs.fwd[l];
+  }
+  result.estimated_makespan = ft;
+  OOBP_CHECK(graph.ValidateBackpropOrder(result.order));
+  return result;
+}
+
+}  // namespace oobp

@@ -1,0 +1,94 @@
+#include "src/core/modulo_alloc.h"
+
+#include <algorithm>
+#include <limits>
+
+#include "src/common/check.h"
+
+namespace oobp {
+
+LayerAssignment BalancedContiguousAllocation(
+    const std::vector<double>& layer_costs, int num_gpus) {
+  const int L = static_cast<int>(layer_costs.size());
+  OOBP_CHECK_GT(L, 0);
+  OOBP_CHECK_GT(num_gpus, 0);
+  OOBP_CHECK_GE(L, num_gpus) << "need at least one layer per GPU";
+
+  std::vector<double> prefix(L + 1, 0.0);
+  for (int i = 0; i < L; ++i) {
+    OOBP_CHECK_GT(layer_costs[i], 0.0);
+    prefix[i + 1] = prefix[i] + layer_costs[i];
+  }
+  auto range_cost = [&](int lo, int hi) {  // layers [lo, hi)
+    return prefix[hi] - prefix[lo];
+  };
+
+  // dp[g][i]: minimal max-stage-cost splitting the first i layers into g
+  // stages; cut[g][i] records the split point for reconstruction.
+  constexpr double kInf = std::numeric_limits<double>::infinity();
+  std::vector<std::vector<double>> dp(num_gpus + 1,
+                                      std::vector<double>(L + 1, kInf));
+  std::vector<std::vector<int>> cut(num_gpus + 1, std::vector<int>(L + 1, -1));
+  dp[0][0] = 0.0;
+  for (int g = 1; g <= num_gpus; ++g) {
+    for (int i = g; i <= L; ++i) {
+      for (int j = g - 1; j < i; ++j) {
+        if (dp[g - 1][j] == kInf) {
+          continue;
+        }
+        const double cost = std::max(dp[g - 1][j], range_cost(j, i));
+        if (cost < dp[g][i]) {
+          dp[g][i] = cost;
+          cut[g][i] = j;
+        }
+      }
+    }
+  }
+
+  LayerAssignment assignment(L, 0);
+  int end = L;
+  for (int g = num_gpus; g >= 1; --g) {
+    const int begin = cut[g][end];
+    OOBP_CHECK_GE(begin, 0);
+    for (int l = begin; l < end; ++l) {
+      assignment[l] = g - 1;
+    }
+    end = begin;
+  }
+  OOBP_CHECK_EQ(end, 0);
+  return assignment;
+}
+
+LayerAssignment ModuloAllocation(int num_layers, int num_gpus, int group_size) {
+  OOBP_CHECK_GT(num_layers, 0);
+  OOBP_CHECK_GT(num_gpus, 0);
+  OOBP_CHECK_GT(group_size, 0);
+  LayerAssignment assignment(num_layers);
+  for (int l = 0; l < num_layers; ++l) {
+    assignment[l] = (l / group_size) % num_gpus;
+  }
+  return assignment;
+}
+
+std::vector<int> LayersOf(const LayerAssignment& assignment, int gpu) {
+  std::vector<int> layers;
+  for (int l = 0; l < static_cast<int>(assignment.size()); ++l) {
+    if (assignment[l] == gpu) {
+      layers.push_back(l);
+    }
+  }
+  return layers;
+}
+
+bool AssignmentCoversAllGpus(const LayerAssignment& assignment, int num_gpus) {
+  std::vector<bool> seen(num_gpus, false);
+  for (int gpu : assignment) {
+    if (gpu < 0 || gpu >= num_gpus) {
+      return false;
+    }
+    seen[gpu] = true;
+  }
+  return std::all_of(seen.begin(), seen.end(), [](bool b) { return b; });
+}
+
+}  // namespace oobp

@@ -1,0 +1,45 @@
+// Layer-to-GPU allocation policies for model/pipeline parallelism
+// (Section 5.2.1).
+//
+// Conventional systems assign *contiguous* layer ranges to stages to
+// minimize inter-GPU traffic; we provide a compute-balanced contiguous
+// partitioner (dynamic programming over prefix costs). Modulo allocation
+// instead assigns layer l (or a group of `group_size` consecutive layers) to
+// GPU (l / group_size) mod n — it raises communication but keeps every GPU
+// busy through both propagation directions, and combined with gradient
+// fast-forwarding it removes most pipeline stalls. Grouping trades stalls
+// for bandwidth: the paper groups two transformers per unit on 10GbE
+// (Section 8.4.1, "Communication overhead").
+
+#ifndef OOBP_SRC_CORE_MODULO_ALLOC_H_
+#define OOBP_SRC_CORE_MODULO_ALLOC_H_
+
+#include <cstdint>
+#include <vector>
+
+#include "src/nn/layer.h"
+
+namespace oobp {
+
+// layer -> GPU rank, |result| == num_layers, values in [0, num_gpus).
+using LayerAssignment = std::vector<int>;
+
+// Contiguous ranges balanced by per-layer cost (DP, minimizes the maximum
+// stage cost). `layer_costs` must be positive; use forward FLOPs or measured
+// times.
+LayerAssignment BalancedContiguousAllocation(
+    const std::vector<double>& layer_costs, int num_gpus);
+
+// Modulo allocation at `group_size` granularity.
+LayerAssignment ModuloAllocation(int num_layers, int num_gpus,
+                                 int group_size = 1);
+
+// Layers owned by `gpu`, ascending.
+std::vector<int> LayersOf(const LayerAssignment& assignment, int gpu);
+
+// Validation: every GPU owns at least one layer.
+bool AssignmentCoversAllGpus(const LayerAssignment& assignment, int num_gpus);
+
+}  // namespace oobp
+
+#endif  // OOBP_SRC_CORE_MODULO_ALLOC_H_

@@ -1,0 +1,165 @@
+#include "src/core/recompute.h"
+
+#include <algorithm>
+
+#include "src/common/check.h"
+
+namespace oobp {
+
+std::vector<int> RecomputePlan::CheckpointLayers(int num_layers) const {
+  std::vector<int> out;
+  for (int l = 0; l < num_layers; ++l) {
+    if (IsCheckpoint(l, num_layers)) {
+      out.push_back(l);
+    }
+  }
+  return out;
+}
+
+bool RecomputePlan::IsCheckpoint(int layer, int num_layers) const {
+  OOBP_CHECK_GE(segment, 1);
+  // Segment boundaries, plus the network output (needed by the loss).
+  return layer % segment == segment - 1 || layer == num_layers - 1;
+}
+
+RecomputeTimeline EstimateBackpropMemoryWithRecompute(
+    const NnModel& model, const std::vector<TrainOp>& order,
+    const RecomputePlan& plan) {
+  const int L = model.num_layers();
+  RecomputeTimeline tl;
+  MemoryTimeline& mem = tl.memory;
+
+  for (const Layer& l : model.layers) {
+    mem.base += 3 * l.param_bytes;
+  }
+
+  std::vector<int> act_consumers(L, 0);
+  std::vector<int> grad_consumers(L, 0);
+  std::vector<bool> grad_alloc(L, false);
+  std::vector<bool> act_live(L, false);
+  std::vector<bool> stash_live(L, false);
+  const int num_segments = (L + plan.segment - 1) / plan.segment;
+  std::vector<bool> segment_materialized(num_segments, false);
+
+  int64_t live = 0;
+  for (int j = 0; j < L; ++j) {
+    if (j + 1 < L) {
+      act_consumers[j] = model.layers[j + 1].has_params() ? 1 : 0;
+    }
+    grad_consumers[j] = 1 + (model.layers[j].has_params() ? 1 : 0);
+    // Only checkpoints survive the forward pass; stashes never do.
+    if (plan.IsCheckpoint(j, L)) {
+      live += model.layers[j].output_bytes;
+      act_live[j] = true;
+    }
+  }
+  if (L > 0) {
+    live += model.layers[L - 1].output_bytes;  // loss gradient
+    grad_alloc[L - 1] = true;
+  }
+  mem.initial = live;
+  mem.peak = live;
+
+  auto free_activation = [&](int j) {
+    if (j >= 0 && j < L && act_live[j]) {
+      live -= model.layers[j].output_bytes;
+      act_live[j] = false;
+    }
+  };
+  auto consume_grad = [&](int i) {
+    OOBP_CHECK_GT(grad_consumers[i], 0);
+    if (--grad_consumers[i] == 0 && grad_alloc[i]) {
+      live -= model.layers[i].output_bytes;
+    }
+  };
+  // Re-runs the segment's forward, materializing its activations/stashes.
+  auto materialize = [&](int layer) {
+    const int s = layer / plan.segment;
+    if (s < 0 || s >= num_segments || segment_materialized[s]) {
+      return;
+    }
+    segment_materialized[s] = true;
+    const int lo = s * plan.segment;
+    const int hi = std::min(L, (s + 1) * plan.segment);
+    for (int j = lo; j < hi; ++j) {
+      if (!act_live[j] && act_consumers[j] >= 0) {
+        live += model.layers[j].output_bytes;
+        act_live[j] = true;
+      }
+      if (!stash_live[j]) {
+        live += model.layers[j].stash_bytes;
+        stash_live[j] = true;
+      }
+      if (!plan.IsCheckpoint(j, L)) {
+        tl.recompute_flops += model.layers[j].fwd_flops;
+      }
+    }
+    mem.peak = std::max(mem.peak, live);
+  };
+
+  for (const TrainOp& op : order) {
+    if (op.type != TrainOpType::kOutputGrad &&
+        op.type != TrainOpType::kWeightGrad) {
+      mem.usage_during.push_back(live);
+      mem.usage_after.push_back(live);
+      continue;
+    }
+    const int i = op.layer;
+    const Layer& layer = model.layers[i];
+    // The op needs its layer's stash (dO) or its input activation (dW):
+    // both live in layer i's or i-1's segment.
+    materialize(i);
+    if (i > 0) {
+      materialize(i - 1);
+    }
+
+    if (op.type == TrainOpType::kOutputGrad) {
+      if (i > 0 && !grad_alloc[i - 1]) {
+        live += model.layers[i - 1].output_bytes;
+        grad_alloc[i - 1] = true;
+      }
+      mem.usage_during.push_back(live + layer.workspace_bytes);
+      if (stash_live[i]) {
+        live -= layer.stash_bytes;
+        stash_live[i] = false;
+      }
+      consume_grad(i);
+      if (i > 0 && act_consumers[i - 1] == 0) {
+        free_activation(i - 1);
+        act_consumers[i - 1] = -1;
+      }
+      if (i == L - 1) {
+        free_activation(L - 1);
+      }
+    } else {
+      mem.usage_during.push_back(live + layer.workspace_bytes);
+      consume_grad(i);
+      if (i > 0) {
+        act_consumers[i - 1] = -1;
+        free_activation(i - 1);
+      }
+    }
+    mem.usage_after.push_back(live);
+    mem.peak = std::max(mem.peak, mem.usage_during.back());
+  }
+  return tl;
+}
+
+int BestSegmentForPeak(const NnModel& model, const std::vector<TrainOp>& order,
+                       int max_segment) {
+  OOBP_CHECK_GE(max_segment, 1);
+  int best = 1;
+  int64_t best_peak = EstimateBackpropMemoryWithRecompute(model, order, {1})
+                          .peak();
+  for (int segment = 2; segment <= max_segment; ++segment) {
+    const int64_t peak =
+        EstimateBackpropMemoryWithRecompute(model, order, {segment}).peak();
+    if (peak < best_peak) {
+      best_peak = peak;
+      best = segment;
+    }
+  }
+  return best;
+}
+
+}  // namespace oobp

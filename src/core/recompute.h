@@ -1,0 +1,59 @@
+// Activation checkpointing (re-computation) and its interaction with
+// out-of-order backprop (Section 6, last paragraph).
+//
+// With checkpoint-and-recompute (Chen et al. '16), only every
+// `segment`-th layer's output is kept through the forward pass; the
+// discarded activations of a segment are re-materialized by re-running its
+// forward just before the segment's backward. Section 6 observes that
+// reverse first-k composes with this: by the time the deferred first-k
+// weight gradients run, most checkpointed segments have already been
+// re-computed and freed, so there is headroom to retain the k inputs.
+//
+// This module extends the live-tensor model of memory_model.h with
+// checkpoint semantics and reports both the peak memory and the extra
+// forward FLOPs the re-computation costs.
+
+#ifndef OOBP_SRC_CORE_RECOMPUTE_H_
+#define OOBP_SRC_CORE_RECOMPUTE_H_
+
+#include <cstdint>
+#include <vector>
+
+#include "src/core/memory_model.h"
+#include "src/nn/train_graph.h"
+
+namespace oobp {
+
+struct RecomputePlan {
+  // A checkpoint is kept at every `segment`-th layer boundary (1 = keep
+  // everything, i.e. no re-computation).
+  int segment = 1;
+
+  // Layers whose outputs are checkpointed (kept through forward).
+  std::vector<int> CheckpointLayers(int num_layers) const;
+  bool IsCheckpoint(int layer, int num_layers) const;
+};
+
+struct RecomputeTimeline {
+  MemoryTimeline memory;       // with checkpoint semantics applied
+  int64_t recompute_flops = 0;  // extra forward FLOPs spent re-materializing
+  // Peak including the re-materialized segment's activations.
+  int64_t peak() const { return memory.peak; }
+};
+
+// `order` is a valid backprop order (possibly reordered by reverse first-k
+// or ooo scheduling). Activations of non-checkpoint layers are not live at
+// backprop start; a segment's activations (and their memory) appear when
+// the backward first touches the segment and disappear as usual.
+RecomputeTimeline EstimateBackpropMemoryWithRecompute(
+    const NnModel& model, const std::vector<TrainOp>& order,
+    const RecomputePlan& plan);
+
+// Sweeps sqrt-style segment sizes and returns the one minimizing peak
+// memory for the given order (the classical sublinear-memory tradeoff).
+int BestSegmentForPeak(const NnModel& model, const std::vector<TrainOp>& order,
+                       int max_segment);
+
+}  // namespace oobp
+
+#endif  // OOBP_SRC_CORE_RECOMPUTE_H_

@@ -1,0 +1,44 @@
+// Region splitting for multi-region joint scheduling (Section 4.1).
+//
+// The forward and backward timeline is divided into regions with similar
+// compute characteristics — in practice one region per network sub-structure
+// (a DenseBlock, a ResNet stage), because such blocks repeat the same
+// convolution shapes. Regions are ordered by execution time: backward
+// regions from the last block down to the first, then (optionally) the next
+// iteration's forward regions from the first block up — Figure 8 shows
+// DenseBlock-4's weight gradients delayed into the forward computation of
+// DenseBlock-1, so forward regions are legitimate scheduling targets.
+
+#ifndef OOBP_SRC_CORE_REGION_H_
+#define OOBP_SRC_CORE_REGION_H_
+
+#include <string>
+#include <vector>
+
+#include "src/nn/train_graph.h"
+
+namespace oobp {
+
+struct Region {
+  enum class Kind { kBackward, kForward };
+  Kind kind = Kind::kBackward;
+  std::string name;
+  // Main-stream ops of this region in execution order: dO ops (descending
+  // layer) for backward regions, F ops (ascending) for forward regions.
+  std::vector<TrainOp> main_ops;
+
+  int FirstLayer() const;
+  int LastLayer() const;
+};
+
+// Builds the region list for a model. Blocks with fewer than
+// `min_ops_per_region` main ops are merged into the preceding region (in
+// execution order) so profiling stays coarse-grained, mirroring the paper's
+// "eight regions for DenseNet-121".
+std::vector<Region> BuildRegions(const TrainGraph& graph,
+                                 bool include_forward = true,
+                                 int min_ops_per_region = 4);
+
+}  // namespace oobp
+
+#endif  // OOBP_SRC_CORE_REGION_H_

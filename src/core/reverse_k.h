@@ -1,0 +1,36 @@
+// Reverse first-k scheduling — Algorithm 2 of the paper (Section 5.1).
+//
+// In data-parallel training the critical synchronizations are the weight
+// gradients of the *first* layers: their parameters are needed at the very
+// start of the next iteration's forward pass. Reverse first-k keeps
+// conventional backprop for layers L-1..k+1 but defers the weight gradients
+// of layers 1..k, then computes them in *reverse* order (dW_1 first) so the
+// most critical synchronization starts as early as possible and overlaps
+// with the remaining dW computations.
+//
+// Layer indices here are 0-based: "first k layers" = layers 0..k-1.
+
+#ifndef OOBP_SRC_CORE_REVERSE_K_H_
+#define OOBP_SRC_CORE_REVERSE_K_H_
+
+#include <cstdint>
+#include <vector>
+
+#include "src/nn/train_graph.h"
+
+namespace oobp {
+
+struct ReverseFirstKResult {
+  std::vector<TrainOp> order;  // the optimized backprop order D
+  int effective_k = 0;         // k after the memory-cap clamp (lines 1-2)
+  int64_t peak_memory = 0;     // activation peak of the returned order
+};
+
+// `memory_cap_bytes` < 0 disables the clamp. The returned order always
+// satisfies the dependency constraints (ValidateBackpropOrder passes).
+ReverseFirstKResult ReverseFirstK(const TrainGraph& graph, int k,
+                                  int64_t memory_cap_bytes = -1);
+
+}  // namespace oobp
+
+#endif  // OOBP_SRC_CORE_REVERSE_K_H_

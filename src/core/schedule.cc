@@ -1,0 +1,50 @@
+#include "src/core/schedule.h"
+
+#include "src/common/str_util.h"
+
+namespace oobp {
+
+std::vector<TrainOp> IterationSchedule::StreamOps(int stream) const {
+  std::vector<TrainOp> out;
+  for (const ScheduledOp& s : ops) {
+    if (s.stream == stream) {
+      out.push_back(s.op);
+    }
+  }
+  return out;
+}
+
+std::vector<TrainOp> IterationSchedule::MergedOrder() const {
+  std::vector<TrainOp> out;
+  out.reserve(ops.size());
+  for (const ScheduledOp& s : ops) {
+    out.push_back(s.op);
+  }
+  return out;
+}
+
+std::string IterationSchedule::ToString() const {
+  std::vector<std::string> parts;
+  for (const ScheduledOp& s : ops) {
+    parts.push_back(StrFormat("%s%s[%d]", s.stream == kSubStream ? "*" : "",
+                              TrainOpTypeName(s.op.type), s.op.layer));
+  }
+  return Join(parts, " ");
+}
+
+IterationSchedule ConventionalIteration(const TrainGraph& graph) {
+  IterationSchedule sched;
+  for (const TrainOp& op : graph.ConventionalBackprop()) {
+    sched.ops.push_back({op, kMainStream, -1});
+    if (op.type == TrainOpType::kWeightGrad) {
+      sched.ops.push_back(
+          {{TrainOpType::kWeightUpdate, op.layer}, kMainStream, -1});
+    }
+  }
+  for (const TrainOp& op : graph.Forward()) {
+    sched.ops.push_back({op, kMainStream, -1});
+  }
+  return sched;
+}
+
+}  // namespace oobp

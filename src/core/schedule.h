@@ -1,0 +1,55 @@
+// Schedule representations produced by the ooo-backprop schedulers and
+// consumed by the runtime engines.
+//
+// A single-GPU iteration schedule is a CPU issue order over training ops,
+// each tagged with the GPU stream it runs on (0 = high-priority main stream
+// for forward and output-gradient computations, 1 = sub stream for weight
+// gradients and updates; Section 4.1) and an optional event dependency that
+// pins a sub-stream op to the scheduling region the joint scheduler chose
+// for it (the op may not start before the first main-stream op of that
+// region starts).
+//
+// Data dependencies (the dO chain, dW_i -> dO_{i+1}, U_i -> dW_i,
+// F_i -> U_i and F_{i-1}) are NOT stored here: they are intrinsic to the
+// training graph and the engines always enforce them, so a buggy scheduler
+// can only produce a slow schedule, never an incorrect execution.
+
+#ifndef OOBP_SRC_CORE_SCHEDULE_H_
+#define OOBP_SRC_CORE_SCHEDULE_H_
+
+#include <string>
+#include <vector>
+
+#include "src/nn/train_graph.h"
+
+namespace oobp {
+
+inline constexpr int kMainStream = 0;
+inline constexpr int kSubStream = 1;
+
+struct ScheduledOp {
+  TrainOp op;
+  int stream = kMainStream;
+  // Index (into IterationSchedule::ops) of a main-stream op this op must not
+  // start before; -1 for none. Implemented as a stream-wait event.
+  int wait_for_index = -1;
+};
+
+struct IterationSchedule {
+  std::vector<ScheduledOp> ops;  // CPU issue order
+
+  // Ops of one stream, in issue (== execution) order.
+  std::vector<TrainOp> StreamOps(int stream) const;
+  // The merged order approximating completion order (issue order), used by
+  // the memory model.
+  std::vector<TrainOp> MergedOrder() const;
+  std::string ToString() const;
+};
+
+// The conventional single-stream schedule: backprop in reverse layout order,
+// updates right after each dW, then the forward pass.
+IterationSchedule ConventionalIteration(const TrainGraph& graph);
+
+}  // namespace oobp
+
+#endif  // OOBP_SRC_CORE_SCHEDULE_H_

@@ -1,0 +1,51 @@
+#include "src/hw/cluster.h"
+
+namespace oobp {
+
+ClusterSpec ClusterSpec::PrivA(int nodes) {
+  ClusterSpec c;
+  c.name = "Priv-A";
+  c.gpu = GpuSpec::TitanXp();
+  c.gpus_per_node = 1;
+  c.num_nodes = nodes;
+  c.intra_node = LinkSpec::PcIe3();
+  c.inter_node = LinkSpec::Eth10G();
+  c.switch_bandwidth_gbps = 4.0;  // modest ToR switch in the 8-node lab
+  return c;
+}
+
+ClusterSpec ClusterSpec::PrivB(int nodes) {
+  ClusterSpec c;
+  c.name = "Priv-B";
+  c.gpu = GpuSpec::P100();
+  c.gpus_per_node = 1;
+  c.num_nodes = nodes;
+  c.intra_node = LinkSpec::PcIe3();
+  c.inter_node = LinkSpec::Eth20G();
+  c.switch_bandwidth_gbps = 6.0;  // 20 nodes oversubscribe the fabric
+  return c;
+}
+
+ClusterSpec ClusterSpec::PubA(int nodes) {
+  ClusterSpec c;
+  c.name = "Pub-A";
+  c.gpu = GpuSpec::V100();
+  c.gpus_per_node = 4;
+  c.num_nodes = nodes;
+  c.intra_node = LinkSpec::NvLink();
+  c.inter_node = LinkSpec::Eth10G();
+  return c;
+}
+
+ClusterSpec ClusterSpec::PubB(int nodes) {
+  ClusterSpec c;
+  c.name = "Pub-B";
+  c.gpu = GpuSpec::V100();
+  c.gpus_per_node = 8;
+  c.num_nodes = nodes;
+  c.intra_node = LinkSpec::NvLink();
+  c.inter_node = LinkSpec::Eth25G();
+  return c;
+}
+
+}  // namespace oobp

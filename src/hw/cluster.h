@@ -1,0 +1,54 @@
+// Cluster topology descriptions matching Table 2 of the paper.
+//
+// A cluster is `num_nodes` machines with `gpus_per_node` GPUs each; GPUs in
+// one node talk over `intra_node` (NVLink or PCIe), GPUs in different nodes
+// over `inter_node` (Ethernet). Engines ask LinkBetween() for the spec of
+// the bottleneck hop between two ranks.
+
+#ifndef OOBP_SRC_HW_CLUSTER_H_
+#define OOBP_SRC_HW_CLUSTER_H_
+
+#include <string>
+
+#include "src/common/check.h"
+#include "src/hw/gpu_spec.h"
+#include "src/hw/link.h"
+
+namespace oobp {
+
+struct ClusterSpec {
+  std::string name;
+  GpuSpec gpu;
+  int gpus_per_node = 1;
+  int num_nodes = 1;
+  LinkSpec intra_node;
+  LinkSpec inter_node;
+  // Aggregate switch-fabric capacity in GB/s shared by all cross-node
+  // traffic (0 = non-blocking fabric). Small private clusters are fabric-
+  // limited: with n workers in an all-to-all parameter exchange, each sees
+  // at most switch_bandwidth_gbps / n.
+  double switch_bandwidth_gbps = 0.0;
+
+  int total_gpus() const { return gpus_per_node * num_nodes; }
+  int NodeOf(int rank) const {
+    OOBP_CHECK_GE(rank, 0);
+    OOBP_CHECK_LT(rank, total_gpus());
+    return rank / gpus_per_node;
+  }
+  // Spec of the narrowest hop between two distinct ranks.
+  LinkSpec LinkBetween(int rank_a, int rank_b) const {
+    OOBP_CHECK_NE(rank_a, rank_b);
+    return NodeOf(rank_a) == NodeOf(rank_b) ? intra_node : inter_node;
+  }
+
+  // Table 2 presets. `num_nodes` may be lowered to run on a cluster subset
+  // (the scaling figures sweep GPU counts).
+  static ClusterSpec PrivA(int nodes = 8);     // Titan XP (1x8), PCIe + 10GbE
+  static ClusterSpec PrivB(int nodes = 20);    // P100 (1x20), PCIe + 20GbE
+  static ClusterSpec PubA(int nodes = 12);     // V100 (4x12), NVLink + 10GbE
+  static ClusterSpec PubB(int nodes = 5);      // V100 (8x5), NVLink + 25GbE
+};
+
+}  // namespace oobp
+
+#endif  // OOBP_SRC_HW_CLUSTER_H_

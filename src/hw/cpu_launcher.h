@@ -1,0 +1,96 @@
+// CPU-side kernel issue model (the deep learning framework's executor).
+//
+// Deep learning systems traverse the computation graph on the host and
+// asynchronously issue GPU kernels; when per-kernel issue latency exceeds
+// kernel execution time the GPU starves (Section 2, Figures 1 and 2). The
+// launcher models two regimes:
+//  * kPerOp      — each kernel costs its own host issue latency, issued
+//                  back-to-back by a single executor thread (TensorFlow /
+//                  PyTorch / MXNet executors);
+//  * kPrecompiled — the whole sequence was captured into an executable graph
+//                  and is enqueued after one small graph-launch latency
+//                  (CUDA Graph API; the paper's "pre-compiled kernel issue",
+//                  also used by Nimble).
+
+#ifndef OOBP_SRC_HW_CPU_LAUNCHER_H_
+#define OOBP_SRC_HW_CPU_LAUNCHER_H_
+
+#include <cstdint>
+#include <functional>
+#include <string>
+#include <vector>
+
+#include "src/common/time.h"
+#include "src/hw/gpu.h"
+#include "src/sim/engine.h"
+#include "src/trace/trace.h"
+
+namespace oobp {
+
+// One kernel to issue. Dependencies are expressed as indices into the issue
+// sequence (they must point at earlier items); the launcher resolves them to
+// KernelIds at enqueue time.
+struct IssueItem {
+  StreamId stream = 0;
+  std::string name;
+  std::string category;
+  TimeNs solo_duration = 0;
+  double thread_blocks = 1.0;
+  std::vector<size_t> dep_items;
+  TimeNs issue_latency = 0;  // host-side cost to issue this kernel (kPerOp)
+};
+
+class CpuLauncher {
+ public:
+  enum class Mode {
+    kPerOp,
+    kPrecompiled,
+  };
+
+  // `trace` may be null; issue activity is recorded on `issue_track`.
+  // `max_outstanding` bounds how many issued-but-unfinished kernels the
+  // executor may have in flight in kPerOp mode (0 = unbounded): real
+  // framework executors only run a bounded distance ahead of the GPU, which
+  // is why issue latency becomes visible in short-kernel regions (Figure 2).
+  CpuLauncher(SimEngine* engine, Gpu* gpu, Mode mode,
+              TimeNs graph_launch_latency = Us(5),
+              TraceRecorder* trace = nullptr, int issue_track = 100,
+              int max_outstanding = 0);
+
+  // Starts issuing `items` at the current simulation time. `on_issued(i, id)`
+  // reports the KernelId assigned to item i; `on_all_issued` fires when the
+  // executor thread finishes the sequence. At most one Launch may be active.
+  void Launch(std::vector<IssueItem> items,
+              std::function<void(size_t, KernelId)> on_issued = nullptr,
+              std::function<void()> on_all_issued = nullptr);
+
+  bool active() const { return active_; }
+  // Host time spent issuing during the last (or current) launch.
+  TimeNs issue_busy_time() const { return issue_busy_; }
+
+ private:
+  void IssueNext();
+  KernelId EnqueueItem(size_t index);
+
+  SimEngine* engine_;
+  Gpu* gpu_;
+  Mode mode_;
+  TimeNs graph_launch_latency_;
+  TraceRecorder* trace_;
+  int issue_track_;
+  int max_outstanding_;
+
+  bool active_ = false;
+  bool blocked_on_queue_ = false;
+  int in_flight_ = 0;
+  size_t next_index_ = 0;
+  TimeNs issue_busy_ = 0;
+  std::vector<IssueItem> items_;
+  std::vector<KernelId> item_kernel_ids_;
+  std::function<void(size_t, KernelId)> on_issued_;
+  std::function<void()> on_all_issued_;
+};
+
+}  // namespace oobp
+
+#endif  // OOBP_SRC_HW_CPU_LAUNCHER_H_

@@ -1,0 +1,135 @@
+#include "src/hw/gpu.h"
+
+#include <algorithm>
+#include <utility>
+
+namespace oobp {
+
+Gpu::Gpu(SimEngine* engine, GpuSpec spec, TraceRecorder* trace,
+         int trace_track_base)
+    : engine_(engine),
+      spec_(std::move(spec)),
+      trace_(trace),
+      trace_track_base_(trace_track_base),
+      slots_(engine, static_cast<double>(spec_.slot_capacity())) {
+  OOBP_CHECK(engine != nullptr);
+  OOBP_CHECK_GT(spec_.slot_capacity(), 0);
+}
+
+StreamId Gpu::CreateStream(int priority) {
+  Stream s;
+  s.priority = priority;
+  streams_.push_back(std::move(s));
+  return static_cast<StreamId>(streams_.size() - 1);
+}
+
+KernelId Gpu::Enqueue(StreamId stream, KernelDesc desc) {
+  OOBP_CHECK_GE(stream, 0);
+  OOBP_CHECK_LT(stream, static_cast<StreamId>(streams_.size()));
+  OOBP_CHECK_GE(desc.solo_duration, 0);
+  OOBP_CHECK_GT(desc.thread_blocks, 0.0);
+
+  const KernelId id = static_cast<KernelId>(kernels_.size());
+  Kernel k;
+  k.stream = stream;
+  k.enqueue_time = engine_->now();
+  for (KernelId dep : desc.deps) {
+    OOBP_CHECK_GE(dep, 0);
+    OOBP_CHECK_LT(dep, id) << "dependencies must be enqueued before dependents";
+    if (!kernels_[dep].done) {
+      ++k.deps_pending;
+      kernels_[dep].dependents.push_back(id);
+    }
+  }
+  k.desc = std::move(desc);
+  kernels_.push_back(std::move(k));
+  streams_[stream].queue.push_back(id);
+  MaybeDispatch(stream);
+  return id;
+}
+
+bool Gpu::Done(KernelId id) const {
+  OOBP_CHECK_GE(id, 0);
+  OOBP_CHECK_LT(id, static_cast<KernelId>(kernels_.size()));
+  return kernels_[id].done;
+}
+
+TimeNs Gpu::CompletionTime(KernelId id) const {
+  OOBP_CHECK(Done(id));
+  return kernels_[id].done_time;
+}
+
+void Gpu::MaybeDispatch(StreamId stream) {
+  Stream& s = streams_[stream];
+  if (s.head_dispatched || s.queue.empty()) {
+    return;
+  }
+  const KernelId id = s.queue.front();
+  Kernel& k = kernels_[id];
+  if (k.deps_pending > 0) {
+    return;  // FinishKernel of the last dependency re-triggers dispatch
+  }
+  s.head_dispatched = true;
+  // Per-kernel SM setup gap before the kernel occupies slots.
+  engine_->ScheduleAfter(spec_.kernel_exec_overhead,
+                         [this, id] { BeginExecution(id); });
+}
+
+void Gpu::BeginExecution(KernelId id) {
+  Kernel& k = kernels_[id];
+  k.started = true;
+  k.start_time = engine_->now();
+  const double max_rate = EffectiveOccupancy(
+      k.desc.thread_blocks, static_cast<double>(spec_.slot_capacity()));
+  // A kernel running alone progresses at `max_rate` slots, so its total work
+  // in slot-ns equals solo_duration * max_rate.
+  const double work = static_cast<double>(k.desc.solo_duration) * max_rate;
+  const int priority = streams_[k.stream].priority;
+  slots_.Add(work, max_rate, priority, [this, id] { FinishKernel(id); });
+}
+
+void Gpu::FinishKernel(KernelId id) {
+  // Callbacks below (dependents, on_kernel_done_) may Enqueue new kernels and
+  // reallocate kernels_, so copy everything needed out of the record first.
+  StreamId stream;
+  std::vector<KernelId> dependents;
+  {
+    Kernel& k = kernels_[id];
+    k.done = true;
+    k.done_time = engine_->now();
+    ++completed_;
+    stream = k.stream;
+    dependents = k.dependents;
+
+    if (trace_ != nullptr) {
+      TraceEvent ev;
+      ev.name = k.desc.name;
+      ev.category = k.desc.category;
+      ev.track = trace_track_base_ + k.stream;
+      ev.start = k.start_time;
+      ev.duration = k.done_time - k.start_time;
+      trace_->Add(ev);
+    }
+  }
+
+  Stream& s = streams_[stream];
+  OOBP_CHECK(!s.queue.empty());
+  OOBP_CHECK_EQ(s.queue.front(), id);
+  s.queue.pop_front();
+  s.head_dispatched = false;
+
+  // Wake dependents whose last dependency this was.
+  for (KernelId dep_id : dependents) {
+    Kernel& d = kernels_[dep_id];
+    OOBP_CHECK_GT(d.deps_pending, 0);
+    if (--d.deps_pending == 0) {
+      MaybeDispatch(d.stream);
+    }
+  }
+  for (const auto& listener : done_listeners_) {
+    listener(id);
+  }
+  MaybeDispatch(stream);
+}
+
+}  // namespace oobp

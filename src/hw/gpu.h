@@ -1,0 +1,124 @@
+// Simulated GPU device: priority streams feeding a fluid SM-slot processor.
+//
+// Kernels are enqueued onto streams at simulation time (the CpuLauncher does
+// this with realistic per-op issue latency). Within a stream kernels execute
+// strictly in order — CUDA stream semantics. A kernel starts once
+//   (a) it reaches the head of its stream,
+//   (b) every cross-stream dependency has completed (cudaStreamWaitEvent),
+// then pays the per-kernel execution overhead (SM setup gap) and finally
+// occupies up to `thread_blocks` SM slots until its work drains. Slots are
+// shared with concurrently running kernels of other streams by priority
+// (see sim/fluid.h), reproducing main-stream / sub-stream co-execution.
+
+#ifndef OOBP_SRC_HW_GPU_H_
+#define OOBP_SRC_HW_GPU_H_
+
+#include <cmath>
+#include <cstdint>
+#include <deque>
+#include <functional>
+#include <string>
+#include <vector>
+
+#include "src/common/check.h"
+#include "src/common/time.h"
+#include "src/hw/gpu_spec.h"
+#include "src/sim/engine.h"
+#include "src/sim/fluid.h"
+#include "src/trace/trace.h"
+
+namespace oobp {
+
+using StreamId = int;
+using KernelId = int64_t;
+
+// Average SM-slot occupancy of a kernel with `blocks` thread blocks on a
+// device with `capacity` slots. Thread blocks execute in ceil(blocks /
+// capacity) waves, and the last wave runs partially empty — the "tail
+// underutilization" of Section 2. A kernel with 1,600 blocks on a 1,520-slot
+// device averages only 800 occupied slots, leaving room for a co-scheduled
+// sub-stream kernel; one with an exact multiple of the capacity leaves none.
+inline double EffectiveOccupancy(double blocks, double capacity) {
+  const double waves = blocks <= capacity ? 1.0 : std::ceil(blocks / capacity);
+  return blocks / waves;
+}
+
+struct KernelDesc {
+  std::string name;
+  std::string category;      // trace category: "fwd", "dO", "dW", ...
+  TimeNs solo_duration = 0;  // execution time when run alone on the device
+  double thread_blocks = 0;  // occupancy cap (SM slots the kernel can fill)
+  std::vector<KernelId> deps;  // cross-stream dependencies (must be enqueued)
+};
+
+class Gpu {
+ public:
+  // `trace` may be null. Stream `s` traces onto track `trace_track_base + s`.
+  Gpu(SimEngine* engine, GpuSpec spec, TraceRecorder* trace = nullptr,
+      int trace_track_base = 0);
+  Gpu(const Gpu&) = delete;
+  Gpu& operator=(const Gpu&) = delete;
+
+  // Lower `priority` preempts higher in SM slot allocation.
+  StreamId CreateStream(int priority);
+
+  // Enqueues at the current simulation time; returns a handle usable as a
+  // dependency of later kernels. Dependencies must already be enqueued.
+  KernelId Enqueue(StreamId stream, KernelDesc desc);
+
+  bool Done(KernelId id) const;
+  // Completion timestamp; kernel must be done.
+  TimeNs CompletionTime(KernelId id) const;
+
+  // Called once per kernel completion, after internal bookkeeping; multiple
+  // listeners run in registration order.
+  void AddKernelDoneListener(std::function<void(KernelId)> cb) {
+    done_listeners_.push_back(std::move(cb));
+  }
+
+  const GpuSpec& spec() const { return spec_; }
+  int num_streams() const { return static_cast<int>(streams_.size()); }
+  size_t kernels_enqueued() const { return kernels_.size(); }
+  size_t kernels_completed() const { return completed_; }
+
+  // SM-slot busy integral (slot-ns); divide by capacity * elapsed for
+  // utilization.
+  double SmBusyIntegral() const { return slots_.busy_integral(); }
+
+ private:
+  struct Kernel {
+    KernelDesc desc;
+    StreamId stream = 0;
+    TimeNs enqueue_time = 0;
+    TimeNs start_time = -1;  // after setup overhead
+    TimeNs done_time = -1;
+    bool started = false;
+    bool done = false;
+    int deps_pending = 0;
+    std::vector<KernelId> dependents;  // kernels waiting on this one
+  };
+  struct Stream {
+    int priority = 0;
+    std::deque<KernelId> queue;  // head is next to run
+    bool head_dispatched = false;
+  };
+
+  // Starts the stream head if it is ready; otherwise waits for deps.
+  void MaybeDispatch(StreamId stream);
+  void BeginExecution(KernelId id);
+  void FinishKernel(KernelId id);
+
+  SimEngine* engine_;
+  GpuSpec spec_;
+  TraceRecorder* trace_;
+  int trace_track_base_;
+  FluidProcessor slots_;
+  std::vector<Stream> streams_;
+  std::vector<Kernel> kernels_;
+  size_t completed_ = 0;
+  std::vector<std::function<void(KernelId)>> done_listeners_;
+};
+
+}  // namespace oobp
+
+#endif  // OOBP_SRC_HW_GPU_H_

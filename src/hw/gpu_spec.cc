@@ -1,0 +1,44 @@
+#include "src/hw/gpu_spec.h"
+
+namespace oobp {
+
+GpuSpec GpuSpec::V100() {
+  GpuSpec spec;
+  spec.name = "V100";
+  spec.num_sms = 80;
+  // The paper reports the V100 SMs "are capable of running 1,520 of the
+  // thread blocks" for the DenseBlock-4 weight-gradient kernels, i.e. 19
+  // resident blocks per SM at that kernel's occupancy.
+  spec.blocks_per_sm = 19;
+  spec.fp32_tflops = 15.7;
+  spec.mem_bandwidth_gbps = 900.0;
+  spec.mem_bytes = 16LL * 1024 * 1024 * 1024;
+  spec.kernel_exec_overhead = Us(1.5);
+  return spec;
+}
+
+GpuSpec GpuSpec::P100() {
+  GpuSpec spec;
+  spec.name = "P100";
+  spec.num_sms = 56;
+  spec.blocks_per_sm = 16;
+  spec.fp32_tflops = 9.5;
+  spec.mem_bandwidth_gbps = 732.0;
+  spec.mem_bytes = 16LL * 1024 * 1024 * 1024;
+  spec.kernel_exec_overhead = Us(1.8);
+  return spec;
+}
+
+GpuSpec GpuSpec::TitanXp() {
+  GpuSpec spec;
+  spec.name = "TitanXp";
+  spec.num_sms = 30;
+  spec.blocks_per_sm = 16;
+  spec.fp32_tflops = 12.1;
+  spec.mem_bandwidth_gbps = 548.0;
+  spec.mem_bytes = 12LL * 1024 * 1024 * 1024;
+  spec.kernel_exec_overhead = Us(2.0);
+  return spec;
+}
+
+}  // namespace oobp

@@ -1,0 +1,43 @@
+// Static GPU hardware parameters and presets for the three GPU models the
+// paper evaluates on (NVIDIA Titan XP, P100, V100).
+//
+// Only properties the scheduling behaviour depends on are modelled:
+//  * slot capacity (SMs x resident thread blocks per SM) — determines when a
+//    kernel underutilizes the device and how much a co-scheduled sub-stream
+//    kernel can absorb (Section 2, "idling SMs");
+//  * peak FLOP rate and memory bandwidth — the roofline cost model converts
+//    per-op FLOPs/bytes into kernel durations;
+//  * kernel execution overhead — the 1-2us SM setup gap between consecutive
+//    kernel executions (Section 2);
+//  * memory capacity — drives the OOM entries of Figure 7.
+
+#ifndef OOBP_SRC_HW_GPU_SPEC_H_
+#define OOBP_SRC_HW_GPU_SPEC_H_
+
+#include <cstdint>
+#include <string>
+
+#include "src/common/time.h"
+
+namespace oobp {
+
+struct GpuSpec {
+  std::string name;
+  int num_sms = 0;
+  int blocks_per_sm = 0;          // resident thread-block capacity per SM
+  double fp32_tflops = 0.0;       // peak arithmetic rate
+  double mem_bandwidth_gbps = 0.0;  // GB/s, device memory
+  int64_t mem_bytes = 0;          // device memory capacity
+  TimeNs kernel_exec_overhead = 0;  // per-kernel SM setup gap
+
+  int slot_capacity() const { return num_sms * blocks_per_sm; }
+
+  // Presets matching the paper's evaluation hardware (Table 1/2).
+  static GpuSpec V100();
+  static GpuSpec P100();
+  static GpuSpec TitanXp();
+};
+
+}  // namespace oobp
+
+#endif  // OOBP_SRC_HW_GPU_SPEC_H_

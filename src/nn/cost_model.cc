@@ -1,0 +1,130 @@
+#include "src/nn/cost_model.h"
+
+#include <algorithm>
+#include <cmath>
+#include <utility>
+
+#include "src/common/check.h"
+#include "src/nn/layer_builder.h"
+
+namespace oobp {
+
+const char* TrainOpTypeName(TrainOpType type) {
+  switch (type) {
+    case TrainOpType::kForward:
+      return "fwd";
+    case TrainOpType::kOutputGrad:
+      return "dO";
+    case TrainOpType::kWeightGrad:
+      return "dW";
+    case TrainOpType::kWeightUpdate:
+      return "update";
+  }
+  return "?";
+}
+
+SystemProfile SystemProfile::TensorFlowXla() {
+  SystemProfile p;
+  p.name = "XLA";
+  p.compute_efficiency = 0.48;  // fusion keeps kernels close to roofline
+  p.mem_efficiency = 0.78;
+  p.issue_latency_per_op = Us(20);  // one HLO thunk launch per fused layer
+  p.fused = true;
+  p.graph_launch_latency = Us(8);
+  p.issue_queue_depth = 8;
+  p.allocator_overhead = 1.05;
+  return p;
+}
+
+SystemProfile SystemProfile::TensorFlow() {
+  SystemProfile p;
+  p.name = "TF";
+  p.compute_efficiency = 0.40;  // unfused elementwise ops between GEMMs
+  p.mem_efficiency = 0.70;
+  p.issue_latency_per_op = Us(22);  // paid per primitive op
+  p.fused = false;
+  p.graph_launch_latency = Us(8);
+  p.issue_queue_depth = 6;
+  p.allocator_overhead = 1.08;
+  return p;
+}
+
+SystemProfile SystemProfile::PyTorchNimble() {
+  SystemProfile p;
+  p.name = "Nimble";
+  p.compute_efficiency = 0.45;
+  p.mem_efficiency = 0.75;
+  p.issue_latency_per_op = Us(18);
+  p.issue_queue_depth = 6;
+  p.fused = true;  // TorchScript-fused graph captured by Nimble
+  p.graph_launch_latency = Us(8);
+  // Nimble captures the whole iteration into a static graph and keeps every
+  // intermediate alive, which is why it runs out of memory first in Fig. 7.
+  p.allocator_overhead = 3.8;
+  return p;
+}
+
+CostModel::CostModel(GpuSpec gpu, SystemProfile profile)
+    : gpu_(std::move(gpu)), profile_(std::move(profile)) {
+  OOBP_CHECK_GT(gpu_.fp32_tflops, 0.0);
+  OOBP_CHECK_GT(gpu_.mem_bandwidth_gbps, 0.0);
+  OOBP_CHECK_GT(profile_.compute_efficiency, 0.0);
+  OOBP_CHECK_GT(profile_.mem_efficiency, 0.0);
+}
+
+TimeNs CostModel::RooflineTime(int64_t flops, int64_t bytes,
+                               double thread_blocks) const {
+  // TFLOPS = flops/ns * 1e3; GB/s = bytes/ns.
+  const double flops_per_ns =
+      gpu_.fp32_tflops * 1e3 * profile_.compute_efficiency;
+  const double bytes_per_ns = gpu_.mem_bandwidth_gbps * profile_.mem_efficiency;
+  double rate_scale = 1.0;
+  if (thread_blocks > 0.0) {
+    // Full rate needs ~4 resident blocks per SM; fewer blocks leave SMs
+    // without enough latency-hiding parallelism.
+    const double full_blocks = 4.0 * gpu_.num_sms;
+    rate_scale = std::clamp(thread_blocks / full_blocks, 0.05, 1.0);
+  }
+  const double compute_ns =
+      static_cast<double>(flops) / (flops_per_ns * rate_scale);
+  const double memory_ns =
+      static_cast<double>(bytes) / (bytes_per_ns * rate_scale);
+  constexpr double kKernelFloorNs = 8000.0;  // fixed ramp-up per kernel
+  return static_cast<TimeNs>(
+      std::ceil(std::max({compute_ns, memory_ns, kKernelFloorNs})));
+}
+
+KernelCost CostModel::Cost(const Layer& layer, TrainOpType op) const {
+  KernelCost cost;
+  const int issue_ops = profile_.fused ? 1 : layer.fused_ops;
+  cost.issue_latency = profile_.issue_latency_per_op * issue_ops;
+  switch (op) {
+    case TrainOpType::kForward:
+      cost.duration =
+          RooflineTime(layer.fwd_flops, layer.fwd_bytes, layer.fwd_blocks);
+      cost.thread_blocks = layer.fwd_blocks;
+      break;
+    case TrainOpType::kOutputGrad:
+      cost.duration = RooflineTime(layer.dgrad_flops, layer.dgrad_bytes,
+                                   layer.dgrad_blocks);
+      cost.thread_blocks = layer.dgrad_blocks;
+      break;
+    case TrainOpType::kWeightGrad:
+      cost.duration = RooflineTime(layer.wgrad_flops, layer.wgrad_bytes,
+                                   layer.wgrad_blocks);
+      cost.thread_blocks = layer.wgrad_blocks;
+      break;
+    case TrainOpType::kWeightUpdate: {
+      // Momentum SGD: read grad + weight + velocity, write weight + velocity.
+      const int64_t param_elems = layer.param_bytes / kDtypeBytes;
+      cost.duration = RooflineTime(3 * param_elems, 5 * layer.param_bytes);
+      cost.thread_blocks =
+          std::max(1.0, std::ceil(static_cast<double>(param_elems) / 256.0));
+      cost.issue_latency = profile_.issue_latency_per_op / 2;
+      break;
+    }
+  }
+  return cost;
+}
+
+}  // namespace oobp

@@ -1,0 +1,82 @@
+// Roofline cost model: converts a layer's training ops into kernel costs
+// (duration, occupancy, host issue latency) for a given GPU and framework.
+//
+// Kernel duration = max(compute time, memory time) under achievable
+// efficiency fractions. Host issue latency models the framework executor:
+// fused compilers (XLA) issue roughly one kernel per layer, eager executors
+// (TensorFlow, PyTorch) issue one per primitive op. These two knobs
+// reproduce the paper's Figure 1/2 observations — light convolutions whose
+// issue cost exceeds their execution time.
+
+#ifndef OOBP_SRC_NN_COST_MODEL_H_
+#define OOBP_SRC_NN_COST_MODEL_H_
+
+#include <string>
+
+#include "src/common/time.h"
+#include "src/hw/gpu_spec.h"
+#include "src/nn/layer.h"
+
+namespace oobp {
+
+enum class TrainOpType {
+  kForward,
+  kOutputGrad,
+  kWeightGrad,
+  kWeightUpdate,
+};
+
+const char* TrainOpTypeName(TrainOpType type);
+
+struct KernelCost {
+  TimeNs duration = 0;        // solo execution time on the GPU
+  double thread_blocks = 1.0;  // occupancy cap
+  TimeNs issue_latency = 0;   // host-side cost to issue (per-op mode)
+};
+
+// Framework/executor characteristics.
+struct SystemProfile {
+  std::string name;
+  double compute_efficiency = 0.45;  // achieved fraction of peak FLOPs
+  double mem_efficiency = 0.75;      // achieved fraction of peak bandwidth
+  TimeNs issue_latency_per_op = Us(15);
+  bool fused = true;  // one kernel issue per layer vs per primitive op
+  TimeNs graph_launch_latency = Us(8);
+  // How many issued-but-unfinished kernels the executor keeps in flight
+  // (bounded run-ahead; see CpuLauncher).
+  int issue_queue_depth = 16;
+  // Framework allocator overhead applied to model memory footprints.
+  double allocator_overhead = 1.05;
+
+  static SystemProfile TensorFlowXla();
+  static SystemProfile TensorFlow();
+  // PyTorch JIT backend used as the Nimble baseline in Figure 7.
+  static SystemProfile PyTorchNimble();
+};
+
+class CostModel {
+ public:
+  CostModel(GpuSpec gpu, SystemProfile profile);
+
+  // max(flops-limited, bandwidth-limited) time, with a small floor that
+  // models fixed kernel ramp-up. `thread_blocks` (optional) applies the
+  // occupancy penalty: a kernel needs ~4 resident blocks per SM to reach
+  // peak rate; below that, latency hiding degrades and the achieved rate
+  // scales down proportionally (this is what keeps tiny CIFAR-sized
+  // convolutions at tens of microseconds on real GPUs).
+  TimeNs RooflineTime(int64_t flops, int64_t bytes,
+                      double thread_blocks = -1.0) const;
+
+  KernelCost Cost(const Layer& layer, TrainOpType op) const;
+
+  const GpuSpec& gpu() const { return gpu_; }
+  const SystemProfile& profile() const { return profile_; }
+
+ private:
+  GpuSpec gpu_;
+  SystemProfile profile_;
+};
+
+}  // namespace oobp
+
+#endif  // OOBP_SRC_NN_COST_MODEL_H_

@@ -1,0 +1,85 @@
+// DenseNet-{121,169} (Huang et al., CVPR'17) with configurable growth rate.
+//
+// Each dense layer is a bottleneck pair (1x1 conv to 4k channels, 3x3 conv
+// to k channels) whose input is the concatenation of all previous outputs in
+// the block — which is why input channel counts, and with them the kernel
+// issue overhead relative to execution time, grow through the network
+// (Figures 1 and 2). Block names "denseblock1..4" / "transitionN" seed the
+// region structure the single-GPU scheduler profiles.
+
+#include <vector>
+
+#include "src/common/check.h"
+#include "src/common/str_util.h"
+#include "src/nn/layer_builder.h"
+#include "src/nn/model_zoo.h"
+
+namespace oobp {
+
+namespace {
+
+std::vector<int> BlocksFor(int depth) {
+  switch (depth) {
+    case 121:
+      return {6, 12, 24, 16};
+    case 169:
+      return {6, 12, 32, 32};
+    default:
+      OOBP_CHECK(false) << "unsupported DenseNet depth " << depth;
+      return {};
+  }
+}
+
+}  // namespace
+
+NnModel DenseNet(int depth, int growth, int batch, int image) {
+  OOBP_CHECK_GT(growth, 0);
+  NnModel model;
+  model.name = StrFormat("DenseNet-%d(k=%d)", depth, growth);
+  model.batch = batch;
+
+  const bool imagenet = image > 64;
+  int h = image;
+  int c = 2 * growth;
+
+  if (imagenet) {
+    model.layers.push_back(
+        MakeConv2d("stem.conv", "stem", batch, 3, h, h, c, 7, 2));
+    h /= 2;
+    model.layers.push_back(MakePool("stem.pool", "stem", batch, c, h / 2, h / 2));
+    h /= 2;
+  } else {
+    model.layers.push_back(
+        MakeConv2d("stem.conv", "stem", batch, 3, h, h, c, 3, 1));
+  }
+
+  const std::vector<int> blocks = BlocksFor(depth);
+  for (size_t b = 0; b < blocks.size(); ++b) {
+    const std::string block = StrFormat("denseblock%zu", b + 1);
+    for (int i = 0; i < blocks[b]; ++i) {
+      const std::string prefix = StrFormat("%s.l%d", block.c_str(), i);
+      // Bottleneck: concat(c) -> 4k via 1x1, then 4k -> k via 3x3.
+      model.layers.push_back(MakeConv2d(prefix + ".conv1x1", block, batch, c, h,
+                                        h, 4 * growth, 1, 1));
+      model.layers.push_back(MakeConv2d(prefix + ".conv3x3", block, batch,
+                                        4 * growth, h, h, growth, 3, 1));
+      c += growth;
+    }
+    if (b + 1 < blocks.size()) {
+      const std::string tblock = StrFormat("transition%zu", b + 1);
+      model.layers.push_back(
+          MakeConv2d(tblock + ".conv", tblock, batch, c, h, h, c / 2, 1, 1));
+      c /= 2;
+      model.layers.push_back(
+          MakePool(tblock + ".pool", tblock, batch, c, h / 2, h / 2));
+      h /= 2;
+    }
+  }
+
+  model.layers.push_back(MakePool("head.avgpool", "head", batch, c, 1, 1));
+  const int classes = imagenet ? 1000 : 100;
+  model.layers.push_back(MakeDense("head.fc", "head", batch, 1, c, classes));
+  return model;
+}
+
+}  // namespace oobp

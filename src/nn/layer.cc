@@ -1,0 +1,41 @@
+#include "src/nn/layer.h"
+
+#include <algorithm>
+
+namespace oobp {
+
+int64_t NnModel::TotalParamBytes() const {
+  int64_t total = 0;
+  for (const Layer& l : layers) {
+    total += l.param_bytes;
+  }
+  return total;
+}
+
+int64_t NnModel::TotalFwdFlops() const {
+  int64_t total = 0;
+  for (const Layer& l : layers) {
+    total += l.fwd_flops;
+  }
+  return total;
+}
+
+int64_t NnModel::TotalActivationBytes() const {
+  int64_t total = 0;
+  for (const Layer& l : layers) {
+    total += l.output_bytes + l.stash_bytes;
+  }
+  return total;
+}
+
+std::vector<std::string> NnModel::Blocks() const {
+  std::vector<std::string> blocks;
+  for (const Layer& l : layers) {
+    if (std::find(blocks.begin(), blocks.end(), l.block) == blocks.end()) {
+      blocks.push_back(l.block);
+    }
+  }
+  return blocks;
+}
+
+}  // namespace oobp

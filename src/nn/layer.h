@@ -1,0 +1,70 @@
+// Neural network layer and model descriptions.
+//
+// A Layer captures everything the scheduling problem needs: the FLOPs and
+// memory traffic of its three training computations (forward, output
+// gradient, weight gradient), the thread-block parallelism of each kernel,
+// and its memory footprint (parameters, stored activations). The actual
+// tensor *values* never matter for scheduling, so they are not represented —
+// the paper's optimizations provably do not change training semantics
+// (Section 8: "we only evaluate the training throughput and the memory
+// overhead").
+
+#ifndef OOBP_SRC_NN_LAYER_H_
+#define OOBP_SRC_NN_LAYER_H_
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+namespace oobp {
+
+struct Layer {
+  std::string name;
+  // Sub-structure this layer belongs to ("denseblock3", "stage2", ...); the
+  // single-GPU scheduler derives its profiling regions from blocks
+  // (Section 4.1: "a ResNet block can be a single region").
+  std::string block;
+
+  // Compute characteristics per training op. `*_flops` is arithmetic work,
+  // `*_bytes` the memory traffic the kernel moves (roofline denominator).
+  int64_t fwd_flops = 0;
+  int64_t dgrad_flops = 0;  // output gradient (dO)
+  int64_t wgrad_flops = 0;  // weight gradient (dW); 0 for param-free layers
+  int64_t fwd_bytes = 0;
+  int64_t dgrad_bytes = 0;
+  int64_t wgrad_bytes = 0;
+
+  // Thread-block parallelism of each kernel (occupancy cap on the GPU).
+  double fwd_blocks = 1.0;
+  double dgrad_blocks = 1.0;
+  double wgrad_blocks = 1.0;
+
+  // Memory footprint.
+  int64_t param_bytes = 0;   // weights (+ optimizer state handled separately)
+  int64_t output_bytes = 0;  // activation output, retained for backprop
+  int64_t stash_bytes = 0;   // extra internal activations retained for bwd
+  int64_t workspace_bytes = 0;  // transient scratch while a kernel runs
+
+  // Number of primitive framework ops this layer stands for (conv+bn+relu
+  // = 3). Unfused executors pay issue latency per primitive op.
+  int fused_ops = 1;
+
+  bool has_params() const { return param_bytes > 0; }
+};
+
+struct NnModel {
+  std::string name;
+  int batch = 0;
+  std::vector<Layer> layers;
+
+  int num_layers() const { return static_cast<int>(layers.size()); }
+  int64_t TotalParamBytes() const;
+  int64_t TotalFwdFlops() const;
+  int64_t TotalActivationBytes() const;
+  // Ordered list of distinct block names (first-appearance order).
+  std::vector<std::string> Blocks() const;
+};
+
+}  // namespace oobp
+
+#endif  // OOBP_SRC_NN_LAYER_H_

@@ -1,0 +1,214 @@
+#include "src/nn/layer_builder.h"
+
+#include <algorithm>
+#include <cmath>
+
+#include "src/common/check.h"
+
+namespace oobp {
+
+namespace {
+
+double BlocksFor(int64_t elems, double elems_per_block) {
+  return std::max(1.0, std::ceil(static_cast<double>(elems) / elems_per_block));
+}
+
+}  // namespace
+
+Layer MakeConv2d(const std::string& name, const std::string& block, int batch,
+                 int in_c, int in_h, int in_w, int out_c, int kernel,
+                 int stride, int groups, bool fuse_bn_relu) {
+  OOBP_CHECK_GT(batch, 0);
+  OOBP_CHECK_GT(stride, 0);
+  OOBP_CHECK_EQ(in_c % groups, 0);
+  OOBP_CHECK_EQ(out_c % groups, 0);
+  const int out_h = (in_h + stride - 1) / stride;
+  const int out_w = (in_w + stride - 1) / stride;
+
+  Layer l;
+  l.name = name;
+  l.block = block;
+
+  const int64_t in_elems = static_cast<int64_t>(batch) * in_c * in_h * in_w;
+  const int64_t out_elems = static_cast<int64_t>(batch) * out_c * out_h * out_w;
+  const int64_t weight_elems =
+      static_cast<int64_t>(in_c / groups) * out_c * kernel * kernel;
+  // MACs = out_elems * (in_c/groups) * k*k; FLOPs = 2 * MACs.
+  const int64_t macs = out_elems * (in_c / groups) * kernel * kernel;
+
+  l.fwd_flops = 2 * macs;
+  l.dgrad_flops = 2 * macs;  // dX: same GEMM volume as forward
+  l.wgrad_flops = 2 * macs;  // dW: same GEMM volume, different reduction
+  l.fwd_bytes = (in_elems + out_elems + weight_elems) * kDtypeBytes;
+  l.dgrad_bytes = (in_elems + out_elems + weight_elems) * kDtypeBytes;
+  l.wgrad_bytes = (in_elems + out_elems + weight_elems) * kDtypeBytes;
+
+  l.fwd_blocks = BlocksFor(out_elems, kElemsPerBlock);
+  l.dgrad_blocks = BlocksFor(in_elems, kElemsPerBlock);
+  // Weight-gradient kernels parallelize over filter elements, but cuDNN
+  // split-K reductions add batch/spatial parallelism when the filter is
+  // small relative to the input.
+  l.wgrad_blocks = std::max(BlocksFor(weight_elems, kWgradElemsPerBlock),
+                            BlocksFor(in_elems, 16 * kWgradElemsPerBlock));
+
+  l.param_bytes = weight_elems * kDtypeBytes;
+  if (fuse_bn_relu) {
+    l.param_bytes += 2LL * out_c * kDtypeBytes;  // BN scale + shift
+    l.fused_ops = 3;
+  }
+  l.output_bytes = out_elems * kDtypeBytes;
+  // im2col-style scratch used by the gradient kernels.
+  l.workspace_bytes =
+      std::min<int64_t>(out_elems * kernel * kernel * kDtypeBytes,
+                        256LL * 1024 * 1024);
+  return l;
+}
+
+Layer MakeDense(const std::string& name, const std::string& block, int batch,
+                int tokens, int in_dim, int out_dim) {
+  OOBP_CHECK_GT(batch, 0);
+  Layer l;
+  l.name = name;
+  l.block = block;
+
+  const int64_t rows = static_cast<int64_t>(batch) * tokens;
+  const int64_t in_elems = rows * in_dim;
+  const int64_t out_elems = rows * out_dim;
+  const int64_t weight_elems = static_cast<int64_t>(in_dim) * out_dim;
+  const int64_t macs = rows * in_dim * out_dim;
+
+  l.fwd_flops = 2 * macs;
+  l.dgrad_flops = 2 * macs;
+  l.wgrad_flops = 2 * macs;
+  l.fwd_bytes = (in_elems + out_elems + weight_elems) * kDtypeBytes;
+  l.dgrad_bytes = l.fwd_bytes;
+  l.wgrad_bytes = l.fwd_bytes;
+
+  l.fwd_blocks = BlocksFor(out_elems, kElemsPerBlock);
+  l.dgrad_blocks = BlocksFor(in_elems, kElemsPerBlock);
+  l.wgrad_blocks = std::max(BlocksFor(weight_elems, kWgradElemsPerBlock),
+                            BlocksFor(in_elems, 16 * kWgradElemsPerBlock));
+
+  l.param_bytes = (weight_elems + out_dim) * kDtypeBytes;  // + bias
+  l.output_bytes = out_elems * kDtypeBytes;
+  l.fused_ops = 2;  // matmul + bias/activation
+  return l;
+}
+
+Layer MakePool(const std::string& name, const std::string& block, int batch,
+               int channels, int out_h, int out_w) {
+  Layer l;
+  l.name = name;
+  l.block = block;
+  const int64_t out_elems =
+      static_cast<int64_t>(batch) * channels * out_h * out_w;
+  // Bandwidth-bound: ~5 FLOPs and ~8 bytes per element.
+  l.fwd_flops = out_elems * 5;
+  l.dgrad_flops = out_elems * 5;
+  l.wgrad_flops = 0;
+  l.fwd_bytes = out_elems * 8;
+  l.dgrad_bytes = out_elems * 8;
+  l.fwd_blocks = BlocksFor(out_elems, 2 * kElemsPerBlock);
+  l.dgrad_blocks = l.fwd_blocks;
+  l.wgrad_blocks = 1.0;
+  l.output_bytes = out_elems * kDtypeBytes;
+  return l;
+}
+
+Layer MakeEmbedding(const std::string& name, const std::string& block,
+                    int batch, int tokens, int vocab, int hidden) {
+  Layer l;
+  l.name = name;
+  l.block = block;
+  const int64_t rows = static_cast<int64_t>(batch) * tokens;
+  const int64_t out_elems = rows * hidden;
+  l.fwd_flops = out_elems;  // gather
+  l.dgrad_flops = 0;
+  l.wgrad_flops = 2 * out_elems;  // scatter-add
+  l.fwd_bytes = out_elems * 2 * kDtypeBytes;
+  l.dgrad_bytes = out_elems * kDtypeBytes;
+  l.wgrad_bytes = out_elems * 2 * kDtypeBytes;
+  l.fwd_blocks = BlocksFor(out_elems, kElemsPerBlock);
+  l.dgrad_blocks = 1.0;
+  l.wgrad_blocks = BlocksFor(out_elems, kElemsPerBlock);
+  l.param_bytes = static_cast<int64_t>(vocab) * hidden * kDtypeBytes;
+  l.output_bytes = out_elems * kDtypeBytes;
+  return l;
+}
+
+Layer MakeTransformerLayer(const std::string& name, const std::string& block,
+                           int batch, int seq, int hidden, int heads,
+                           int ffn_mult) {
+  OOBP_CHECK_EQ(hidden % heads, 0);
+  Layer l;
+  l.name = name;
+  l.block = block;
+
+  const int64_t b = batch;
+  const int64_t s = seq;
+  const int64_t h = hidden;
+  // Parameter count: QKV + output projection (4h^2) + FFN (2 * ffn_mult h^2)
+  // + 4h of norms/biases.
+  const int64_t weight_elems = (4 + 2 * ffn_mult) * h * h + 4 * h;
+  // GEMM MACs: tokens * weight_elems; attention score/context MACs: 2*b*s^2*h.
+  const int64_t gemm_macs = b * s * ((4 + 2 * ffn_mult) * h * h);
+  const int64_t attn_macs = 2 * b * s * s * h;
+  const int64_t macs = gemm_macs + attn_macs;
+
+  l.fwd_flops = 2 * macs;
+  l.dgrad_flops = 2 * macs;
+  l.wgrad_flops = 2 * gemm_macs;  // attention has no weights in score matmuls
+
+  const int64_t token_elems = b * s * h;
+  l.fwd_bytes = (3 * token_elems + weight_elems + b * s * s) * kDtypeBytes;
+  l.dgrad_bytes = l.fwd_bytes;
+  l.wgrad_bytes = (2 * token_elems + weight_elems) * kDtypeBytes;
+
+  l.fwd_blocks = BlocksFor(token_elems * ffn_mult, kElemsPerBlock);
+  l.dgrad_blocks = l.fwd_blocks;
+  l.wgrad_blocks = BlocksFor(weight_elems, kWgradElemsPerBlock);
+
+  l.param_bytes = weight_elems * kDtypeBytes;
+  l.output_bytes = token_elems * kDtypeBytes;
+  // Retained for backward: QKV, attention probs, FFN intermediate, norms.
+  l.stash_bytes =
+      (6 * token_elems + ffn_mult * token_elems) * kDtypeBytes +
+      b * static_cast<int64_t>(heads) * s * s * kDtypeBytes;
+  l.fused_ops = 8;  // qkv, scores, softmax, context, proj, ffn1, ffn2, norms
+  return l;
+}
+
+Layer MakeLstmCell(const std::string& name, const std::string& block,
+                   int batch, int seq, int input_dim, int hidden) {
+  Layer l;
+  l.name = name;
+  l.block = block;
+  const int64_t b = batch;
+  const int64_t s = seq;
+  const int64_t h = hidden;
+  const int64_t weight_elems = 4 * h * (input_dim + h) + 4 * h;
+  // Per step: x*W (4h*input) + h*U (4h*h) MACs, over s steps and b samples.
+  const int64_t macs = b * s * 4 * h * (input_dim + h);
+
+  l.fwd_flops = 2 * macs;
+  l.dgrad_flops = 2 * macs;
+  l.wgrad_flops = 2 * macs;
+  const int64_t state_elems = b * s * h;
+  l.fwd_bytes = (state_elems * 6 + weight_elems) * kDtypeBytes;
+  l.dgrad_bytes = l.fwd_bytes;
+  l.wgrad_bytes = l.fwd_bytes;
+
+  // Step-sequential execution keeps per-kernel parallelism low: one step's
+  // GEMM only has b*4h outputs.
+  l.fwd_blocks = BlocksFor(b * 4 * h, kElemsPerBlock);
+  l.dgrad_blocks = l.fwd_blocks;
+  l.wgrad_blocks = BlocksFor(weight_elems, kWgradElemsPerBlock);
+
+  l.param_bytes = weight_elems * kDtypeBytes;
+  l.output_bytes = state_elems * kDtypeBytes;
+  l.stash_bytes = 4 * state_elems * kDtypeBytes;  // gate activations
+  l.fused_ops = static_cast<int>(std::min<int64_t>(s, 64));  // per-step issue
+  return l;
+}
+
+}  // namespace oobp

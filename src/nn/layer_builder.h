@@ -1,0 +1,60 @@
+// Constructors for the layer types the model zoo is built from.
+//
+// Each builder computes FLOPs, memory traffic, thread-block parallelism and
+// memory footprint from tensor dimensions using standard formulas (2*MACs
+// for FLOPs; one thread block per 128 output elements for forward/dgrad
+// kernels; weight-gradient kernels parallelize over filter elements with
+// reduction splits). The constants are calibrated so that the occupancy
+// observations in Section 8.2 hold: DenseNet-121 DenseBlock-4 dW kernels run
+// a few hundred thread blocks against the V100's 1,520-slot capacity, while
+// DenseBlock-3 dO kernels saturate it.
+
+#ifndef OOBP_SRC_NN_LAYER_BUILDER_H_
+#define OOBP_SRC_NN_LAYER_BUILDER_H_
+
+#include <cstdint>
+#include <string>
+
+#include "src/nn/layer.h"
+
+namespace oobp {
+
+// Elements per forward/dgrad thread block and per wgrad thread block.
+inline constexpr double kElemsPerBlock = 128.0;
+inline constexpr double kWgradElemsPerBlock = 64.0;
+inline constexpr int64_t kDtypeBytes = 4;  // fp32 training
+
+// 2D convolution (+ fused batch-norm + ReLU), NCHW.
+// `groups` — 1 for dense conv, `in_c` for depthwise.
+Layer MakeConv2d(const std::string& name, const std::string& block, int batch,
+                 int in_c, int in_h, int in_w, int out_c, int kernel,
+                 int stride, int groups = 1, bool fuse_bn_relu = true);
+
+// Fully connected layer: [batch*tokens, in_dim] x [in_dim, out_dim].
+Layer MakeDense(const std::string& name, const std::string& block, int batch,
+                int tokens, int in_dim, int out_dim);
+
+// Pooling / elementwise block (no parameters).
+Layer MakePool(const std::string& name, const std::string& block, int batch,
+               int channels, int out_h, int out_w);
+
+// Token embedding lookup (params but negligible forward FLOPs; the weight
+// gradient is a scatter-add over the batch).
+Layer MakeEmbedding(const std::string& name, const std::string& block,
+                    int batch, int tokens, int vocab, int hidden);
+
+// One transformer encoder/decoder layer (self-attention + FFN); `hidden`
+// must be divisible by `heads`. `ffn_mult` is the FFN expansion (4 for
+// BERT/GPT).
+Layer MakeTransformerLayer(const std::string& name, const std::string& block,
+                           int batch, int seq, int hidden, int heads,
+                           int ffn_mult = 4);
+
+// One LSTM cell step-unrolled over `seq` steps (the paper's "RNN (16 Cell)"
+// model stacks 16 of these).
+Layer MakeLstmCell(const std::string& name, const std::string& block,
+                   int batch, int seq, int input_dim, int hidden);
+
+}  // namespace oobp
+
+#endif  // OOBP_SRC_NN_LAYER_BUILDER_H_

@@ -1,0 +1,96 @@
+// MobileNet V3 Large (Howard et al., ICCV'19) with width multiplier alpha.
+//
+// Each inverted-residual "bneck" expands with a 1x1 conv, filters with a
+// depthwise conv, and projects back with a 1x1 conv. Depthwise convolutions
+// are extremely light (few FLOPs per output element), which makes MobileNet
+// the most issue-overhead-bound model in the paper's single-GPU study.
+
+#include <algorithm>
+#include <vector>
+
+#include "src/common/check.h"
+#include "src/common/str_util.h"
+#include "src/nn/layer_builder.h"
+#include "src/nn/model_zoo.h"
+
+namespace oobp {
+
+namespace {
+
+// Rounds channels to the nearest multiple of 8 (the MobileNet convention).
+int ScaleChannels(int c, double multiplier) {
+  const int scaled = static_cast<int>(c * multiplier + 4.0);
+  return std::max(8, scaled - scaled % 8);
+}
+
+struct BneckCfg {
+  int kernel;
+  int expand;
+  int out;
+  int stride;
+};
+
+}  // namespace
+
+NnModel MobileNetV3Large(double multiplier, int batch, int image) {
+  OOBP_CHECK_GT(multiplier, 0.0);
+  NnModel model;
+  model.name = StrFormat("MobileNetV3-L(a=%.2f)", multiplier);
+  model.batch = batch;
+
+  // The V3-Large configuration table (kernel, expansion size, output
+  // channels, stride), before the width multiplier.
+  const std::vector<BneckCfg> cfgs = {
+      {3, 16, 16, 1},   {3, 64, 24, 2},   {3, 72, 24, 1},   {5, 72, 40, 2},
+      {5, 120, 40, 1},  {5, 120, 40, 1},  {3, 240, 80, 2},  {3, 200, 80, 1},
+      {3, 184, 80, 1},  {3, 184, 80, 1},  {3, 480, 112, 1}, {3, 672, 112, 1},
+      {5, 672, 160, 2}, {5, 960, 160, 1}, {5, 960, 160, 1},
+  };
+
+  int h = image;
+  int c = ScaleChannels(16, multiplier);
+  model.layers.push_back(MakeConv2d("stem.conv", "stem", batch, 3, h, h, c, 3,
+                                    image > 64 ? 2 : 1));
+  if (image > 64) {
+    h /= 2;
+  }
+
+  int stage = 1;
+  for (size_t i = 0; i < cfgs.size(); ++i) {
+    const BneckCfg& cfg = cfgs[i];
+    if (cfg.stride == 2) {
+      ++stage;
+    }
+    const std::string block = StrFormat("stage%d", stage);
+    const std::string prefix = StrFormat("bneck%zu", i);
+    const int exp_c = ScaleChannels(cfg.expand, multiplier);
+    const int out_c = ScaleChannels(cfg.out, multiplier);
+
+    if (exp_c != c) {
+      model.layers.push_back(
+          MakeConv2d(prefix + ".expand", block, batch, c, h, h, exp_c, 1, 1));
+    }
+    model.layers.push_back(MakeConv2d(prefix + ".dw", block, batch, exp_c, h, h,
+                                      exp_c, cfg.kernel, cfg.stride,
+                                      /*groups=*/exp_c));
+    if (cfg.stride == 2) {
+      h /= 2;
+    }
+    model.layers.push_back(
+        MakeConv2d(prefix + ".project", block, batch, exp_c, h, h, out_c, 1, 1));
+    c = out_c;
+  }
+
+  const int last_c = ScaleChannels(960, multiplier);
+  model.layers.push_back(
+      MakeConv2d("head.conv", "head", batch, c, h, h, last_c, 1, 1));
+  model.layers.push_back(MakePool("head.avgpool", "head", batch, last_c, 1, 1));
+  const int feat_c = std::max(1280, ScaleChannels(1280, multiplier));
+  model.layers.push_back(
+      MakeDense("head.fc1", "head", batch, 1, last_c, feat_c));
+  const int classes = image > 64 ? 1000 : 100;
+  model.layers.push_back(MakeDense("head.fc2", "head", batch, 1, feat_c, classes));
+  return model;
+}
+
+}  // namespace oobp

@@ -1,0 +1,40 @@
+// Builders for the twelve neural networks of the paper's evaluation
+// (Table 1): DenseNet-{121,169}, MobileNet V3 Large, ResNet-{50,101,152},
+// an RNN with 16 LSTM cells, a plain FFNN, BERT-{12,24,48}, and GPT-3
+// Medium. Dimensions follow the papers the authors cite (growth rates 12/24/
+// 32 for DenseNet, multipliers 0.25-1.0 for MobileNet, vocab 30,522 for BERT
+// and 50,257 for GPT-3, sequence lengths 128/512 for pre-training).
+
+#ifndef OOBP_SRC_NN_MODEL_ZOO_H_
+#define OOBP_SRC_NN_MODEL_ZOO_H_
+
+#include "src/nn/layer.h"
+
+namespace oobp {
+
+// depth in {50, 101, 152}; `image` 224 for ImageNet, 32 for CIFAR.
+NnModel ResNet(int depth, int batch, int image = 224);
+
+// depth in {121, 169}; `growth` is the paper's k hyper-parameter (12/24/32).
+NnModel DenseNet(int depth, int growth, int batch, int image = 224);
+
+// `multiplier` is the paper's alpha (0.25/0.5/0.75/1.0).
+NnModel MobileNetV3Large(double multiplier, int batch, int image = 224);
+
+// num_layers in {12, 24, 48}. BERT-12 is BERT-Base (hidden 768); deeper
+// variants use the BERT-Large width (hidden 1024).
+NnModel Bert(int num_layers, int batch, int seq = 128);
+
+// GPT-3 Medium: 24 decoders, hidden 1024 (paper: seq 512, vocab 50,257).
+NnModel Gpt3Medium(int batch, int seq = 512);
+
+// Seq2seq RNN with `cells` stacked LSTM cells (paper: 16 cells, IWSLT).
+NnModel RnnModel(int cells, int batch, int seq = 32, int hidden = 1024);
+
+// Plain feed-forward network with `num_layers` equal fully-connected layers
+// (the Figure 12 analysis model).
+NnModel Ffnn(int num_layers, int batch, int hidden = 4096);
+
+}  // namespace oobp
+
+#endif  // OOBP_SRC_NN_MODEL_ZOO_H_

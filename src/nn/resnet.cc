@@ -1,0 +1,89 @@
+// ResNet-{50,101,152} (He et al., CVPR'16) as layer sequences.
+
+#include <vector>
+
+#include "src/common/check.h"
+#include "src/common/str_util.h"
+#include "src/nn/layer_builder.h"
+#include "src/nn/model_zoo.h"
+
+namespace oobp {
+
+namespace {
+
+struct StageCfg {
+  int blocks;
+  int width;  // bottleneck width; output channels are 4x this
+};
+
+std::vector<StageCfg> StagesFor(int depth) {
+  switch (depth) {
+    case 50:
+      return {{3, 64}, {4, 128}, {6, 256}, {3, 512}};
+    case 101:
+      return {{3, 64}, {4, 128}, {23, 256}, {3, 512}};
+    case 152:
+      return {{3, 64}, {8, 256 / 2}, {36, 256}, {3, 512}};
+    default:
+      OOBP_CHECK(false) << "unsupported ResNet depth " << depth;
+      return {};
+  }
+}
+
+}  // namespace
+
+NnModel ResNet(int depth, int batch, int image) {
+  NnModel model;
+  model.name = StrFormat("ResNet-%d", depth);
+  model.batch = batch;
+
+  const bool imagenet = image > 64;
+  int h = image;
+  int c = 3;
+
+  // Stem.
+  if (imagenet) {
+    model.layers.push_back(
+        MakeConv2d("stem.conv", "stem", batch, c, h, h, 64, 7, 2));
+    h /= 2;
+    model.layers.push_back(MakePool("stem.pool", "stem", batch, 64, h / 2, h / 2));
+    h /= 2;
+  } else {
+    model.layers.push_back(
+        MakeConv2d("stem.conv", "stem", batch, c, h, h, 64, 3, 1));
+  }
+  c = 64;
+
+  const std::vector<StageCfg> stages = StagesFor(depth);
+  for (size_t s = 0; s < stages.size(); ++s) {
+    const StageCfg& cfg = stages[s];
+    const std::string block = StrFormat("stage%zu", s + 1);
+    const int out_c = cfg.width * 4;
+    for (int b = 0; b < cfg.blocks; ++b) {
+      const int stride = (b == 0 && s > 0) ? 2 : 1;
+      const std::string prefix = StrFormat("%s.b%d", block.c_str(), b);
+      if (b == 0) {
+        // Projection shortcut matches channel count / stride.
+        model.layers.push_back(MakeConv2d(prefix + ".down", block, batch, c, h,
+                                          h, out_c, 1, stride));
+      }
+      model.layers.push_back(
+          MakeConv2d(prefix + ".conv1", block, batch, c, h, h, cfg.width, 1, 1));
+      model.layers.push_back(MakeConv2d(prefix + ".conv2", block, batch,
+                                        cfg.width, h, h, cfg.width, 3, stride));
+      if (stride == 2) {
+        h /= 2;
+      }
+      model.layers.push_back(MakeConv2d(prefix + ".conv3", block, batch,
+                                        cfg.width, h, h, out_c, 1, 1));
+      c = out_c;
+    }
+  }
+
+  model.layers.push_back(MakePool("head.avgpool", "head", batch, c, 1, 1));
+  const int classes = imagenet ? 1000 : 100;
+  model.layers.push_back(MakeDense("head.fc", "head", batch, 1, c, classes));
+  return model;
+}
+
+}  // namespace oobp

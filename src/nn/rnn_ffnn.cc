@@ -1,0 +1,43 @@
+// The RNN (16 stacked LSTM cells, IWSLT translation) and the plain FFNN used
+// for the pipeline-parallel analysis (Figures 11 and 12).
+
+#include "src/common/str_util.h"
+#include "src/nn/layer_builder.h"
+#include "src/nn/model_zoo.h"
+
+namespace oobp {
+
+namespace {
+constexpr int kIwsltVocab = 32000;
+}  // namespace
+
+NnModel RnnModel(int cells, int batch, int seq, int hidden) {
+  NnModel model;
+  model.name = StrFormat("RNN-%dcell", cells);
+  model.batch = batch;
+
+  model.layers.push_back(
+      MakeEmbedding("embed", "embed", batch, seq, kIwsltVocab, hidden));
+  for (int i = 0; i < cells; ++i) {
+    model.layers.push_back(MakeLstmCell(StrFormat("cell%d", i),
+                                        StrFormat("cell%d", i), batch, seq,
+                                        hidden, hidden));
+  }
+  model.layers.push_back(
+      MakeDense("head.proj", "head", batch, seq, hidden, kIwsltVocab));
+  return model;
+}
+
+NnModel Ffnn(int num_layers, int batch, int hidden) {
+  NnModel model;
+  model.name = StrFormat("FFNN-%d", num_layers);
+  model.batch = batch;
+  for (int i = 0; i < num_layers; ++i) {
+    model.layers.push_back(MakeDense(StrFormat("fc%d", i),
+                                     StrFormat("fc%d", i), batch, 1, hidden,
+                                     hidden));
+  }
+  return model;
+}
+
+}  // namespace oobp

@@ -1,0 +1,97 @@
+#include "src/nn/train_graph.h"
+
+#include "src/common/check.h"
+
+namespace oobp {
+
+TrainGraph::TrainGraph(const NnModel* model) : model_(model) {
+  OOBP_CHECK(model != nullptr);
+  OOBP_CHECK_GT(model->num_layers(), 0);
+}
+
+bool TrainGraph::HasWgrad(int layer) const {
+  OOBP_CHECK_GE(layer, 0);
+  OOBP_CHECK_LT(layer, num_layers());
+  return model_->layers[layer].has_params();
+}
+
+std::vector<TrainOp> TrainGraph::ConventionalBackprop() const {
+  std::vector<TrainOp> order;
+  for (int i = num_layers() - 1; i >= 0; --i) {
+    order.push_back({TrainOpType::kOutputGrad, i});
+    if (HasWgrad(i)) {
+      order.push_back({TrainOpType::kWeightGrad, i});
+    }
+  }
+  return order;
+}
+
+std::vector<TrainOp> TrainGraph::FullyDeferredBackprop() const {
+  std::vector<TrainOp> order;
+  for (int i = num_layers() - 1; i >= 0; --i) {
+    order.push_back({TrainOpType::kOutputGrad, i});
+  }
+  for (int i = num_layers() - 1; i >= 0; --i) {
+    if (HasWgrad(i)) {
+      order.push_back({TrainOpType::kWeightGrad, i});
+    }
+  }
+  return order;
+}
+
+std::vector<TrainOp> TrainGraph::Forward() const {
+  std::vector<TrainOp> order;
+  for (int i = 0; i < num_layers(); ++i) {
+    order.push_back({TrainOpType::kForward, i});
+  }
+  return order;
+}
+
+bool TrainGraph::ValidateBackpropOrder(const std::vector<TrainOp>& order) const {
+  const int L = num_layers();
+  std::vector<int> dgrad_pos(L, -1);
+  std::vector<int> wgrad_pos(L, -1);
+
+  for (size_t pos = 0; pos < order.size(); ++pos) {
+    const TrainOp& op = order[pos];
+    if (op.layer < 0 || op.layer >= L) {
+      return false;
+    }
+    switch (op.type) {
+      case TrainOpType::kOutputGrad:
+        if (dgrad_pos[op.layer] != -1) {
+          return false;  // duplicate
+        }
+        dgrad_pos[op.layer] = static_cast<int>(pos);
+        break;
+      case TrainOpType::kWeightGrad:
+        if (!HasWgrad(op.layer) || wgrad_pos[op.layer] != -1) {
+          return false;
+        }
+        wgrad_pos[op.layer] = static_cast<int>(pos);
+        break;
+      default:
+        return false;  // backprop orders contain only gradient ops
+    }
+  }
+
+  for (int i = 0; i < L; ++i) {
+    if (dgrad_pos[i] == -1) {
+      return false;  // missing dO
+    }
+    if (HasWgrad(i) && wgrad_pos[i] == -1) {
+      return false;  // missing dW
+    }
+    // dO chain: dO_i strictly after dO_{i+1}.
+    if (i + 1 < L && dgrad_pos[i] <= dgrad_pos[i + 1]) {
+      return false;
+    }
+    // dW_i consumes dO_{i+1}'s output.
+    if (HasWgrad(i) && i + 1 < L && wgrad_pos[i] <= dgrad_pos[i + 1]) {
+      return false;
+    }
+  }
+  return true;
+}
+
+}  // namespace oobp

@@ -1,0 +1,68 @@
+// Training computation graph: the ops of one training iteration and their
+// dependencies, exactly as formulated in Section 2 of the paper.
+//
+// For a model with layers 0..L-1, one iteration contains, per layer i:
+//   F_i   forward computation,
+//   dO_i  output-gradient computation (consumes the gradient produced by
+//         dO_{i+1}; dO_{L-1} consumes the loss gradient),
+//   dW_i  weight-gradient computation (also consumes dO_{i+1}'s output —
+//         this is the *only* dependency, which is what makes out-of-order
+//         backprop sound: dW_i is needed by nothing but the weight update),
+//   U_i   weight update (consumes dW_i; in data-parallel training a
+//         synchronization S[dW_i] sits between dW_i and U_i).
+//
+// The canonical (conventional) backpropagation order interleaves
+// dO_{L-1}, dW_{L-1}, dO_{L-2}, dW_{L-2}, ... Out-of-order schedules permute
+// the dW ops; ValidateBackpropOrder checks that a permutation respects the
+// dependencies above.
+
+#ifndef OOBP_SRC_NN_TRAIN_GRAPH_H_
+#define OOBP_SRC_NN_TRAIN_GRAPH_H_
+
+#include <vector>
+
+#include "src/nn/cost_model.h"
+#include "src/nn/layer.h"
+
+namespace oobp {
+
+struct TrainOp {
+  TrainOpType type = TrainOpType::kForward;
+  int layer = 0;
+
+  friend bool operator==(const TrainOp&, const TrainOp&) = default;
+};
+
+class TrainGraph {
+ public:
+  explicit TrainGraph(const NnModel* model);
+
+  const NnModel& model() const { return *model_; }
+  int num_layers() const { return model_->num_layers(); }
+
+  // Whether layer i has a weight-gradient computation (param-free layers
+  // such as pooling do not).
+  bool HasWgrad(int layer) const;
+
+  // [dO_{L-1}, dW_{L-1}, dO_{L-2}, ...] — strict reverse-layout order.
+  std::vector<TrainOp> ConventionalBackprop() const;
+
+  // Backprop with every dW op after every dO op (the fully deferred
+  // extreme of ooo backprop; used by gradient fast-forwarding).
+  std::vector<TrainOp> FullyDeferredBackprop() const;
+
+  // Forward pass [F_0 .. F_{L-1}].
+  std::vector<TrainOp> Forward() const;
+
+  // True iff `order` contains each dO exactly once in descending layer
+  // order, each dW of a parameterized layer exactly once, and every dW_i
+  // appears after dO_{i+1} (no constraint for i == L-1).
+  bool ValidateBackpropOrder(const std::vector<TrainOp>& order) const;
+
+ private:
+  const NnModel* model_;
+};
+
+}  // namespace oobp
+
+#endif  // OOBP_SRC_NN_TRAIN_GRAPH_H_

@@ -1,0 +1,60 @@
+// BERT-{12,24,48} (Devlin et al.) and GPT-3 Medium (Brown et al.) encoder /
+// decoder stacks. Layer granularity is one transformer layer, matching how
+// the paper partitions NLP models across pipeline stages ("we applied modulo
+// allocation at a transformer level").
+
+#include "src/common/check.h"
+#include "src/common/str_util.h"
+#include "src/nn/layer_builder.h"
+#include "src/nn/model_zoo.h"
+
+namespace oobp {
+
+namespace {
+
+constexpr int kBertVocab = 30522;   // Section 8.4.2
+constexpr int kGptVocab = 50257;
+
+NnModel TransformerStack(const std::string& name, int num_layers, int hidden,
+                         int heads, int vocab, int batch, int seq,
+                         bool tied_output_head) {
+  NnModel model;
+  model.name = name;
+  model.batch = batch;
+
+  model.layers.push_back(
+      MakeEmbedding("embed", "embed", batch, seq, vocab, hidden));
+  for (int i = 0; i < num_layers; ++i) {
+    model.layers.push_back(MakeTransformerLayer(
+        StrFormat("layer%d", i), StrFormat("layer%d", i), batch, seq, hidden,
+        heads));
+  }
+  // Output head: LM logits GEMM over the vocabulary. For GPT-3 this layer is
+  // large enough that the paper dedicates four GPUs to it (Section 8.4.2).
+  Layer head = MakeDense("head.lm", "head", batch, seq, hidden, vocab);
+  if (tied_output_head) {
+    head.param_bytes = 0;  // weights shared with the embedding
+    head.wgrad_flops = head.fwd_flops;
+  }
+  model.layers.push_back(head);
+  return model;
+}
+
+}  // namespace
+
+NnModel Bert(int num_layers, int batch, int seq) {
+  OOBP_CHECK_GT(num_layers, 0);
+  const int hidden = num_layers <= 12 ? 768 : 1024;
+  const int heads = num_layers <= 12 ? 12 : 16;
+  return TransformerStack(StrFormat("BERT-%d", num_layers), num_layers, hidden,
+                          heads, kBertVocab, batch, seq,
+                          /*tied_output_head=*/true);
+}
+
+NnModel Gpt3Medium(int batch, int seq) {
+  return TransformerStack("GPT-3(Medium)", /*num_layers=*/24, /*hidden=*/1024,
+                          /*heads=*/16, kGptVocab, batch, seq,
+                          /*tied_output_head=*/false);
+}
+
+}  // namespace oobp

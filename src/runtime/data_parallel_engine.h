@@ -1,0 +1,82 @@
+// Data-parallel training engine (Section 5.1 / Figure 10 systems).
+//
+// Simulates one representative worker of an n-GPU synchronous data-parallel
+// job: the worker's GPU executes a backprop order, each completed weight
+// gradient immediately enters the communication channel (wait-free
+// backpropagation), and the next iteration's forward op F_i may only start
+// once layer i's parameter synchronization finished. The channel models the
+// worker's share of cluster bandwidth with the collective's volume factor:
+//
+//   * kHorovod  — ring all-reduce with fusion buffering: pending tensors are
+//     flushed as one FIFO transfer when a cycle timer fires or the buffer
+//     fills. No priorities, so early-layer gradients wait behind bulk data.
+//   * kBytePS   — PS push+pull with tensor partitioning and priority
+//     scheduling: transfers are chunked and preempted so the lowest-layer
+//     (most critical) tensors go first. This is the strongest baseline.
+//
+// OOO-BytePS is kBytePS driven with a reverse-first-k backprop order
+// (core/reverse_k.h) instead of the conventional one: same communication
+// stack, reordered computation.
+
+#ifndef OOBP_SRC_RUNTIME_DATA_PARALLEL_ENGINE_H_
+#define OOBP_SRC_RUNTIME_DATA_PARALLEL_ENGINE_H_
+
+#include <cstdint>
+#include <vector>
+
+#include "src/hw/cluster.h"
+#include "src/nn/cost_model.h"
+#include "src/nn/train_graph.h"
+#include "src/runtime/metrics.h"
+#include "src/trace/trace.h"
+
+namespace oobp {
+
+enum class CommScheme {
+  kHorovod,
+  kBytePS,
+};
+
+struct DataParallelConfig {
+  ClusterSpec cluster;
+  int num_gpus = 1;  // <= cluster.total_gpus()
+  SystemProfile profile = SystemProfile::TensorFlow();
+  CommScheme scheme = CommScheme::kBytePS;
+  bool precompiled_issue = true;
+  int measured_iterations = 3;
+  // Horovod fusion parameters.
+  TimeNs fusion_cycle = Ms(5);
+  int64_t fusion_buffer_bytes = 64LL << 20;
+  // BytePS tensor partition size and the transport's non-preemptible commit
+  // window (see hw/link.h).
+  int64_t partition_bytes = 4LL << 20;
+  int64_t commit_window_bytes = 256LL << 20;
+};
+
+class DataParallelEngine {
+ public:
+  explicit DataParallelEngine(DataParallelConfig config);
+
+  // Runs warm-up + measured iterations with the given backprop order (must
+  // validate against the model's TrainGraph). Throughput is global
+  // (samples/s across all workers).
+  TrainMetrics Run(const NnModel& model, const std::vector<TrainOp>& backprop,
+                   TraceRecorder* trace = nullptr) const;
+
+  // Bytes layer i contributes to the channel per iteration (gradient size
+  // times the collective volume factor).
+  int64_t SyncVolume(const NnModel& model, int layer) const;
+  // Effective per-worker channel bandwidth (GB/s) for this cluster slice.
+  double ChannelBandwidthGbps() const;
+  // Per-layer synchronization time if the channel were otherwise idle.
+  TimeNs IdealSyncTime(const NnModel& model, int layer) const;
+
+  const DataParallelConfig& config() const { return config_; }
+
+ private:
+  DataParallelConfig config_;
+};
+
+}  // namespace oobp
+
+#endif  // OOBP_SRC_RUNTIME_DATA_PARALLEL_ENGINE_H_

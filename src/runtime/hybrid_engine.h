@@ -1,0 +1,71 @@
+// Hybrid data-parallel + pipeline-parallel training (Section 6).
+//
+// `dp_groups` identical pipeline replicas, each spanning
+// `pipeline_gpus` devices, train concurrently; after a replica's backward
+// produces a layer's weight gradient, that gradient all-reduces across the
+// replicas before the *next* iteration's forward of the same layer may run.
+//
+// The engine composes the pipeline simulator with the priority-preemptive
+// channel model:
+//   1. one replica's iteration is simulated to get the pipeline makespan,
+//      each layer's weight-gradient completion time, and each layer's
+//      forward start offset;
+//   2. a per-stage communication channel replays the gradient completions
+//      as prioritized transfers (priority = layer index, the next
+//      iteration's need order);
+//   3. the steady-state iteration period is the smallest T such that every
+//      layer's synchronization finishes before the next iteration reaches
+//      its forward: T >= sync_done(l) - fwd_start(l), and T >= makespan.
+//
+// Section 6's combination of the two ooo-backprop schedulers falls out
+// naturally: gradient fast-forwarding defers weight gradients into pipeline
+// stalls, and reverse-first-k (PipelineConfig::reverse_first_k) orders the
+// deferred pool so the most critical synchronizations start first.
+
+#ifndef OOBP_SRC_RUNTIME_HYBRID_ENGINE_H_
+#define OOBP_SRC_RUNTIME_HYBRID_ENGINE_H_
+
+#include <vector>
+
+#include "src/runtime/metrics.h"
+#include "src/runtime/pipeline_engine.h"
+
+namespace oobp {
+
+struct HybridConfig {
+  PipelineConfig pipeline;  // one replica (pipeline.num_gpus devices)
+  int dp_groups = 2;        // replicas; total GPUs = dp_groups * num_gpus
+  // Transport parameters of the gradient exchange (see data-parallel
+  // engine).
+  int64_t partition_bytes = 4LL << 20;
+  int64_t commit_window_bytes = 256LL << 20;
+};
+
+struct HybridResult {
+  TrainMetrics metrics;
+  TimeNs pipeline_makespan = 0;  // one replica's iteration, compute only
+  TimeNs exposed_sync = 0;       // extra period imposed by synchronization
+  int total_gpus = 0;
+};
+
+class HybridEngine {
+ public:
+  explicit HybridEngine(HybridConfig config);
+
+  HybridResult Run(const NnModel& micro_model,
+                   PipelineStrategy strategy) const;
+
+  // Bytes layer `l` all-reduces across the replicas per iteration.
+  int64_t SyncVolume(const NnModel& model, int layer) const;
+  // Effective per-stage channel bandwidth for the replica exchange.
+  double ChannelBandwidthGbps() const;
+
+  const HybridConfig& config() const { return config_; }
+
+ private:
+  HybridConfig config_;
+};
+
+}  // namespace oobp
+
+#endif  // OOBP_SRC_RUNTIME_HYBRID_ENGINE_H_

@@ -1,0 +1,23 @@
+// Metrics reported by the training engines.
+
+#ifndef OOBP_SRC_RUNTIME_METRICS_H_
+#define OOBP_SRC_RUNTIME_METRICS_H_
+
+#include <cstdint>
+
+#include "src/common/time.h"
+
+namespace oobp {
+
+struct TrainMetrics {
+  TimeNs iteration_time = 0;              // steady-state time per iteration
+  double throughput = 0.0;                // global samples (images/seqs) per second
+  double gpu_utilization = 0.0;           // busy fraction (avg across GPUs)
+  double comm_comp_ratio = 0.0;           // communication time / compute time
+  int64_t peak_memory_bytes = 0;          // per-GPU peak (activations + base)
+  bool oom = false;                       // peak exceeded device memory
+};
+
+}  // namespace oobp
+
+#endif  // OOBP_SRC_RUNTIME_METRICS_H_

@@ -1,0 +1,588 @@
+#include "src/runtime/pipeline_engine.h"
+
+#include <algorithm>
+#include <map>
+#include <memory>
+#include <set>
+#include <utility>
+
+#include "src/common/check.h"
+#include "src/common/str_util.h"
+#include "src/hw/link.h"
+#include "src/sim/engine.h"
+
+namespace oobp {
+
+const char* PipelineStrategyName(PipelineStrategy s) {
+  switch (s) {
+    case PipelineStrategy::kGPipe:
+      return "GPipe";
+    case PipelineStrategy::kDapple:
+      return "DAPPLE";
+    case PipelineStrategy::kPipeDream:
+      return "PipeDream";
+    case PipelineStrategy::kMegatron:
+      return "Megatron2";
+    case PipelineStrategy::kMegatronFF:
+      return "Megatron2+FF";
+    case PipelineStrategy::kOooPipe1:
+      return "OOO-Pipe1";
+    case PipelineStrategy::kOooPipe2:
+      return "OOO-Pipe2";
+  }
+  return "?";
+}
+
+PipelineEngine::PipelineEngine(PipelineConfig config)
+    : config_(std::move(config)) {
+  OOBP_CHECK_GE(config_.num_gpus, 1);
+  OOBP_CHECK_GE(config_.num_micro_batches, 1);
+  OOBP_CHECK_GE(config_.modulo_group_size, 1);
+}
+
+LayerAssignment PipelineEngine::AssignmentFor(const NnModel& micro_model,
+                                              PipelineStrategy strategy) const {
+  if (strategy == PipelineStrategy::kOooPipe2) {
+    return ModuloAllocation(micro_model.num_layers(), config_.num_gpus,
+                            config_.modulo_group_size);
+  }
+  if (strategy == PipelineStrategy::kMegatron ||
+      strategy == PipelineStrategy::kMegatronFF) {
+    // Interleaved schedule: v chunks of contiguous layers per GPU == modulo
+    // allocation at L / (n*v) granularity.
+    const int L = micro_model.num_layers();
+    const int group = std::max(
+        1, L / (config_.num_gpus * std::max(1, config_.megatron_chunks)));
+    return ModuloAllocation(L, config_.num_gpus, group);
+  }
+  const CostModel cost(config_.cluster.gpu, config_.profile);
+  std::vector<double> costs;
+  costs.reserve(micro_model.layers.size());
+  for (const Layer& l : micro_model.layers) {
+    costs.push_back(static_cast<double>(
+        cost.Cost(l, TrainOpType::kForward).duration +
+        cost.Cost(l, TrainOpType::kOutputGrad).duration +
+        (l.has_params() ? cost.Cost(l, TrainOpType::kWeightGrad).duration : 0)));
+  }
+  return BalancedContiguousAllocation(costs, config_.num_gpus);
+}
+
+namespace {
+
+enum class PipeOpKind { kFwd = 0, kDgrad = 1, kWgrad = 2 };
+
+constexpr int64_t kNoOp = -1;
+
+// Per-GPU list-scheduling simulator over the pipeline op graph.
+class PipeSim {
+ public:
+  PipeSim(SimEngine* engine, const PipelineConfig& config,
+          const NnModel& model, const TrainGraph& graph, const CostModel& cost,
+          const LayerAssignment& assignment, PipelineStrategy strategy,
+          int iterations, TraceRecorder* trace)
+      : engine_(engine),
+        config_(config),
+        model_(model),
+        graph_(graph),
+        cost_(cost),
+        assignment_(assignment),
+        strategy_(strategy),
+        iterations_(iterations),
+        trace_(trace),
+        L_(model.num_layers()),
+        M_(config.num_micro_batches) {
+    defer_wgrads_ = strategy == PipelineStrategy::kOooPipe1 ||
+                    strategy == PipelineStrategy::kOooPipe2 ||
+                    strategy == PipelineStrategy::kMegatronFF;
+    backward_preferred_ = strategy == PipelineStrategy::kPipeDream ||
+                          strategy == PipelineStrategy::kDapple ||
+                          strategy == PipelineStrategy::kMegatron ||
+                          strategy == PipelineStrategy::kMegatronFF;
+    flush_ = strategy != PipelineStrategy::kPipeDream;
+    gpus_.resize(config.num_gpus);
+    Build();
+  }
+
+  void Start() {
+    ReleaseIteration(0);
+    for (int g = 0; g < config_.num_gpus; ++g) {
+      TryRun(g);
+    }
+  }
+
+  TimeNs IterEnd(int t) const { return iter_end_[t]; }
+  TimeNs compute_busy() const { return compute_busy_; }
+  TimeNs comm_busy() const {
+    TimeNs total = 0;
+    for (const auto& [key, link] : links_) {
+      total += link->busy_time();
+    }
+    return total;
+  }
+  const std::vector<int64_t>& peak_memory() const { return peak_mem_; }
+  const std::vector<TimeNs>& fwd_start() const { return fwd_start_; }
+  const std::vector<TimeNs>& wgrad_done() const { return wgrad_done_; }
+
+ private:
+  struct Op {
+    PipeOpKind kind;
+    int iter, micro, layer, gpu;
+    int deps = 0;
+    int64_t priority = 0;
+    TimeNs duration = 0;
+    bool done = false;
+    bool exists = true;
+  };
+  struct GpuState {
+    bool busy = false;
+    std::set<std::pair<int64_t, int>> ready;  // (priority, op index)
+    std::set<std::pair<int64_t, int>> pool;   // deferred dW ops
+    int fwd_started = 0;
+    int bwd_done = 0;
+    int owned_layers = 0;
+  };
+
+  int OpIndex(int t, int m, int l, PipeOpKind kind) const {
+    return ((t * M_ + m) * L_ + l) * 3 + static_cast<int>(kind);
+  }
+
+  int64_t PriorityOf(int t, int m, int l, PipeOpKind kind) const {
+    const int64_t iter_part = static_cast<int64_t>(t) << 44;
+    int64_t phase;
+    int64_t key;
+    if (kind == PipeOpKind::kFwd) {
+      phase = backward_preferred_ ? 1 : 0;
+      key = static_cast<int64_t>(m) * L_ + l;
+    } else {
+      phase = backward_preferred_ ? 0 : 1;
+      key = (static_cast<int64_t>(M_ - 1 - m) * L_ + (L_ - 1 - l)) * 2 +
+            (kind == PipeOpKind::kDgrad ? 0 : 1);
+    }
+    return iter_part | (phase << 40) | key;
+  }
+
+  void Build() {
+    ops_.assign(static_cast<size_t>(iterations_) * M_ * L_ * 3, Op{});
+    iter_end_.assign(iterations_, 0);
+    fwd_start_.assign(L_, -1);
+    wgrad_done_.assign(L_, -1);
+    iter_ops_left_.assign(iterations_, 0);
+    peak_mem_.assign(config_.num_gpus, 0);
+    live_mem_.assign(config_.num_gpus, 0);
+    act_consumers_.assign(ops_.size() / 3, 0);
+    grad_consumers_.assign(ops_.size() / 3, 0);
+
+    for (int g = 0; g < config_.num_gpus; ++g) {
+      gpus_[g].owned_layers =
+          static_cast<int>(LayersOf(assignment_, g).size());
+    }
+    // Static per-GPU memory: weights, gradients, optimizer state (+ stashed
+    // versions for PipeDream).
+    const int versions =
+        strategy_ == PipelineStrategy::kPipeDream ? config_.num_gpus : 1;
+    base_mem_.assign(config_.num_gpus, 0);
+    for (int l = 0; l < L_; ++l) {
+      base_mem_[assignment_[l]] +=
+          model_.layers[l].param_bytes * (2 + versions);
+    }
+    for (int g = 0; g < config_.num_gpus; ++g) {
+      live_mem_[g] = base_mem_[g];
+      peak_mem_[g] = live_mem_[g];
+    }
+
+    for (int t = 0; t < iterations_; ++t) {
+      for (int m = 0; m < M_; ++m) {
+        for (int l = 0; l < L_; ++l) {
+          const Layer& layer = model_.layers[l];
+          for (PipeOpKind kind :
+               {PipeOpKind::kFwd, PipeOpKind::kDgrad, PipeOpKind::kWgrad}) {
+            Op& op = ops_[OpIndex(t, m, l, kind)];
+            op.kind = kind;
+            op.iter = t;
+            op.micro = m;
+            op.layer = l;
+            op.gpu = assignment_[l];
+            op.priority = PriorityOf(t, m, l, kind);
+            if (kind == PipeOpKind::kWgrad && !graph_.HasWgrad(l)) {
+              op.exists = false;
+              op.done = true;
+              continue;
+            }
+            const TrainOpType ot = kind == PipeOpKind::kFwd
+                                       ? TrainOpType::kForward
+                                       : (kind == PipeOpKind::kDgrad
+                                              ? TrainOpType::kOutputGrad
+                                              : TrainOpType::kWeightGrad);
+            op.duration = cost_.Cost(layer, ot).duration +
+                          cost_.gpu().kernel_exec_overhead;
+            // Dependencies: F needs its input activation (except layer 0,
+            // which reads the micro-batch); dO/dW need the incoming
+            // gradient. Iteration barriers for flush strategies are added
+            // at release time.
+            op.deps = (kind == PipeOpKind::kFwd && l == 0) ? 0 : 1;
+            if (kind == PipeOpKind::kFwd && l == 0 && flush_ && t > 0) {
+              op.deps = 1;  // released by the previous iteration's flush
+            }
+            ++iter_ops_left_[t];
+          }
+        }
+      }
+    }
+    // Per-iteration update barrier time: the slowest GPU's weight updates.
+    update_time_ = 0;
+    std::vector<TimeNs> per_gpu_update(config_.num_gpus, 0);
+    for (int l = 0; l < L_; ++l) {
+      if (graph_.HasWgrad(l)) {
+        per_gpu_update[assignment_[l]] +=
+            cost_.Cost(model_.layers[l], TrainOpType::kWeightUpdate).duration;
+      }
+    }
+    for (TimeNs t : per_gpu_update) {
+      update_time_ = std::max(update_time_, t);
+    }
+  }
+
+  // Makes the zero-dep roots of iteration t schedulable.
+  void ReleaseIteration(int t) {
+    if (t >= iterations_) {
+      return;
+    }
+    for (int m = 0; m < M_; ++m) {
+      const int idx = OpIndex(t, m, 0, PipeOpKind::kFwd);
+      if (t == 0 || !flush_) {
+        if (ops_[idx].deps == 0) {
+          MakeReady(idx);
+        }
+      } else {
+        SatisfyDep(idx);
+      }
+    }
+    if (!flush_ && t + 1 < iterations_) {
+      // Continuous mode: all iterations' roots are schedulable up front;
+      // priorities and the in-flight cap pace them.
+      ReleaseIteration(t + 1);
+    }
+  }
+
+  void SatisfyDep(int idx) {
+    Op& op = ops_[idx];
+    OOBP_CHECK_GT(op.deps, 0);
+    if (--op.deps == 0) {
+      MakeReady(idx);
+    }
+  }
+
+  void MakeReady(int idx) {
+    const Op& op = ops_[idx];
+    GpuState& gs = gpus_[op.gpu];
+    if (op.kind == PipeOpKind::kWgrad && defer_wgrads_) {
+      // Section 6: with reverse-first-k active, the first k layers' weight
+      // gradients jump the pool in ascending order so their data-parallel
+      // synchronizations begin as early as possible.
+      int64_t pool_priority = op.priority;
+      if (op.layer < config_.reverse_first_k) {
+        pool_priority = (static_cast<int64_t>(op.iter) << 44) | op.layer;
+      }
+      gs.pool.emplace(pool_priority, idx);
+    } else {
+      gs.ready.emplace(op.priority, idx);
+    }
+    TryRun(op.gpu);
+  }
+
+  // PipeDream bounds in-flight micro-batches per stage to the number of
+  // stashed weight versions.
+  bool AdmitForward(const GpuState& gs) const {
+    if (flush_) {
+      return true;
+    }
+    const int cap = config_.num_gpus * std::max(1, gs.owned_layers);
+    return gs.fwd_started - gs.bwd_done < cap;
+  }
+
+  void TryRun(int g) {
+    GpuState& gs = gpus_[g];
+    if (gs.busy) {
+      return;
+    }
+    int chosen = -1;
+    for (const auto& [prio, idx] : gs.ready) {
+      if (ops_[idx].kind == PipeOpKind::kFwd && !AdmitForward(gs)) {
+        continue;
+      }
+      chosen = idx;
+      gs.ready.erase({prio, idx});
+      break;
+    }
+    if (chosen < 0 && !gs.pool.empty()) {
+      chosen = gs.pool.begin()->second;
+      gs.pool.erase(gs.pool.begin());
+    }
+    if (chosen < 0) {
+      return;
+    }
+    Op& op = ops_[chosen];
+    gs.busy = true;
+    if (op.kind == PipeOpKind::kFwd) {
+      ++gs.fwd_started;
+      if (op.iter == 0 &&
+          (fwd_start_[op.layer] < 0 || engine_->now() < fwd_start_[op.layer])) {
+        fwd_start_[op.layer] = engine_->now();
+      }
+    }
+    compute_busy_ += op.duration;
+    const TimeNs start = engine_->now();
+    engine_->ScheduleAfter(op.duration, [this, chosen, start] {
+      if (trace_ != nullptr) {
+        const Op& done_op = ops_[chosen];
+        TraceEvent ev;
+        const char* kind_name = done_op.kind == PipeOpKind::kFwd
+                                    ? "F"
+                                    : (done_op.kind == PipeOpKind::kDgrad
+                                           ? "dO"
+                                           : "dW");
+        ev.name = StrFormat("%s[%d]%c#%d", kind_name, done_op.layer,
+                            'A' + done_op.micro % 26, done_op.iter);
+        ev.category = done_op.kind == PipeOpKind::kFwd ? "fwd"
+                      : done_op.kind == PipeOpKind::kDgrad ? "dO" : "dW";
+        ev.track = done_op.gpu;
+        ev.start = start;
+        ev.duration = engine_->now() - start;
+        trace_->Add(ev);
+      }
+      OnOpDone(chosen);
+    });
+  }
+
+  Link* LinkFor(int src, int dst) {
+    const auto key = std::make_pair(src, dst);
+    auto it = links_.find(key);
+    if (it != links_.end()) {
+      return it->second.get();
+    }
+    LinkSpec spec = config_.use_link_override
+                        ? config_.link_override
+                        : config_.cluster.LinkBetween(src, dst);
+    auto link = std::make_unique<Link>(engine_, spec, /*chunk_bytes=*/256 << 10,
+                                       trace_,
+                                       /*track=*/100 + src * 64 + dst);
+    Link* raw = link.get();
+    links_.emplace(key, std::move(link));
+    return raw;
+  }
+
+  void AddMem(int g, int64_t bytes) {
+    live_mem_[g] += bytes;
+    peak_mem_[g] = std::max(peak_mem_[g], live_mem_[g]);
+  }
+
+  // Delivers layer l's output activation for (t, m) to the owner of l+1.
+  void DeliverActivation(int t, int m, int l) {
+    const int src = assignment_[l];
+    const int dst = assignment_[l + 1];
+    const int64_t bytes = model_.layers[l].output_bytes;
+    // The activation is retained until layer l+1's backward no longer needs
+    // it: dW(l+1) when it exists, dO(l+1) otherwise (one consumer either
+    // way; the forward read does not release it).
+    act_consumers_[OpIndex(t, m, l, PipeOpKind::kFwd) / 3] = 1;
+    if (src == dst) {
+      AddMem(dst, bytes);
+      SatisfyDep(OpIndex(t, m, l + 1, PipeOpKind::kFwd));
+      return;
+    }
+    AddMem(src, bytes);  // send buffer
+    LinkFor(src, dst)->Transfer(
+        bytes, /*priority=*/0, StrFormat("act[%d]%c#%d", l, 'A' + m % 26, t),
+        [this, t, m, l, src, dst, bytes] {
+          AddMem(src, -bytes);
+          AddMem(dst, bytes);
+          SatisfyDep(OpIndex(t, m, l + 1, PipeOpKind::kFwd));
+        });
+  }
+
+  // Delivers the gradient flowing into layer l for (t, m) to l's owner.
+  void DeliverGradient(int t, int m, int l, int src) {
+    const int dst = assignment_[l];
+    const int64_t bytes = model_.layers[l].output_bytes;
+    grad_consumers_[OpIndex(t, m, l, PipeOpKind::kFwd) / 3] =
+        1 + (graph_.HasWgrad(l) ? 1 : 0);
+    auto arrive = [this, t, m, l, dst, bytes] {
+      AddMem(dst, bytes);
+      SatisfyDep(OpIndex(t, m, l, PipeOpKind::kDgrad));
+      if (graph_.HasWgrad(l)) {
+        SatisfyDep(OpIndex(t, m, l, PipeOpKind::kWgrad));
+      }
+    };
+    if (src == dst) {
+      arrive();
+      return;
+    }
+    LinkFor(src, dst)->Transfer(
+        bytes, /*priority=*/0, StrFormat("grad[%d]%c#%d", l, 'A' + m % 26, t),
+        std::move(arrive));
+  }
+
+  void ConsumeActivation(int t, int m, int producer_layer) {
+    const int slot = OpIndex(t, m, producer_layer, PipeOpKind::kFwd) / 3;
+    OOBP_CHECK_GT(act_consumers_[slot], 0);
+    if (--act_consumers_[slot] == 0) {
+      AddMem(assignment_[producer_layer + 1],
+             -model_.layers[producer_layer].output_bytes);
+    }
+  }
+
+  void ConsumeGradient(int t, int m, int l) {
+    const int slot = OpIndex(t, m, l, PipeOpKind::kFwd) / 3;
+    OOBP_CHECK_GT(grad_consumers_[slot], 0);
+    if (--grad_consumers_[slot] == 0) {
+      AddMem(assignment_[l], -model_.layers[l].output_bytes);
+    }
+  }
+
+  void OnOpDone(int idx) {
+    Op& op = ops_[idx];
+    op.done = true;
+    GpuState& gs = gpus_[op.gpu];
+    gs.busy = false;
+
+    const int t = op.iter;
+    const int m = op.micro;
+    const int l = op.layer;
+    switch (op.kind) {
+      case PipeOpKind::kFwd:
+        AddMem(op.gpu, model_.layers[l].stash_bytes);
+        if (l + 1 < L_) {
+          DeliverActivation(t, m, l);
+        } else {
+          // Loss: the gradient into the last layer materializes locally.
+          DeliverGradient(t, m, L_ - 1, op.gpu);
+        }
+        break;
+      case PipeOpKind::kDgrad:
+        ++gs.bwd_done;
+        AddMem(op.gpu, -model_.layers[l].stash_bytes);
+        if (l > 0) {
+          DeliverGradient(t, m, l - 1, op.gpu);
+          if (!graph_.HasWgrad(l)) {
+            // A parameter-free layer releases its input activation here.
+            ConsumeActivation(t, m, l - 1);
+          }
+        }
+        ConsumeGradient(t, m, l);
+        break;
+      case PipeOpKind::kWgrad:
+        if (t == 0) {
+          wgrad_done_[l] = std::max(wgrad_done_[l], engine_->now());
+        }
+        if (l > 0) {
+          ConsumeActivation(t, m, l - 1);
+        }
+        ConsumeGradient(t, m, l);
+        break;
+    }
+
+    if (--iter_ops_left_[t] == 0) {
+      // Iteration complete; apply weight updates (barriered for flush
+      // strategies) and release the next iteration.
+      const int done_iter = t;
+      engine_->ScheduleAfter(flush_ ? update_time_ : 0, [this, done_iter] {
+        iter_end_[done_iter] = engine_->now();
+        if (flush_) {
+          ReleaseIteration(done_iter + 1);
+        }
+      });
+    }
+    TryRun(op.gpu);
+  }
+
+  SimEngine* engine_;
+  const PipelineConfig& config_;
+  const NnModel& model_;
+  const TrainGraph& graph_;
+  const CostModel& cost_;
+  const LayerAssignment& assignment_;
+  PipelineStrategy strategy_;
+  int iterations_;
+  TraceRecorder* trace_;
+  const int L_;
+  const int M_;
+
+  bool defer_wgrads_ = false;
+  bool backward_preferred_ = false;
+  bool flush_ = true;
+  TimeNs update_time_ = 0;
+  TimeNs compute_busy_ = 0;
+
+  std::vector<Op> ops_;
+  std::vector<GpuState> gpus_;
+  std::vector<int> iter_ops_left_;
+  std::vector<TimeNs> iter_end_;
+  std::map<std::pair<int, int>, std::unique_ptr<Link>> links_;
+  std::vector<int> act_consumers_;   // keyed by (t, m, producer layer)
+  std::vector<int> grad_consumers_;  // keyed by (t, m, target layer)
+  std::vector<int64_t> live_mem_;
+  std::vector<int64_t> base_mem_;
+  std::vector<int64_t> peak_mem_;
+  std::vector<TimeNs> fwd_start_;
+  std::vector<TimeNs> wgrad_done_;
+};
+
+}  // namespace
+
+PipelineResult PipelineEngine::Run(const NnModel& micro_model,
+                                   PipelineStrategy strategy,
+                                   TraceRecorder* trace) const {
+  const TrainGraph graph(&micro_model);
+  const CostModel cost(config_.cluster.gpu, config_.profile);
+  const LayerAssignment assignment = AssignmentFor(micro_model, strategy);
+  OOBP_CHECK(AssignmentCoversAllGpus(assignment, config_.num_gpus))
+      << "a GPU owns no layers: use fewer GPUs or a finer model";
+
+  const bool continuous = strategy == PipelineStrategy::kPipeDream;
+  const int iterations = continuous ? 1 + config_.measured_iterations : 1;
+
+  SimEngine engine;
+  PipeSim sim(&engine, config_, micro_model, graph, cost, assignment, strategy,
+              iterations, trace);
+  sim.Start();
+  engine.Run();
+
+  PipelineResult result;
+  result.assignment = assignment;
+  result.weight_versions = continuous ? config_.num_gpus : 1;
+
+  TimeNs iter_time;
+  if (continuous) {
+    const TimeNs t0 = sim.IterEnd(0);
+    const TimeNs tn = sim.IterEnd(iterations - 1);
+    OOBP_CHECK_GT(tn, t0);
+    iter_time = (tn - t0) / config_.measured_iterations;
+  } else {
+    iter_time = sim.IterEnd(0);
+    OOBP_CHECK_GT(iter_time, 0) << "pipeline did not complete";
+  }
+  result.metrics.iteration_time = iter_time;
+  result.metrics.throughput =
+      static_cast<double>(micro_model.batch) * config_.num_micro_batches /
+      ToSec(iter_time);
+  result.metrics.gpu_utilization =
+      static_cast<double>(sim.compute_busy()) /
+      (static_cast<double>(iter_time) * config_.num_gpus * iterations);
+  result.per_gpu_peak_memory = sim.peak_memory();
+  result.fwd_start = sim.fwd_start();
+  result.wgrad_done = sim.wgrad_done();
+  for (int64_t peak : result.per_gpu_peak_memory) {
+    result.metrics.peak_memory_bytes =
+        std::max(result.metrics.peak_memory_bytes, peak);
+  }
+  result.metrics.oom =
+      result.metrics.peak_memory_bytes > config_.cluster.gpu.mem_bytes;
+  if (sim.compute_busy() > 0) {
+    result.comm_comp_ratio = static_cast<double>(sim.comm_busy()) /
+                             static_cast<double>(sim.compute_busy());
+    result.metrics.comm_comp_ratio = result.comm_comp_ratio;
+  }
+  return result;
+}
+
+}  // namespace oobp

@@ -1,0 +1,185 @@
+#include "src/runtime/single_gpu_engine.h"
+
+#include <algorithm>
+#include <utility>
+#include <vector>
+
+#include "src/common/check.h"
+#include "src/common/str_util.h"
+#include "src/core/memory_model.h"
+#include "src/hw/cpu_launcher.h"
+#include "src/hw/gpu.h"
+#include "src/sim/engine.h"
+
+namespace oobp {
+
+IterationSchedule NaiveSubStreamIteration(const TrainGraph& graph) {
+  IterationSchedule sched;
+  for (const TrainOp& op : graph.ConventionalBackprop()) {
+    if (op.type == TrainOpType::kWeightGrad) {
+      sched.ops.push_back({op, kSubStream, -1});
+      sched.ops.push_back({{TrainOpType::kWeightUpdate, op.layer}, kSubStream, -1});
+    } else {
+      sched.ops.push_back({op, kMainStream, -1});
+    }
+  }
+  for (const TrainOp& op : graph.Forward()) {
+    sched.ops.push_back({op, kMainStream, -1});
+  }
+  return sched;
+}
+
+SingleGpuEngine::SingleGpuEngine(SingleGpuConfig config)
+    : config_(std::move(config)) {
+  OOBP_CHECK_GT(config_.measured_iterations, 0);
+}
+
+TrainMetrics SingleGpuEngine::Run(const NnModel& model,
+                                  const IterationSchedule& schedule,
+                                  TraceRecorder* trace) const {
+  const TrainGraph graph(&model);
+  const CostModel cost(config_.gpu, config_.profile);
+  const int L = model.num_layers();
+  const int iterations = 1 + config_.measured_iterations;  // 1 warm-up
+
+  SimEngine engine;
+  Gpu gpu(&engine, config_.gpu, trace, /*trace_track_base=*/0);
+  const StreamId main_stream = gpu.CreateStream(/*priority=*/0);
+  const StreamId sub_stream = gpu.CreateStream(/*priority=*/1);
+  CpuLauncher launcher(&engine, &gpu,
+                       config_.precompiled_issue ? CpuLauncher::Mode::kPrecompiled
+                                                 : CpuLauncher::Mode::kPerOp,
+                       config_.profile.graph_launch_latency, trace,
+                       /*issue_track=*/100, config_.profile.issue_queue_depth);
+
+  // Build the issue sequence for all iterations with full data dependencies.
+  std::vector<IssueItem> items;
+  std::vector<int> iter_last_item(iterations, -1);
+  constexpr int kNone = -1;
+  std::vector<int> fwd_item(L, kNone), dgrad_item(L, kNone),
+      wgrad_item(L, kNone), update_item(L, kNone);
+  std::vector<int> prev_fwd_item(L, kNone);
+
+  for (int t = 0; t < iterations; ++t) {
+    std::fill(fwd_item.begin(), fwd_item.end(), kNone);
+    std::fill(dgrad_item.begin(), dgrad_item.end(), kNone);
+    std::fill(wgrad_item.begin(), wgrad_item.end(), kNone);
+    std::fill(update_item.begin(), update_item.end(), kNone);
+    std::vector<int> sched_to_item(schedule.ops.size(), kNone);
+
+    for (size_t p = 0; p < schedule.ops.size(); ++p) {
+      const ScheduledOp& s = schedule.ops[p];
+      const Layer& layer = model.layers[s.op.layer];
+      const KernelCost kc = cost.Cost(layer, s.op.type);
+
+      IssueItem item;
+      item.stream = s.stream == kSubStream ? sub_stream : main_stream;
+      item.name = StrFormat("%s[%s]#%d", TrainOpTypeName(s.op.type),
+                            layer.name.c_str(), t);
+      item.category = TrainOpTypeName(s.op.type);
+      item.solo_duration = kc.duration;
+      item.thread_blocks = kc.thread_blocks;
+      item.issue_latency = kc.issue_latency;
+
+      const int i = s.op.layer;
+      switch (s.op.type) {
+        case TrainOpType::kForward:
+          if (i > 0 && fwd_item[i - 1] != kNone) {
+            item.dep_items.push_back(fwd_item[i - 1]);
+          }
+          if (update_item[i] != kNone) {
+            item.dep_items.push_back(update_item[i]);
+          }
+          break;
+        case TrainOpType::kOutputGrad:
+          if (i + 1 < L && dgrad_item[i + 1] != kNone) {
+            item.dep_items.push_back(dgrad_item[i + 1]);
+          } else if (i + 1 >= L && prev_fwd_item[L - 1] != kNone) {
+            // Loss gradient: available once the previous iteration's forward
+            // pass (and loss) completed.
+            item.dep_items.push_back(prev_fwd_item[L - 1]);
+          }
+          break;
+        case TrainOpType::kWeightGrad:
+          if (i + 1 < L) {
+            OOBP_CHECK_NE(dgrad_item[i + 1], kNone)
+                << "dW[" << i << "] issued before dO[" << i + 1 << "]";
+            item.dep_items.push_back(dgrad_item[i + 1]);
+          } else if (prev_fwd_item[L - 1] != kNone) {
+            item.dep_items.push_back(prev_fwd_item[L - 1]);
+          }
+          if (s.wait_for_index >= 0) {
+            const int pinned = sched_to_item[s.wait_for_index];
+            OOBP_CHECK_NE(pinned, kNone);
+            item.dep_items.push_back(pinned);
+          }
+          break;
+        case TrainOpType::kWeightUpdate:
+          OOBP_CHECK_NE(wgrad_item[i], kNone);
+          item.dep_items.push_back(wgrad_item[i]);
+          break;
+      }
+
+      const int item_index = static_cast<int>(items.size());
+      sched_to_item[p] = item_index;
+      switch (s.op.type) {
+        case TrainOpType::kForward:
+          fwd_item[i] = item_index;
+          break;
+        case TrainOpType::kOutputGrad:
+          dgrad_item[i] = item_index;
+          break;
+        case TrainOpType::kWeightGrad:
+          wgrad_item[i] = item_index;
+          break;
+        case TrainOpType::kWeightUpdate:
+          update_item[i] = item_index;
+          break;
+      }
+      items.push_back(std::move(item));
+    }
+    prev_fwd_item = fwd_item;
+    iter_last_item[t] = static_cast<int>(items.size()) - 1;
+  }
+
+  // Run to completion, tracking per-item kernel ids for iteration timing.
+  std::vector<KernelId> item_kernel(items.size(), -1);
+  launcher.Launch(std::move(items), [&](size_t index, KernelId id) {
+    item_kernel[index] = id;
+  });
+  engine.Run();
+  OOBP_CHECK_EQ(gpu.kernels_completed(), item_kernel.size());
+
+  std::vector<TimeNs> iter_end(iterations, 0);
+  {
+    int t = 0;
+    for (size_t index = 0; index < item_kernel.size(); ++index) {
+      while (static_cast<int>(index) > iter_last_item[t]) {
+        ++t;
+      }
+      iter_end[t] = std::max(iter_end[t], gpu.CompletionTime(item_kernel[index]));
+    }
+  }
+
+  TrainMetrics metrics;
+  const TimeNs window = iter_end[iterations - 1] - iter_end[0];
+  metrics.iteration_time = window / config_.measured_iterations;
+  metrics.throughput =
+      static_cast<double>(model.batch) / ToSec(metrics.iteration_time);
+  const double capacity = static_cast<double>(config_.gpu.slot_capacity());
+  if (window > 0) {
+    metrics.gpu_utilization =
+        gpu.SmBusyIntegral() / (capacity * static_cast<double>(iter_end[iterations - 1]));
+  }
+
+  // Memory: schedule-dependent activation peak plus the static base, under
+  // the framework's allocator overhead.
+  const MemoryTimeline mem =
+      EstimateBackpropMemory(model, schedule.MergedOrder());
+  metrics.peak_memory_bytes = static_cast<int64_t>(
+      static_cast<double>(mem.peak_total()) * config_.profile.allocator_overhead);
+  metrics.oom = metrics.peak_memory_bytes > config_.gpu.mem_bytes;
+  return metrics;
+}
+
+}  // namespace oobp

@@ -1,0 +1,32 @@
+#include "src/sim/engine.h"
+
+#include <utility>
+
+namespace oobp {
+
+uint64_t SimEngine::Run(TimeNs limit) {
+  uint64_t count = 0;
+  while (!queue_.empty() && queue_.top().time <= limit) {
+    if (!Step()) {
+      break;
+    }
+    ++count;
+  }
+  return count;
+}
+
+bool SimEngine::Step() {
+  if (queue_.empty()) {
+    return false;
+  }
+  // The queue holds const references; move out via a copy of the callback.
+  Event ev = queue_.top();
+  queue_.pop();
+  OOBP_CHECK_GE(ev.time, now_);
+  now_ = ev.time;
+  ++processed_;
+  ev.cb();
+  return true;
+}
+
+}  // namespace oobp

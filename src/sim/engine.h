@@ -1,0 +1,74 @@
+// Discrete-event simulation engine.
+//
+// A single-threaded event queue ordered by (time, sequence number). The
+// sequence number makes same-timestamp processing order deterministic, which
+// in turn makes every experiment in this repository bit-reproducible.
+
+#ifndef OOBP_SRC_SIM_ENGINE_H_
+#define OOBP_SRC_SIM_ENGINE_H_
+
+#include <cstdint>
+#include <functional>
+#include <limits>
+#include <queue>
+#include <vector>
+
+#include "src/common/check.h"
+#include "src/common/time.h"
+
+namespace oobp {
+
+class SimEngine {
+ public:
+  using Callback = std::function<void()>;
+
+  SimEngine() = default;
+  SimEngine(const SimEngine&) = delete;
+  SimEngine& operator=(const SimEngine&) = delete;
+
+  TimeNs now() const { return now_; }
+  bool empty() const { return queue_.empty(); }
+  uint64_t processed_events() const { return processed_; }
+
+  // Schedules `cb` at absolute time `t`; `t` must not be in the past.
+  void ScheduleAt(TimeNs t, Callback cb) {
+    OOBP_CHECK_GE(t, now_);
+    queue_.push(Event{t, next_seq_++, std::move(cb)});
+  }
+
+  void ScheduleAfter(TimeNs delay, Callback cb) {
+    OOBP_CHECK_GE(delay, 0);
+    ScheduleAt(now_ + delay, std::move(cb));
+  }
+
+  // Processes events in timestamp order until the queue drains or the clock
+  // would pass `limit`. Returns the number of events processed by this call.
+  uint64_t Run(TimeNs limit = std::numeric_limits<TimeNs>::max());
+
+  // Processes a single event if one exists. Returns false on an empty queue.
+  bool Step();
+
+ private:
+  struct Event {
+    TimeNs time;
+    uint64_t seq;
+    Callback cb;
+  };
+  struct EventLater {
+    bool operator()(const Event& a, const Event& b) const {
+      if (a.time != b.time) {
+        return a.time > b.time;
+      }
+      return a.seq > b.seq;
+    }
+  };
+
+  TimeNs now_ = 0;
+  uint64_t next_seq_ = 0;
+  uint64_t processed_ = 0;
+  std::priority_queue<Event, std::vector<Event>, EventLater> queue_;
+};
+
+}  // namespace oobp
+
+#endif  // OOBP_SRC_SIM_ENGINE_H_

@@ -1,0 +1,149 @@
+#include "src/sim/fluid.h"
+
+#include <algorithm>
+#include <cmath>
+#include <utility>
+
+namespace oobp {
+
+namespace {
+// Work below this many rate*ns counts as drained; absorbs the rounding that
+// integer-nanosecond completion times introduce.
+constexpr double kWorkEpsilon = 1e-6;
+}  // namespace
+
+FluidProcessor::FluidProcessor(SimEngine* engine, double capacity)
+    : engine_(engine), capacity_(capacity) {
+  OOBP_CHECK(engine != nullptr);
+  OOBP_CHECK_GT(capacity, 0.0);
+  last_update_ = engine->now();
+}
+
+FluidJobId FluidProcessor::Add(double work, double max_rate, int priority,
+                               std::function<void()> on_complete) {
+  OOBP_CHECK_GE(work, 0.0);
+  OOBP_CHECK_GT(max_rate, 0.0);
+  Advance();
+  const FluidJobId id = next_id_++;
+  Job job;
+  job.remaining = work;
+  job.max_rate = max_rate;
+  job.priority = priority;
+  job.seq = id;
+  job.on_complete = std::move(on_complete);
+  jobs_.emplace(id, std::move(job));
+  Reallocate();
+  return id;
+}
+
+bool FluidProcessor::Cancel(FluidJobId id) {
+  Advance();
+  auto it = jobs_.find(id);
+  if (it == jobs_.end()) {
+    return false;
+  }
+  jobs_.erase(it);
+  Reallocate();
+  return true;
+}
+
+double FluidProcessor::busy_integral() const {
+  double total = busy_integral_;
+  const double dt = static_cast<double>(engine_->now() - last_update_);
+  for (const auto& [id, job] : jobs_) {
+    total += job.rate * dt;
+  }
+  return total;
+}
+
+double FluidProcessor::RateOf(FluidJobId id) const {
+  auto it = jobs_.find(id);
+  return it == jobs_.end() ? 0.0 : it->second.rate;
+}
+
+void FluidProcessor::Advance() {
+  const TimeNs now = engine_->now();
+  OOBP_CHECK_GE(now, last_update_);
+  const double dt = static_cast<double>(now - last_update_);
+  last_update_ = now;
+
+  std::vector<std::function<void()>> completions;
+  if (dt > 0.0) {
+    for (auto it = jobs_.begin(); it != jobs_.end();) {
+      Job& job = it->second;
+      // Integer-ns wake-ups can overshoot a completion by a fraction of a
+      // nanosecond; only count work that actually existed.
+      busy_integral_ += std::min(job.rate * dt, job.remaining);
+      job.remaining = std::max(0.0, job.remaining - job.rate * dt);
+      ++it;
+    }
+  }
+  // Completion order is deterministic: ascending job id.
+  for (auto it = jobs_.begin(); it != jobs_.end();) {
+    if (it->second.remaining <= kWorkEpsilon) {
+      completions.push_back(std::move(it->second.on_complete));
+      it = jobs_.erase(it);
+    } else {
+      ++it;
+    }
+  }
+  // Callbacks run after the job table is consistent: they may re-enter Add().
+  for (auto& cb : completions) {
+    if (cb) {
+      cb();
+    }
+  }
+}
+
+void FluidProcessor::Reallocate() {
+  ++generation_;
+  if (jobs_.empty()) {
+    return;
+  }
+
+  // Priority-ordered greedy allocation (lower priority value first, FIFO
+  // within a level) — this is the GPU stream-priority semantics.
+  std::vector<Job*> order;
+  order.reserve(jobs_.size());
+  for (auto& [id, job] : jobs_) {
+    order.push_back(&job);
+  }
+  std::sort(order.begin(), order.end(), [](const Job* a, const Job* b) {
+    if (a->priority != b->priority) {
+      return a->priority < b->priority;
+    }
+    return a->seq < b->seq;
+  });
+
+  double free = capacity_;
+  for (Job* job : order) {
+    job->rate = std::min(job->max_rate, free);
+    free -= job->rate;
+  }
+
+  // Next completion among jobs that are making progress.
+  double min_tta = -1.0;
+  for (const Job* job : order) {
+    if (job->rate > 0.0) {
+      const double tta = job->remaining / job->rate;
+      if (min_tta < 0.0 || tta < min_tta) {
+        min_tta = tta;
+      }
+    }
+  }
+  if (min_tta < 0.0) {
+    return;  // every active job is starved; a future Add/Cancel re-triggers
+  }
+  const TimeNs wake =
+      engine_->now() + std::max<TimeNs>(1, static_cast<TimeNs>(std::ceil(min_tta)));
+  const uint64_t gen = generation_;
+  engine_->ScheduleAt(wake, [this, gen] {
+    if (gen != generation_) {
+      return;  // allocation changed since this wake-up was scheduled
+    }
+    Advance();
+    Reallocate();
+  });
+}
+
+}  // namespace oobp

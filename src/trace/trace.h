@@ -1,0 +1,63 @@
+// Execution trace recording.
+//
+// Engines record one TraceEvent per kernel execution, communication, or
+// stall. Traces serve three purposes: Chrome-trace JSON export for visual
+// inspection (chrome://tracing / Perfetto), timeline analysis for the
+// figure-reproduction benches (e.g. Figure 2's issue-masking breakdown), and
+// utilization metrics.
+
+#ifndef OOBP_SRC_TRACE_TRACE_H_
+#define OOBP_SRC_TRACE_TRACE_H_
+
+#include <cstdint>
+#include <map>
+#include <string>
+#include <vector>
+
+#include "src/common/time.h"
+
+namespace oobp {
+
+struct TraceEvent {
+  std::string name;       // e.g. "dW[conv4_2]"
+  std::string category;   // "fwd", "dO", "dW", "update", "comm", "issue", ...
+  int track = 0;          // device/stream id the event ran on
+  TimeNs start = 0;
+  TimeNs duration = 0;
+  std::map<std::string, std::string> args;  // free-form annotations
+
+  TimeNs end() const { return start + duration; }
+};
+
+class TraceRecorder {
+ public:
+  void Add(TraceEvent ev) { events_.push_back(std::move(ev)); }
+  void Clear() { events_.clear(); }
+
+  const std::vector<TraceEvent>& events() const { return events_; }
+
+  // Events on one track, sorted by start time.
+  std::vector<TraceEvent> TrackEvents(int track) const;
+
+  // Total busy time on a track within [begin, end), counting overlapping
+  // events once (union of intervals).
+  TimeNs BusyTime(int track, TimeNs begin, TimeNs end) const;
+
+  // Latest event end over all tracks (0 when empty).
+  TimeNs Makespan() const;
+
+  // Serializes to the Chrome trace-event JSON array format. `track_names`
+  // maps track ids to thread names shown by the viewer.
+  std::string ToChromeJson(const std::map<int, std::string>& track_names) const;
+
+  // Writes ToChromeJson to a file; returns false on I/O failure.
+  bool WriteChromeJson(const std::string& path,
+                       const std::map<int, std::string>& track_names) const;
+
+ private:
+  std::vector<TraceEvent> events_;
+};
+
+}  // namespace oobp
+
+#endif  // OOBP_SRC_TRACE_TRACE_H_

@@ -1,0 +1,52 @@
+#include <gtest/gtest.h>
+
+#include "src/hw/cluster.h"
+
+namespace oobp {
+namespace {
+
+TEST(ClusterTest, Table2Presets) {
+  const ClusterSpec a = ClusterSpec::PrivA();
+  EXPECT_EQ(a.total_gpus(), 8);
+  EXPECT_EQ(a.gpu.name, "TitanXp");
+  EXPECT_EQ(a.inter_node.name, "10GbE");
+
+  const ClusterSpec b = ClusterSpec::PrivB();
+  EXPECT_EQ(b.total_gpus(), 20);
+  EXPECT_EQ(b.gpu.name, "P100");
+
+  const ClusterSpec pa = ClusterSpec::PubA();
+  EXPECT_EQ(pa.total_gpus(), 48);
+  EXPECT_EQ(pa.gpus_per_node, 4);
+  EXPECT_EQ(pa.intra_node.name, "NVLink");
+
+  const ClusterSpec pb = ClusterSpec::PubB();
+  EXPECT_EQ(pb.total_gpus(), 40);
+  EXPECT_EQ(pb.gpus_per_node, 8);
+  EXPECT_EQ(pb.inter_node.name, "25GbE");
+}
+
+TEST(ClusterTest, NodeOfAndLinkSelection) {
+  const ClusterSpec c = ClusterSpec::PubA();  // 4 GPUs per node
+  EXPECT_EQ(c.NodeOf(0), 0);
+  EXPECT_EQ(c.NodeOf(3), 0);
+  EXPECT_EQ(c.NodeOf(4), 1);
+  EXPECT_EQ(c.LinkBetween(0, 3).name, "NVLink");
+  EXPECT_EQ(c.LinkBetween(0, 4).name, "10GbE");
+  EXPECT_EQ(c.LinkBetween(7, 4).name, "NVLink");
+}
+
+TEST(ClusterTest, NodeCountParameterScalesCluster) {
+  EXPECT_EQ(ClusterSpec::PubA(2).total_gpus(), 8);
+  EXPECT_EQ(ClusterSpec::PrivB(5).total_gpus(), 5);
+}
+
+TEST(ClusterTest, PrivateFabricsAreBlocking) {
+  EXPECT_GT(ClusterSpec::PrivA().switch_bandwidth_gbps, 0.0);
+  EXPECT_GT(ClusterSpec::PrivB().switch_bandwidth_gbps, 0.0);
+  // AWS clusters are modeled as non-blocking (NIC-limited).
+  EXPECT_EQ(ClusterSpec::PubA().switch_bandwidth_gbps, 0.0);
+}
+
+}  // namespace
+}  // namespace oobp

@@ -1,0 +1,136 @@
+#include <gtest/gtest.h>
+
+#include "src/core/corun_profiler.h"
+#include "src/core/region.h"
+#include "src/nn/model_zoo.h"
+
+namespace oobp {
+namespace {
+
+struct Fixture {
+  NnModel model;
+  CostModel cost;
+  TrainGraph graph;
+  CorunProfiler profiler;
+
+  explicit Fixture(NnModel m)
+      : model(std::move(m)),
+        cost(GpuSpec::V100(), SystemProfile::TensorFlowXla()),
+        graph(&model),
+        profiler(graph, cost, BuildRegions(graph)) {}
+};
+
+TEST(CorunProfilerTest, MainDurationsPositiveAndSumSane) {
+  Fixture s(DenseNet(121, 32, 32));
+  TimeNs total = 0;
+  for (int r = 0; r < s.profiler.num_regions(); ++r) {
+    EXPECT_GT(s.profiler.MainDuration(r), 0);
+    total += s.profiler.MainDuration(r);
+  }
+  // Total main-stream time covers dO of all layers plus forward.
+  EXPECT_GT(total, Ms(1));
+}
+
+TEST(CorunProfilerTest, SpeedupAtLeastOne) {
+  Fixture s(DenseNet(121, 32, 32));
+  for (int r = 0; r < s.profiler.num_regions(); ++r) {
+    for (int l = 0; l < s.model.num_layers(); l += 7) {
+      if (!s.graph.HasWgrad(l)) {
+        continue;
+      }
+      const TrainOp op{TrainOpType::kWeightGrad, l};
+      EXPECT_GE(s.profiler.SpeedupAt(r, op, 0), 1.0 - 1e-9);
+    }
+  }
+}
+
+TEST(CorunProfilerTest, SubTimeNeverBeatsSoloTime) {
+  Fixture s(DenseNet(121, 32, 32));
+  for (int r = 0; r < s.profiler.num_regions(); ++r) {
+    for (int l = 0; l < s.model.num_layers(); l += 11) {
+      if (!s.graph.HasWgrad(l)) {
+        continue;
+      }
+      const TrainOp op{TrainOpType::kWeightGrad, l};
+      EXPECT_GE(s.profiler.SubTimeAt(r, op, 0), s.profiler.SoloTime(op));
+    }
+  }
+}
+
+TEST(CorunProfilerTest, SubTimePastRegionEqualsSolo) {
+  Fixture s(DenseNet(121, 32, 32));
+  const TrainOp op{TrainOpType::kWeightGrad, 5};
+  ASSERT_TRUE(s.graph.HasWgrad(5));
+  const TimeNs past_end = s.profiler.MainDuration(0) + Ms(1);
+  EXPECT_EQ(s.profiler.SubTimeAt(0, op, past_end), s.profiler.SoloTime(op));
+}
+
+TEST(CorunProfilerTest, ReadyPointOfTopLayerIsOrigin) {
+  Fixture s(Ffnn(8, 64));
+  const auto [region, offset] =
+      s.profiler.ReadyPoint({TrainOpType::kWeightGrad, 7});
+  EXPECT_EQ(region, 0);
+  EXPECT_EQ(offset, 0);
+}
+
+TEST(CorunProfilerTest, ReadyPointsMonotoneInReverseLayerOrder) {
+  Fixture s(Ffnn(8, 64));
+  // dW of a lower layer becomes ready no earlier than a higher layer's.
+  auto point = [&](int l) {
+    return s.profiler.ReadyPoint({TrainOpType::kWeightGrad, l});
+  };
+  for (int l = 6; l >= 0; --l) {
+    const auto later = point(l);
+    const auto earlier = point(l + 1);
+    EXPECT_TRUE(later.first > earlier.first ||
+                (later.first == earlier.first &&
+                 later.second >= earlier.second));
+  }
+}
+
+TEST(CorunProfilerTest, DeadlineExcludesForwardRegionOfOwnLayer) {
+  Fixture s(Ffnn(8, 64));
+  for (int l = 0; l < 8; ++l) {
+    const TrainOp op{TrainOpType::kWeightGrad, l};
+    const int deadline = s.profiler.DeadlineRegion(op);
+    // The deadline region (if within range) must be a forward region
+    // containing layer l.
+    ASSERT_GT(deadline, 0);
+    if (deadline < s.profiler.num_regions()) {
+      const Region& r = s.profiler.region(deadline);
+      EXPECT_EQ(r.kind, Region::Kind::kForward);
+      EXPECT_LE(r.FirstLayer(), l);
+      EXPECT_GE(r.LastLayer(), l);
+    }
+  }
+}
+
+TEST(CorunProfilerTest, NoForwardRegionsMeansNoDeadline) {
+  const NnModel m = Ffnn(8, 64);
+  const CostModel cost(GpuSpec::V100(), SystemProfile::TensorFlowXla());
+  const TrainGraph graph(&m);
+  const CorunProfiler profiler(graph, cost,
+                               BuildRegions(graph, /*include_forward=*/false));
+  EXPECT_EQ(profiler.DeadlineRegion({TrainOpType::kWeightGrad, 3}),
+            profiler.num_regions());
+}
+
+TEST(CorunProfilerTest, LeftoverCapacityYieldsSpeedupSomewhere) {
+  // DenseNet on ImageNet has late regions with underutilized kernels; the
+  // profiler must find at least one (region, dW) pair with speedup > 1.05.
+  Fixture s(DenseNet(121, 32, 32, /*image=*/224));
+  double best = 1.0;
+  for (int r = 0; r < s.profiler.num_regions(); ++r) {
+    for (int l = 0; l < s.model.num_layers(); ++l) {
+      if (!s.graph.HasWgrad(l)) {
+        continue;
+      }
+      best = std::max(best,
+                      s.profiler.SpeedupAt(r, {TrainOpType::kWeightGrad, l}, 0));
+    }
+  }
+  EXPECT_GT(best, 1.05);
+}
+
+}  // namespace
+}  // namespace oobp

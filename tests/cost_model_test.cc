@@ -1,0 +1,92 @@
+#include <gtest/gtest.h>
+
+#include "src/nn/cost_model.h"
+#include "src/nn/layer_builder.h"
+
+namespace oobp {
+namespace {
+
+CostModel XlaV100() {
+  return CostModel(GpuSpec::V100(), SystemProfile::TensorFlowXla());
+}
+
+TEST(CostModelTest, RooflineComputeBound) {
+  const CostModel cm = XlaV100();
+  // Huge FLOPs, tiny bytes: time scales linearly with FLOPs.
+  const TimeNs t1 = cm.RooflineTime(1'000'000'000, 1000);
+  const TimeNs t2 = cm.RooflineTime(2'000'000'000, 1000);
+  EXPECT_NEAR(static_cast<double>(t2) / t1, 2.0, 0.01);
+}
+
+TEST(CostModelTest, RooflineMemoryBound) {
+  const CostModel cm = XlaV100();
+  const TimeNs t1 = cm.RooflineTime(1000, 100'000'000);
+  const TimeNs t2 = cm.RooflineTime(1000, 200'000'000);
+  EXPECT_NEAR(static_cast<double>(t2) / t1, 2.0, 0.01);
+}
+
+TEST(CostModelTest, KernelFloorApplies) {
+  const CostModel cm = XlaV100();
+  EXPECT_GE(cm.RooflineTime(1, 1), Us(1));
+}
+
+TEST(CostModelTest, OccupancyPenaltySlowsTinyKernels) {
+  const CostModel cm = XlaV100();
+  const int64_t flops = 10'000'000'000;
+  const TimeNs full = cm.RooflineTime(flops, 1000, /*thread_blocks=*/100000);
+  const TimeNs tiny = cm.RooflineTime(flops, 1000, /*thread_blocks=*/40);
+  EXPECT_GT(tiny, 2 * full);
+}
+
+TEST(CostModelTest, WeightGradSameOrderAsForwardForConv) {
+  const CostModel cm = XlaV100();
+  const Layer conv = MakeConv2d("c", "b", 32, 64, 56, 56, 64, 3, 1);
+  const TimeNs fwd = cm.Cost(conv, TrainOpType::kForward).duration;
+  const TimeNs wgrad = cm.Cost(conv, TrainOpType::kWeightGrad).duration;
+  EXPECT_GT(wgrad, fwd / 4);
+  EXPECT_LT(wgrad, fwd * 4);
+}
+
+TEST(CostModelTest, UpdateIsMuchCheaperThanGradients) {
+  const CostModel cm = XlaV100();
+  const Layer conv = MakeConv2d("c", "b", 32, 256, 14, 14, 256, 3, 1);
+  EXPECT_LT(cm.Cost(conv, TrainOpType::kWeightUpdate).duration,
+            cm.Cost(conv, TrainOpType::kWeightGrad).duration / 4);
+}
+
+TEST(CostModelTest, UnfusedProfilePaysPerPrimitiveIssue) {
+  const Layer conv = MakeConv2d("c", "b", 32, 64, 56, 56, 64, 3, 1);
+  ASSERT_EQ(conv.fused_ops, 3);  // conv + bn + relu
+  const CostModel fused(GpuSpec::V100(), SystemProfile::TensorFlowXla());
+  const CostModel unfused(GpuSpec::V100(), SystemProfile::TensorFlow());
+  const TimeNs fused_issue = fused.Cost(conv, TrainOpType::kForward).issue_latency;
+  const TimeNs unfused_issue =
+      unfused.Cost(conv, TrainOpType::kForward).issue_latency;
+  EXPECT_EQ(fused_issue, SystemProfile::TensorFlowXla().issue_latency_per_op);
+  EXPECT_EQ(unfused_issue, 3 * SystemProfile::TensorFlow().issue_latency_per_op);
+}
+
+TEST(CostModelTest, FasterGpuIsFaster) {
+  const Layer conv = MakeConv2d("c", "b", 32, 256, 14, 14, 256, 3, 1);
+  const CostModel v100(GpuSpec::V100(), SystemProfile::TensorFlowXla());
+  const CostModel titan(GpuSpec::TitanXp(), SystemProfile::TensorFlowXla());
+  EXPECT_LT(v100.Cost(conv, TrainOpType::kForward).duration,
+            titan.Cost(conv, TrainOpType::kForward).duration);
+}
+
+TEST(CostModelTest, TrainOpTypeNames) {
+  EXPECT_STREQ(TrainOpTypeName(TrainOpType::kForward), "fwd");
+  EXPECT_STREQ(TrainOpTypeName(TrainOpType::kOutputGrad), "dO");
+  EXPECT_STREQ(TrainOpTypeName(TrainOpType::kWeightGrad), "dW");
+  EXPECT_STREQ(TrainOpTypeName(TrainOpType::kWeightUpdate), "update");
+}
+
+TEST(GpuSpecTest, PresetsSane) {
+  const GpuSpec v100 = GpuSpec::V100();
+  EXPECT_EQ(v100.slot_capacity(), 1520);  // the paper's number
+  EXPECT_GT(GpuSpec::V100().fp32_tflops, GpuSpec::P100().fp32_tflops);
+  EXPECT_GT(GpuSpec::P100().num_sms, GpuSpec::TitanXp().num_sms);
+}
+
+}  // namespace
+}  // namespace oobp

@@ -1,0 +1,120 @@
+#include <gtest/gtest.h>
+
+#include "src/core/reverse_k.h"
+#include "src/nn/model_zoo.h"
+#include "src/runtime/data_parallel_engine.h"
+
+namespace oobp {
+namespace {
+
+DataParallelConfig Config(int gpus, CommScheme scheme) {
+  DataParallelConfig config;
+  config.cluster = ClusterSpec::PubA();
+  config.num_gpus = gpus;
+  config.scheme = scheme;
+  config.measured_iterations = 2;
+  return config;
+}
+
+TEST(DataParallelEngineTest, SingleGpuHasNoCommOverhead) {
+  const NnModel m = ResNet(50, 64);
+  const TrainGraph g(&m);
+  const DataParallelEngine engine(Config(1, CommScheme::kBytePS));
+  const TrainMetrics metrics = engine.Run(m, g.ConventionalBackprop());
+  EXPECT_EQ(metrics.comm_comp_ratio, 0.0);
+  EXPECT_EQ(engine.SyncVolume(m, 0), 0);
+}
+
+TEST(DataParallelEngineTest, SyncVolumeGrowsWithClusterSize) {
+  const NnModel m = ResNet(50, 64);
+  const DataParallelEngine e8(Config(8, CommScheme::kBytePS));
+  const DataParallelEngine e32(Config(32, CommScheme::kBytePS));
+  int layer = -1;
+  for (int l = 0; l < m.num_layers(); ++l) {
+    if (m.layers[l].has_params()) {
+      layer = l;
+      break;
+    }
+  }
+  ASSERT_GE(layer, 0);
+  EXPECT_LT(e8.SyncVolume(m, layer), e32.SyncVolume(m, layer));
+}
+
+TEST(DataParallelEngineTest, IntraNodeBandwidthUsedForSmallJobs) {
+  const DataParallelEngine e4(Config(4, CommScheme::kBytePS));
+  const DataParallelEngine e8(Config(8, CommScheme::kBytePS));
+  // 4 GPUs fit one Pub-A node (NVLink); 8 GPUs span nodes (Ethernet/4).
+  EXPECT_GT(e4.ChannelBandwidthGbps(), 10 * e8.ChannelBandwidthGbps());
+}
+
+TEST(DataParallelEngineTest, PerGpuThroughputDegradesWithScale) {
+  const NnModel m = ResNet(50, 64);
+  const TrainGraph g(&m);
+  const TrainMetrics m4 =
+      DataParallelEngine(Config(4, CommScheme::kBytePS)).Run(m, g.ConventionalBackprop());
+  const TrainMetrics m32 =
+      DataParallelEngine(Config(32, CommScheme::kBytePS)).Run(m, g.ConventionalBackprop());
+  EXPECT_LT(m32.throughput / 32.0, m4.throughput / 4.0);
+  // But global throughput still grows.
+  EXPECT_GT(m32.throughput, m4.throughput);
+}
+
+TEST(DataParallelEngineTest, BytePsBeatsHorovodAtScale) {
+  const NnModel m = ResNet(50, 64);
+  const TrainGraph g(&m);
+  const TrainMetrics hvd =
+      DataParallelEngine(Config(16, CommScheme::kHorovod))
+          .Run(m, g.ConventionalBackprop());
+  const TrainMetrics bps =
+      DataParallelEngine(Config(16, CommScheme::kBytePS))
+          .Run(m, g.ConventionalBackprop());
+  EXPECT_GT(bps.throughput, hvd.throughput);
+}
+
+TEST(DataParallelEngineTest, ReverseFirstKNeverHurtsMuchAndHelpsAtScale) {
+  const NnModel m = ResNet(50, 96);
+  const TrainGraph g(&m);
+  const DataParallelEngine engine(Config(16, CommScheme::kBytePS));
+  const TrainMetrics conv = engine.Run(m, g.ConventionalBackprop());
+  const ReverseFirstKResult rk = ReverseFirstK(g, 40);
+  const TrainMetrics ooo = engine.Run(m, rk.order);
+  EXPECT_GT(ooo.throughput, conv.throughput * 0.98);
+  // At 16 GPUs on 10GbE the paper reports 1.1-1.27x; require a real gain.
+  EXPECT_GT(ooo.throughput, conv.throughput * 1.03);
+}
+
+TEST(DataParallelEngineTest, RejectsInvalidBackpropOrder) {
+  const NnModel m = Ffnn(4, 32);
+  const TrainGraph g(&m);
+  auto bad = g.ConventionalBackprop();
+  std::swap(bad.front(), bad.back());
+  const DataParallelEngine engine(Config(4, CommScheme::kBytePS));
+  EXPECT_DEATH(engine.Run(m, bad), "ValidateBackpropOrder");
+}
+
+TEST(DataParallelEngineTest, DeterministicAcrossRuns) {
+  const NnModel m = ResNet(50, 64);
+  const TrainGraph g(&m);
+  const DataParallelEngine engine(Config(8, CommScheme::kBytePS));
+  const TrainMetrics a = engine.Run(m, g.ConventionalBackprop());
+  const TrainMetrics b = engine.Run(m, g.ConventionalBackprop());
+  EXPECT_EQ(a.iteration_time, b.iteration_time);
+}
+
+TEST(DataParallelEngineTest, IdealSyncTimeConsistentWithVolume) {
+  const NnModel m = ResNet(50, 64);
+  const DataParallelEngine engine(Config(16, CommScheme::kBytePS));
+  for (int l = 0; l < m.num_layers(); ++l) {
+    if (!m.layers[l].has_params()) {
+      EXPECT_EQ(engine.IdealSyncTime(m, l), 0);
+      continue;
+    }
+    const double expected = engine.SyncVolume(m, l) /
+                            engine.ChannelBandwidthGbps();
+    EXPECT_NEAR(static_cast<double>(engine.IdealSyncTime(m, l)), expected,
+                expected * 0.01 + 2.0);
+  }
+}
+
+}  // namespace
+}  // namespace oobp

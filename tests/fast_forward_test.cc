@@ -1,0 +1,89 @@
+#include <gtest/gtest.h>
+
+#include <algorithm>
+
+#include "src/core/fast_forward.h"
+#include "src/nn/model_zoo.h"
+
+namespace oobp {
+namespace {
+
+TEST(FastForwardTest, ConventionalInterleaves) {
+  const NnModel m = Ffnn(8, 16);
+  const TrainGraph g(&m);
+  const auto order = StageBackwardOrder(g, {4, 5, 6, 7}, /*fast_forward=*/false);
+  ASSERT_EQ(order.size(), 8u);
+  EXPECT_EQ(order[0], (TrainOp{TrainOpType::kOutputGrad, 7}));
+  EXPECT_EQ(order[1], (TrainOp{TrainOpType::kWeightGrad, 7}));
+  EXPECT_EQ(order[2], (TrainOp{TrainOpType::kOutputGrad, 6}));
+}
+
+TEST(FastForwardTest, FastForwardPutsAllDgradFirst) {
+  const NnModel m = Ffnn(8, 16);
+  const TrainGraph g(&m);
+  const auto order = StageBackwardOrder(g, {4, 5, 6, 7}, /*fast_forward=*/true);
+  ASSERT_EQ(order.size(), 8u);
+  for (int i = 0; i < 4; ++i) {
+    EXPECT_EQ(order[i].type, TrainOpType::kOutputGrad);
+    EXPECT_EQ(order[i].layer, 7 - i);  // descending
+  }
+  for (int i = 4; i < 8; ++i) {
+    EXPECT_EQ(order[i].type, TrainOpType::kWeightGrad);
+    EXPECT_EQ(order[i].layer, 7 - (i - 4));
+  }
+}
+
+TEST(FastForwardTest, SameOpMultiset) {
+  const NnModel m = ResNet(50, 8);
+  const TrainGraph g(&m);
+  std::vector<int> layers;
+  for (int l = 10; l < 30; ++l) {
+    layers.push_back(l);
+  }
+  auto a = StageBackwardOrder(g, layers, false);
+  auto b = StageBackwardOrder(g, layers, true);
+  auto key = [](const TrainOp& op) {
+    return op.layer * 10 + static_cast<int>(op.type);
+  };
+  std::vector<int> ka, kb;
+  for (const TrainOp& op : a) {
+    ka.push_back(key(op));
+  }
+  for (const TrainOp& op : b) {
+    kb.push_back(key(op));
+  }
+  std::sort(ka.begin(), ka.end());
+  std::sort(kb.begin(), kb.end());
+  EXPECT_EQ(ka, kb);  // reordering only, never adds or drops work
+}
+
+TEST(FastForwardTest, NonContiguousStage) {
+  // Modulo allocation gives stages non-contiguous layers.
+  const NnModel m = Ffnn(8, 16);
+  const TrainGraph g(&m);
+  const auto order = StageBackwardOrder(g, {1, 3, 5, 7}, true);
+  ASSERT_EQ(order.size(), 8u);
+  EXPECT_EQ(order[0], (TrainOp{TrainOpType::kOutputGrad, 7}));
+  EXPECT_EQ(order[3], (TrainOp{TrainOpType::kOutputGrad, 1}));
+  EXPECT_EQ(order[4], (TrainOp{TrainOpType::kWeightGrad, 7}));
+}
+
+TEST(FastForwardTest, ParamFreeLayersGetNoWgrad) {
+  const NnModel m = ResNet(50, 8);
+  const TrainGraph g(&m);
+  // Find a pooling layer.
+  int pool = -1;
+  for (int l = 0; l < m.num_layers(); ++l) {
+    if (!m.layers[l].has_params()) {
+      pool = l;
+      break;
+    }
+  }
+  ASSERT_GE(pool, 0);
+  const auto order = StageBackwardOrder(g, {pool}, true);
+  ASSERT_EQ(order.size(), 1u);
+  EXPECT_EQ(order[0].type, TrainOpType::kOutputGrad);
+}
+
+}  // namespace
+}  // namespace oobp

@@ -1,0 +1,136 @@
+#include <gtest/gtest.h>
+
+#include <map>
+
+#include "src/core/corun_profiler.h"
+#include "src/core/joint_scheduler.h"
+#include "src/core/memory_model.h"
+#include "src/core/region.h"
+#include "src/nn/model_zoo.h"
+
+namespace oobp {
+namespace {
+
+struct Fixture {
+  NnModel model;
+  CostModel cost;
+  TrainGraph graph;
+  CorunProfiler profiler;
+
+  explicit Fixture(NnModel m)
+      : model(std::move(m)),
+        cost(GpuSpec::V100(), SystemProfile::TensorFlowXla()),
+        graph(&model),
+        profiler(graph, cost, BuildRegions(graph)) {}
+};
+
+// Gradient ops extracted from a schedule, in issue order.
+std::vector<TrainOp> GradOps(const IterationSchedule& sched) {
+  std::vector<TrainOp> grads;
+  for (const ScheduledOp& s : sched.ops) {
+    if (s.op.type == TrainOpType::kOutputGrad ||
+        s.op.type == TrainOpType::kWeightGrad) {
+      grads.push_back(s.op);
+    }
+  }
+  return grads;
+}
+
+TEST(JointSchedulerTest, ScheduleContainsEveryOpExactlyOnce) {
+  Fixture s(DenseNet(121, 32, 32));
+  const JointScheduleResult r = MultiRegionJointSchedule(s.graph, s.profiler);
+  std::map<std::pair<int, int>, int> counts;  // (type, layer) -> count
+  for (const ScheduledOp& op : r.schedule.ops) {
+    ++counts[{static_cast<int>(op.op.type), op.op.layer}];
+  }
+  for (int l = 0; l < s.model.num_layers(); ++l) {
+    EXPECT_EQ((counts[{static_cast<int>(TrainOpType::kForward), l}]), 1);
+    EXPECT_EQ((counts[{static_cast<int>(TrainOpType::kOutputGrad), l}]), 1);
+    const int expect_w = s.graph.HasWgrad(l) ? 1 : 0;
+    EXPECT_EQ((counts[{static_cast<int>(TrainOpType::kWeightGrad), l}]),
+              expect_w);
+    EXPECT_EQ((counts[{static_cast<int>(TrainOpType::kWeightUpdate), l}]),
+              expect_w);
+  }
+}
+
+TEST(JointSchedulerTest, GradientOrderValidates) {
+  for (NnModel m : {DenseNet(121, 32, 32), ResNet(50, 32),
+                    MobileNetV3Large(1.0, 32)}) {
+    Fixture s(std::move(m));
+    const JointScheduleResult r = MultiRegionJointSchedule(s.graph, s.profiler);
+    EXPECT_TRUE(s.graph.ValidateBackpropOrder(GradOps(r.schedule)))
+        << s.model.name;
+  }
+}
+
+TEST(JointSchedulerTest, WeightOpsGoToSubStream) {
+  Fixture s(DenseNet(121, 32, 32));
+  const JointScheduleResult r = MultiRegionJointSchedule(s.graph, s.profiler);
+  for (const ScheduledOp& op : r.schedule.ops) {
+    if (op.op.type == TrainOpType::kWeightGrad ||
+        op.op.type == TrainOpType::kWeightUpdate) {
+      EXPECT_EQ(op.stream, kSubStream);
+    } else {
+      EXPECT_EQ(op.stream, kMainStream);
+    }
+  }
+}
+
+TEST(JointSchedulerTest, WaitIndicesPointBackwardsToMainOps) {
+  Fixture s(DenseNet(121, 32, 32));
+  const JointScheduleResult r = MultiRegionJointSchedule(s.graph, s.profiler);
+  for (size_t i = 0; i < r.schedule.ops.size(); ++i) {
+    const ScheduledOp& op = r.schedule.ops[i];
+    if (op.wait_for_index < 0) {
+      continue;
+    }
+    ASSERT_LT(op.wait_for_index, static_cast<int>(i));
+    EXPECT_EQ(r.schedule.ops[op.wait_for_index].stream, kMainStream);
+  }
+}
+
+TEST(JointSchedulerTest, AssignmentsRespectDeadlines) {
+  Fixture s(DenseNet(121, 32, 32));
+  const JointScheduleResult r = MultiRegionJointSchedule(s.graph, s.profiler);
+  ASSERT_EQ(r.assigned_ops.size(), r.assigned_region.size());
+  for (size_t i = 0; i < r.assigned_ops.size(); ++i) {
+    const TrainOp& op = r.assigned_ops[i];
+    EXPECT_LT(r.assigned_region[i], s.profiler.DeadlineRegion(op))
+        << "dW[" << op.layer << "]";
+    EXPECT_GE(r.assigned_region[i], s.profiler.ReadyPoint(op).first);
+  }
+}
+
+TEST(JointSchedulerTest, MemoryCapTriggersPreScheduling) {
+  Fixture s(DenseNet(121, 32, 32, /*image=*/224));
+  const JointScheduleResult loose = MultiRegionJointSchedule(s.graph, s.profiler);
+
+  JointScheduleOptions tight;
+  // A cap below the unconstrained peak forces eager pre-scheduling.
+  tight.memory_cap_bytes = loose.peak_memory - 1;
+  const JointScheduleResult constrained =
+      MultiRegionJointSchedule(s.graph, s.profiler, tight);
+  EXPECT_GT(constrained.pre_scheduled_regions, loose.pre_scheduled_regions);
+  EXPECT_TRUE(s.graph.ValidateBackpropOrder(GradOps(constrained.schedule)));
+}
+
+TEST(JointSchedulerTest, UnconstrainedRunsSinglePass) {
+  Fixture s(ResNet(50, 32));
+  const JointScheduleResult r = MultiRegionJointSchedule(s.graph, s.profiler);
+  EXPECT_EQ(r.pre_scheduled_regions, 0);
+  EXPECT_GT(r.peak_memory, 0);
+}
+
+TEST(JointSchedulerTest, AllWgradsAssigned) {
+  Fixture s(Bert(12, 8));
+  const JointScheduleResult r = MultiRegionJointSchedule(s.graph, s.profiler);
+  int expected = 0;
+  for (int l = 0; l < s.model.num_layers(); ++l) {
+    expected += s.graph.HasWgrad(l) ? 1 : 0;
+  }
+  EXPECT_EQ(static_cast<int>(r.assigned_ops.size()), expected);
+}
+
+}  // namespace
+}  // namespace oobp

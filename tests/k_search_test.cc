@@ -1,0 +1,66 @@
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "src/core/k_search.h"
+
+namespace oobp {
+namespace {
+
+TEST(KSearchTest, FindsPeakOfConcaveFunction) {
+  const int L = 100;
+  auto f = [](int k) { return -std::pow(k - 37.0, 2.0); };
+  const KSearchResult r = SearchBestK(L, f);
+  EXPECT_EQ(r.best_k, 37);
+}
+
+TEST(KSearchTest, FindsBoundaryPeaks) {
+  auto increasing = [](int k) { return static_cast<double>(k); };
+  EXPECT_EQ(SearchBestK(50, increasing).best_k, 50);
+  auto decreasing = [](int k) { return -static_cast<double>(k); };
+  EXPECT_EQ(SearchBestK(50, decreasing).best_k, 0);
+}
+
+TEST(KSearchTest, EvaluationCountFarBelowExhaustive) {
+  const int L = 200;
+  auto f = [](int k) { return -std::abs(k - 123.0); };
+  const KSearchResult r = SearchBestK(L, f);
+  EXPECT_EQ(r.best_k, 123);
+  // The Δk-halving search probes a small fraction of the 201 candidates.
+  EXPECT_LT(r.evaluations.size(), 50u);
+}
+
+TEST(KSearchTest, MemoizesRepeatedCandidates) {
+  int calls = 0;
+  auto f = [&calls](int k) {
+    ++calls;
+    return -std::pow(k - 10.0, 2.0);
+  };
+  const KSearchResult r = SearchBestK(40, f);
+  EXPECT_EQ(calls, static_cast<int>(r.evaluations.size()));
+}
+
+TEST(KSearchTest, BestThroughputMatchesReportedK) {
+  auto f = [](int k) { return 100.0 - std::pow(k - 20.0, 2.0); };
+  const KSearchResult r = SearchBestK(60, f);
+  EXPECT_EQ(r.best_k, 20);
+  EXPECT_DOUBLE_EQ(r.best_throughput, 100.0);
+}
+
+TEST(KSearchTest, SmallLayerCounts) {
+  auto f = [](int k) { return k == 1 ? 2.0 : 1.0; };
+  const KSearchResult r = SearchBestK(2, f);
+  EXPECT_EQ(r.best_k, 1);
+}
+
+TEST(KSearchTest, RobustToPlateaus) {
+  // Wide flat optimum: any k in [30, 60] is fine; the search must land
+  // inside the plateau.
+  auto f = [](int k) { return (k >= 30 && k <= 60) ? 5.0 : 1.0; };
+  const KSearchResult r = SearchBestK(100, f);
+  EXPECT_GE(r.best_k, 30);
+  EXPECT_LE(r.best_k, 60);
+}
+
+}  // namespace
+}  // namespace oobp

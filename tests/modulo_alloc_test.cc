@@ -1,0 +1,109 @@
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <vector>
+
+#include "src/core/modulo_alloc.h"
+
+namespace oobp {
+namespace {
+
+TEST(ModuloAllocationTest, RoundRobinAtUnitGranularity) {
+  const LayerAssignment a = ModuloAllocation(8, 2);
+  EXPECT_EQ(a, (LayerAssignment{0, 1, 0, 1, 0, 1, 0, 1}));
+}
+
+TEST(ModuloAllocationTest, GroupGranularity) {
+  const LayerAssignment a = ModuloAllocation(8, 2, /*group_size=*/2);
+  EXPECT_EQ(a, (LayerAssignment{0, 0, 1, 1, 0, 0, 1, 1}));
+}
+
+TEST(ModuloAllocationTest, CoversAllGpusWhenEnoughLayers) {
+  for (int gpus : {2, 3, 4, 7}) {
+    const LayerAssignment a = ModuloAllocation(32, gpus);
+    EXPECT_TRUE(AssignmentCoversAllGpus(a, gpus));
+  }
+}
+
+TEST(ModuloAllocationTest, PaperExampleTransformerPerGpu) {
+  // Section 8.4.1: "we assign i'th cell and encoder to GPU_{i mod 4}".
+  const LayerAssignment a = ModuloAllocation(24, 4);
+  for (int i = 0; i < 24; ++i) {
+    EXPECT_EQ(a[i], i % 4);
+  }
+}
+
+TEST(BalancedContiguousTest, UniformCostsSplitEvenly) {
+  const std::vector<double> costs(12, 1.0);
+  const LayerAssignment a = BalancedContiguousAllocation(costs, 4);
+  EXPECT_TRUE(AssignmentCoversAllGpus(a, 4));
+  // Contiguity + 3 layers per stage.
+  for (int g = 0; g < 4; ++g) {
+    EXPECT_EQ(LayersOf(a, g).size(), 3u);
+  }
+}
+
+TEST(BalancedContiguousTest, ContiguityInvariant) {
+  std::vector<double> costs;
+  for (int i = 0; i < 37; ++i) {
+    costs.push_back(1.0 + (i % 5));
+  }
+  const LayerAssignment a = BalancedContiguousAllocation(costs, 5);
+  for (size_t i = 1; i < a.size(); ++i) {
+    EXPECT_GE(a[i], a[i - 1]);           // stage ids non-decreasing
+    EXPECT_LE(a[i], a[i - 1] + 1);       // no stage skipped
+  }
+  EXPECT_TRUE(AssignmentCoversAllGpus(a, 5));
+}
+
+TEST(BalancedContiguousTest, MatchesBruteForceOnSmallInstance) {
+  const std::vector<double> costs = {5, 1, 1, 1, 6, 2, 3, 4};
+  const int gpus = 3;
+  const LayerAssignment a = BalancedContiguousAllocation(costs, gpus);
+  auto max_stage_cost = [&](const LayerAssignment& asg) {
+    std::vector<double> sums(gpus, 0.0);
+    for (size_t i = 0; i < costs.size(); ++i) {
+      sums[asg[i]] += costs[i];
+    }
+    return *std::max_element(sums.begin(), sums.end());
+  };
+  // Brute force all contiguous 3-way splits.
+  double best = 1e18;
+  const int n = static_cast<int>(costs.size());
+  for (int c1 = 1; c1 < n - 1; ++c1) {
+    for (int c2 = c1 + 1; c2 < n; ++c2) {
+      LayerAssignment cand(n, 0);
+      for (int i = c1; i < c2; ++i) {
+        cand[i] = 1;
+      }
+      for (int i = c2; i < n; ++i) {
+        cand[i] = 2;
+      }
+      best = std::min(best, max_stage_cost(cand));
+    }
+  }
+  EXPECT_DOUBLE_EQ(max_stage_cost(a), best);
+}
+
+TEST(BalancedContiguousTest, SkewedCostsIsolateTheHeavyLayer) {
+  const std::vector<double> costs = {1, 1, 100, 1, 1};
+  const LayerAssignment a = BalancedContiguousAllocation(costs, 3);
+  // The heavy layer gets its own stage.
+  const std::vector<int> heavy_stage = LayersOf(a, a[2]);
+  EXPECT_EQ(heavy_stage.size(), 1u);
+}
+
+TEST(LayersOfTest, ReturnsAscendingLayers) {
+  const LayerAssignment a = ModuloAllocation(9, 3);
+  EXPECT_EQ(LayersOf(a, 0), (std::vector<int>{0, 3, 6}));
+  EXPECT_EQ(LayersOf(a, 2), (std::vector<int>{2, 5, 8}));
+}
+
+TEST(AssignmentCoversTest, DetectsGapsAndOutOfRange) {
+  EXPECT_FALSE(AssignmentCoversAllGpus({0, 0, 0}, 2));
+  EXPECT_FALSE(AssignmentCoversAllGpus({0, 3}, 2));
+  EXPECT_TRUE(AssignmentCoversAllGpus({1, 0}, 2));
+}
+
+}  // namespace
+}  // namespace oobp

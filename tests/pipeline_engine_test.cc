@@ -1,0 +1,161 @@
+#include <gtest/gtest.h>
+
+#include "src/nn/model_zoo.h"
+#include "src/runtime/pipeline_engine.h"
+
+namespace oobp {
+namespace {
+
+// Engine config with an effectively free interconnect, for the unit-time
+// analyses of Figures 5/6/12 where communication is assumed negligible.
+PipelineConfig FastLinkConfig(int gpus, int micro_batches) {
+  PipelineConfig config;
+  config.cluster = ClusterSpec::PubB(1);
+  config.num_gpus = gpus;
+  config.num_micro_batches = micro_batches;
+  config.use_link_override = true;
+  config.link_override = {"fast", 10000.0, 0};  // 10 TB/s, zero latency
+  return config;
+}
+
+TEST(PipelineEngineTest, AssignmentsCoverAllGpus) {
+  const NnModel m = Ffnn(8, 64);
+  const PipelineEngine engine(FastLinkConfig(2, 1));
+  for (PipelineStrategy s :
+       {PipelineStrategy::kGPipe, PipelineStrategy::kOooPipe1,
+        PipelineStrategy::kOooPipe2, PipelineStrategy::kPipeDream}) {
+    const LayerAssignment a = engine.AssignmentFor(m, s);
+    EXPECT_TRUE(AssignmentCoversAllGpus(a, 2)) << PipelineStrategyName(s);
+  }
+}
+
+TEST(PipelineEngineTest, ModuloOnlyForOooPipe2) {
+  const NnModel m = Ffnn(8, 64);
+  const PipelineEngine engine(FastLinkConfig(2, 1));
+  const LayerAssignment contiguous =
+      engine.AssignmentFor(m, PipelineStrategy::kGPipe);
+  EXPECT_EQ(contiguous, (LayerAssignment{0, 0, 0, 0, 1, 1, 1, 1}));
+  const LayerAssignment modulo =
+      engine.AssignmentFor(m, PipelineStrategy::kOooPipe2);
+  EXPECT_EQ(modulo, (LayerAssignment{0, 1, 0, 1, 0, 1, 0, 1}));
+}
+
+// Figure 5: 8 uniform layers on 2 GPUs without micro-batches. The paper's
+// unit-time analysis gives 23 / 19 / 16 units for conventional cross-layer
+// model parallelism, + gradient fast-forwarding, + modulo allocation —
+// speedups of 1.21x and 1.44x over the baseline.
+TEST(PipelineEngineTest, Figure5UnitTimeRatios) {
+  const NnModel m = Ffnn(8, 256, 4096);
+  const PipelineEngine engine(FastLinkConfig(2, 1));
+  const double mp =
+      ToSec(engine.Run(m, PipelineStrategy::kGPipe).metrics.iteration_time);
+  const double ff =
+      ToSec(engine.Run(m, PipelineStrategy::kOooPipe1).metrics.iteration_time);
+  const double mod =
+      ToSec(engine.Run(m, PipelineStrategy::kOooPipe2).metrics.iteration_time);
+  EXPECT_NEAR(mp / ff, 23.0 / 19.0, 0.12);
+  EXPECT_NEAR(mp / mod, 23.0 / 16.0, 0.18);
+  EXPECT_LT(mod, ff);
+}
+
+TEST(PipelineEngineTest, MicroBatchingImprovesGPipe) {
+  const NnModel m = Ffnn(16, 64, 4096);
+  const double mp = PipelineEngine(FastLinkConfig(4, 1))
+                        .Run(m, PipelineStrategy::kGPipe)
+                        .metrics.throughput;
+  // 4 micro-batches of the same micro size quadruple the work per
+  // iteration; throughput must rise thanks to pipelining.
+  const double gpipe = PipelineEngine(FastLinkConfig(4, 4))
+                           .Run(m, PipelineStrategy::kGPipe)
+                           .metrics.throughput;
+  EXPECT_GT(gpipe, mp * 1.3);
+}
+
+TEST(PipelineEngineTest, StrategyOrderingMatchesPaper) {
+  // GPipe < OOO-Pipe1 < OOO-Pipe2 in throughput (Figure 11).
+  const NnModel m = Bert(12, 8);
+  const PipelineEngine engine(FastLinkConfig(4, 4));
+  const double gpipe =
+      engine.Run(m, PipelineStrategy::kGPipe).metrics.throughput;
+  const double pipe1 =
+      engine.Run(m, PipelineStrategy::kOooPipe1).metrics.throughput;
+  const double pipe2 =
+      engine.Run(m, PipelineStrategy::kOooPipe2).metrics.throughput;
+  EXPECT_GT(pipe1, gpipe);
+  EXPECT_GT(pipe2, pipe1);
+  EXPECT_GT(pipe2 / gpipe, 1.2);  // paper band: 1.41-1.99 at cluster scale
+}
+
+TEST(PipelineEngineTest, PipeDreamReportsStaleness) {
+  const NnModel m = Bert(12, 8);
+  const PipelineEngine engine(FastLinkConfig(4, 4));
+  const PipelineResult pd = engine.Run(m, PipelineStrategy::kPipeDream);
+  EXPECT_EQ(pd.weight_versions, 4);
+  const PipelineResult gp = engine.Run(m, PipelineStrategy::kGPipe);
+  EXPECT_EQ(gp.weight_versions, 1);
+  // Weight stashing buys throughput at the cost of staleness.
+  EXPECT_GT(pd.metrics.throughput, gp.metrics.throughput);
+}
+
+TEST(PipelineEngineTest, PipeDreamStashingCostsMemory) {
+  const NnModel m = Bert(12, 8);
+  const PipelineEngine engine(FastLinkConfig(4, 4));
+  const PipelineResult pd = engine.Run(m, PipelineStrategy::kPipeDream);
+  const PipelineResult gp = engine.Run(m, PipelineStrategy::kGPipe);
+  EXPECT_GT(pd.metrics.peak_memory_bytes, gp.metrics.peak_memory_bytes);
+}
+
+TEST(PipelineEngineTest, SlowInterconnectHurtsModuloMost) {
+  // Figure 11b: on 10GbE, fine-grained modulo allocation's communication
+  // dominates; grouping recovers performance.
+  const NnModel m = Bert(12, 8);
+  PipelineConfig config = FastLinkConfig(4, 4);
+  config.use_link_override = true;
+  config.link_override = LinkSpec::Eth10G();
+  config.modulo_group_size = 1;
+  const double fine = PipelineEngine(config)
+                          .Run(m, PipelineStrategy::kOooPipe2)
+                          .metrics.throughput;
+  config.modulo_group_size = 2;
+  const double grouped = PipelineEngine(config)
+                             .Run(m, PipelineStrategy::kOooPipe2)
+                             .metrics.throughput;
+  EXPECT_GT(grouped, fine);
+}
+
+TEST(PipelineEngineTest, UtilizationAndDeterminism) {
+  const NnModel m = Bert(12, 8);
+  const PipelineEngine engine(FastLinkConfig(4, 4));
+  const PipelineResult a = engine.Run(m, PipelineStrategy::kOooPipe2);
+  const PipelineResult b = engine.Run(m, PipelineStrategy::kOooPipe2);
+  EXPECT_EQ(a.metrics.iteration_time, b.metrics.iteration_time);
+  EXPECT_GT(a.metrics.gpu_utilization, 0.0);
+  EXPECT_LE(a.metrics.gpu_utilization, 1.0);
+  EXPECT_EQ(a.per_gpu_peak_memory.size(), 4u);
+}
+
+TEST(PipelineEngineTest, GradientFastForwardingRaisesMemoryModuloRemovesIt) {
+  // Section 8.4.1 memory discussion: fast-forwarding stores inputs of the
+  // delayed computations; modulo allocation hands activations over and
+  // computes promptly.
+  const NnModel m = Bert(12, 8);
+  const PipelineEngine engine(FastLinkConfig(4, 4));
+  const PipelineResult gp = engine.Run(m, PipelineStrategy::kGPipe);
+  const PipelineResult p1 = engine.Run(m, PipelineStrategy::kOooPipe1);
+  EXPECT_GE(p1.metrics.peak_memory_bytes,
+            gp.metrics.peak_memory_bytes * 99 / 100);
+}
+
+TEST(PipelineEngineTest, ThroughputScalesWithGpus) {
+  const NnModel m = Bert(24, 4);
+  const double g4 = PipelineEngine(FastLinkConfig(4, 8))
+                        .Run(m, PipelineStrategy::kOooPipe2)
+                        .metrics.throughput;
+  const double g8 = PipelineEngine(FastLinkConfig(8, 8))
+                        .Run(m, PipelineStrategy::kOooPipe2)
+                        .metrics.throughput;
+  EXPECT_GT(g8, g4 * 1.2);
+}
+
+}  // namespace
+}  // namespace oobp

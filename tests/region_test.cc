@@ -1,0 +1,89 @@
+#include <gtest/gtest.h>
+
+#include <set>
+
+#include "src/core/region.h"
+#include "src/nn/model_zoo.h"
+
+namespace oobp {
+namespace {
+
+TEST(RegionTest, BackwardRegionsCoverAllDgradOps) {
+  const NnModel m = DenseNet(121, 32, 32);
+  const TrainGraph g(&m);
+  const auto regions = BuildRegions(g, /*include_forward=*/false);
+  std::set<int> layers;
+  for (const Region& r : regions) {
+    EXPECT_EQ(r.kind, Region::Kind::kBackward);
+    for (const TrainOp& op : r.main_ops) {
+      EXPECT_EQ(op.type, TrainOpType::kOutputGrad);
+      EXPECT_TRUE(layers.insert(op.layer).second) << "duplicate dO";
+    }
+  }
+  EXPECT_EQ(static_cast<int>(layers.size()), m.num_layers());
+}
+
+TEST(RegionTest, ForwardRegionsIncludedWhenRequested) {
+  const NnModel m = DenseNet(121, 32, 32);
+  const TrainGraph g(&m);
+  const auto regions = BuildRegions(g, /*include_forward=*/true);
+  int fwd_ops = 0;
+  bool seen_forward = false;
+  for (const Region& r : regions) {
+    if (r.kind == Region::Kind::kForward) {
+      seen_forward = true;
+      fwd_ops += static_cast<int>(r.main_ops.size());
+    } else {
+      // All backward regions precede all forward regions.
+      EXPECT_FALSE(seen_forward);
+    }
+  }
+  EXPECT_EQ(fwd_ops, m.num_layers());
+}
+
+TEST(RegionTest, BackwardRegionsFollowReverseBlockOrder) {
+  const NnModel m = DenseNet(121, 32, 32);
+  const TrainGraph g(&m);
+  const auto regions = BuildRegions(g, /*include_forward=*/false);
+  // The first backward region must contain the last layer.
+  EXPECT_EQ(regions.front().LastLayer(), m.num_layers() - 1);
+  // Ops within a backward region are in descending layer order.
+  for (const Region& r : regions) {
+    for (size_t i = 1; i < r.main_ops.size(); ++i) {
+      EXPECT_LT(r.main_ops[i].layer, r.main_ops[i - 1].layer);
+    }
+  }
+}
+
+TEST(RegionTest, SmallBlocksMergeIntoNeighbors) {
+  const NnModel m = DenseNet(121, 32, 32);
+  const TrainGraph g(&m);
+  // With a high threshold everything merges into few regions.
+  const auto coarse = BuildRegions(g, false, /*min_ops_per_region=*/1000);
+  EXPECT_EQ(coarse.size(), 1u);
+  const auto fine = BuildRegions(g, false, /*min_ops_per_region=*/1);
+  EXPECT_GT(fine.size(), coarse.size());
+}
+
+TEST(RegionTest, DenseNetGetsRoughlyOneRegionPerBlock) {
+  // The paper used eight regions for DenseNet-121 (one per DenseBlock plus
+  // forward counterparts). Our backward split lands on the 4 dense blocks
+  // (+ stem/transition merges).
+  const NnModel m = DenseNet(121, 32, 32);
+  const TrainGraph g(&m);
+  const auto regions = BuildRegions(g, /*include_forward=*/false);
+  EXPECT_GE(regions.size(), 4u);
+  EXPECT_LE(regions.size(), 10u);
+}
+
+TEST(RegionTest, LayerRangeAccessors) {
+  Region r;
+  r.main_ops = {{TrainOpType::kOutputGrad, 7},
+                {TrainOpType::kOutputGrad, 6},
+                {TrainOpType::kOutputGrad, 5}};
+  EXPECT_EQ(r.FirstLayer(), 5);
+  EXPECT_EQ(r.LastLayer(), 7);
+}
+
+}  // namespace
+}  // namespace oobp

@@ -1,0 +1,104 @@
+#include <gtest/gtest.h>
+
+#include "src/core/memory_model.h"
+#include "src/core/reverse_k.h"
+#include "src/nn/model_zoo.h"
+
+namespace oobp {
+namespace {
+
+TEST(ReverseFirstKTest, KZeroIsConventional) {
+  const NnModel m = ResNet(50, 32);
+  const TrainGraph g(&m);
+  const ReverseFirstKResult r = ReverseFirstK(g, 0);
+  EXPECT_EQ(r.effective_k, 0);
+  EXPECT_EQ(r.order, g.ConventionalBackprop());
+}
+
+TEST(ReverseFirstKTest, DeferredPrefixInAscendingOrder) {
+  const NnModel m = Ffnn(8, 64);
+  const TrainGraph g(&m);
+  const ReverseFirstKResult r = ReverseFirstK(g, 3);
+  ASSERT_EQ(r.effective_k, 3);
+  // The last three ops are dW_0, dW_1, dW_2 — the *reverse* of conventional
+  // order, most critical synchronization first.
+  const size_t n = r.order.size();
+  EXPECT_EQ(r.order[n - 3], (TrainOp{TrainOpType::kWeightGrad, 0}));
+  EXPECT_EQ(r.order[n - 2], (TrainOp{TrainOpType::kWeightGrad, 1}));
+  EXPECT_EQ(r.order[n - 1], (TrainOp{TrainOpType::kWeightGrad, 2}));
+}
+
+TEST(ReverseFirstKTest, UndeferredLayersKeepInterleavedOrder) {
+  const NnModel m = Ffnn(8, 64);
+  const TrainGraph g(&m);
+  const ReverseFirstKResult r = ReverseFirstK(g, 3);
+  EXPECT_EQ(r.order[0], (TrainOp{TrainOpType::kOutputGrad, 7}));
+  EXPECT_EQ(r.order[1], (TrainOp{TrainOpType::kWeightGrad, 7}));
+}
+
+TEST(ReverseFirstKTest, KClampedToLayerCount) {
+  const NnModel m = Ffnn(4, 64);
+  const TrainGraph g(&m);
+  const ReverseFirstKResult r = ReverseFirstK(g, 100);
+  EXPECT_EQ(r.effective_k, 4);
+  EXPECT_TRUE(g.ValidateBackpropOrder(r.order));
+}
+
+TEST(ReverseFirstKTest, MemoryCapClampsK) {
+  const NnModel m = ResNet(50, 64);
+  const TrainGraph g(&m);
+  const ReverseFirstKResult unconstrained = ReverseFirstK(g, m.num_layers());
+  // A cap just above the conventional peak forces k down.
+  const MemoryTimeline conv =
+      EstimateBackpropMemory(m, g.ConventionalBackprop());
+  const ReverseFirstKResult capped = ReverseFirstK(
+      g, m.num_layers(), /*memory_cap_bytes=*/conv.peak + (8 << 20));
+  EXPECT_LE(capped.effective_k, unconstrained.effective_k);
+  EXPECT_LT(capped.peak_memory, conv.peak + (8 << 20));
+}
+
+TEST(ReverseFirstKTest, PeakMemoryMonotoneInK) {
+  const NnModel m = ResNet(50, 32);
+  const TrainGraph g(&m);
+  int64_t prev = 0;
+  for (int k = 0; k <= m.num_layers(); k += 8) {
+    const ReverseFirstKResult r = ReverseFirstK(g, k);
+    EXPECT_GE(r.peak_memory, prev) << "k=" << k;
+    prev = r.peak_memory;
+  }
+}
+
+// Property sweep: the reordered schedule is valid for every model and k.
+class ReverseKValidityTest
+    : public ::testing::TestWithParam<std::tuple<int, int>> {};
+
+TEST_P(ReverseKValidityTest, OrderAlwaysValid) {
+  const auto [model_id, k] = GetParam();
+  NnModel m;
+  switch (model_id) {
+    case 0:
+      m = ResNet(50, 16);
+      break;
+    case 1:
+      m = DenseNet(121, 32, 16);
+      break;
+    case 2:
+      m = Bert(12, 4);
+      break;
+    default:
+      m = Ffnn(16, 16);
+  }
+  const TrainGraph g(&m);
+  const ReverseFirstKResult r = ReverseFirstK(g, k);
+  EXPECT_TRUE(g.ValidateBackpropOrder(r.order)) << m.name << " k=" << k;
+  // Exactly one dO per layer and one dW per parameterized layer.
+  EXPECT_EQ(r.order.size(), g.ConventionalBackprop().size());
+}
+
+INSTANTIATE_TEST_SUITE_P(Sweep, ReverseKValidityTest,
+                         ::testing::Combine(::testing::Values(0, 1, 2, 3),
+                                            ::testing::Values(0, 1, 5, 20, 64,
+                                                              1000)));
+
+}  // namespace
+}  // namespace oobp

@@ -1,0 +1,127 @@
+#include <gtest/gtest.h>
+
+#include "src/core/corun_profiler.h"
+#include "src/core/joint_scheduler.h"
+#include "src/core/region.h"
+#include "src/nn/model_zoo.h"
+#include "src/runtime/single_gpu_engine.h"
+
+namespace oobp {
+namespace {
+
+SingleGpuConfig XlaConfig(bool precompiled) {
+  SingleGpuConfig config;
+  config.gpu = GpuSpec::V100();
+  config.profile = SystemProfile::TensorFlowXla();
+  config.precompiled_issue = precompiled;
+  config.measured_iterations = 2;
+  return config;
+}
+
+TEST(SingleGpuEngineTest, DeterministicAcrossRuns) {
+  const NnModel m = DenseNet(121, 12, 32, 32);
+  const TrainGraph g(&m);
+  const SingleGpuEngine engine(XlaConfig(false));
+  const TrainMetrics a = engine.Run(m, ConventionalIteration(g));
+  const TrainMetrics b = engine.Run(m, ConventionalIteration(g));
+  EXPECT_EQ(a.iteration_time, b.iteration_time);
+  EXPECT_DOUBLE_EQ(a.throughput, b.throughput);
+}
+
+TEST(SingleGpuEngineTest, PrecompiledIssueNeverSlower) {
+  for (NnModel m : {DenseNet(121, 12, 32, 32), MobileNetV3Large(0.25, 32),
+                    ResNet(50, 32)}) {
+    const TrainGraph g(&m);
+    const TrainMetrics per_op =
+        SingleGpuEngine(XlaConfig(false)).Run(m, ConventionalIteration(g));
+    const TrainMetrics pre =
+        SingleGpuEngine(XlaConfig(true)).Run(m, ConventionalIteration(g));
+    EXPECT_LE(pre.iteration_time, per_op.iteration_time + Us(50)) << m.name;
+  }
+}
+
+TEST(SingleGpuEngineTest, IssueBoundModelGainsFromPrecompiledIssue) {
+  // DenseNet-121 with growth 12 on CIFAR is CPU-bound (Section 8.2: 1.54x
+  // total for k=12, batch 32); pre-compiled issue alone must give a
+  // substantial chunk.
+  const NnModel m = DenseNet(121, 12, 32, 32);
+  const TrainGraph g(&m);
+  const TrainMetrics per_op =
+      SingleGpuEngine(XlaConfig(false)).Run(m, ConventionalIteration(g));
+  const TrainMetrics pre =
+      SingleGpuEngine(XlaConfig(true)).Run(m, ConventionalIteration(g));
+  EXPECT_GT(pre.throughput / per_op.throughput, 1.15);
+}
+
+TEST(SingleGpuEngineTest, MultiStreamOooBeatsConventional) {
+  const NnModel m = DenseNet(121, 32, 32, /*image=*/224);
+  const TrainGraph g(&m);
+  const CostModel cost(GpuSpec::V100(), SystemProfile::TensorFlowXla());
+  const CorunProfiler profiler(g, cost, BuildRegions(g));
+  const JointScheduleResult ooo = MultiRegionJointSchedule(g, profiler);
+
+  const SingleGpuEngine engine(XlaConfig(true));
+  const TrainMetrics base = engine.Run(m, ConventionalIteration(g));
+  const TrainMetrics multi = engine.Run(m, ooo.schedule);
+  EXPECT_GT(multi.throughput, base.throughput);
+}
+
+TEST(SingleGpuEngineTest, NaiveSubStreamIsBetweenBaselineAndJoint) {
+  const NnModel m = DenseNet(121, 32, 32, /*image=*/224);
+  const TrainGraph g(&m);
+  const SingleGpuEngine engine(XlaConfig(true));
+  const TrainMetrics base = engine.Run(m, ConventionalIteration(g));
+  const TrainMetrics naive = engine.Run(m, NaiveSubStreamIteration(g));
+  // The paper: naive sub-stream gives "a decent speedup" without joint
+  // scheduling (1.39x of the 1.54x for DenseNet).
+  EXPECT_GE(naive.throughput, base.throughput * 0.99);
+}
+
+TEST(SingleGpuEngineTest, UtilizationWithinBounds) {
+  const NnModel m = ResNet(50, 32);
+  const TrainGraph g(&m);
+  const TrainMetrics metrics =
+      SingleGpuEngine(XlaConfig(true)).Run(m, ConventionalIteration(g));
+  EXPECT_GT(metrics.gpu_utilization, 0.0);
+  EXPECT_LE(metrics.gpu_utilization, 1.0);
+}
+
+TEST(SingleGpuEngineTest, OomDetectedOnTinyGpu) {
+  SingleGpuConfig config = XlaConfig(true);
+  config.gpu.mem_bytes = 256LL << 20;  // 256 MB device
+  const NnModel m = ResNet(50, 64);
+  const TrainGraph g(&m);
+  const TrainMetrics metrics =
+      SingleGpuEngine(config).Run(m, ConventionalIteration(g));
+  EXPECT_TRUE(metrics.oom);
+}
+
+TEST(SingleGpuEngineTest, LargerBatchMoreThroughputPerIteration) {
+  const TrainGraph* unused = nullptr;
+  (void)unused;
+  const NnModel m32 = ResNet(50, 32);
+  const NnModel m64 = ResNet(50, 64);
+  const TrainGraph g32(&m32);
+  const TrainGraph g64(&m64);
+  const SingleGpuEngine engine(XlaConfig(true));
+  const TrainMetrics a = engine.Run(m32, ConventionalIteration(g32));
+  const TrainMetrics b = engine.Run(m64, ConventionalIteration(g64));
+  // Throughput improves with batch (fixed overheads amortize).
+  EXPECT_GT(b.throughput, a.throughput * 0.95);
+  EXPECT_GT(b.iteration_time, a.iteration_time);
+}
+
+TEST(SingleGpuEngineTest, TraceCoversBothStreams) {
+  const NnModel m = DenseNet(121, 32, 32, /*image=*/224);
+  const TrainGraph g(&m);
+  const CostModel cost(GpuSpec::V100(), SystemProfile::TensorFlowXla());
+  const CorunProfiler profiler(g, cost, BuildRegions(g));
+  const JointScheduleResult ooo = MultiRegionJointSchedule(g, profiler);
+  TraceRecorder trace;
+  SingleGpuEngine(XlaConfig(true)).Run(m, ooo.schedule, &trace);
+  EXPECT_FALSE(trace.TrackEvents(0).empty());  // main stream
+  EXPECT_FALSE(trace.TrackEvents(1).empty());  // sub stream
+}
+
+}  // namespace
+}  // namespace oobp

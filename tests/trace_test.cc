@@ -1,0 +1,89 @@
+#include <gtest/gtest.h>
+
+#include <cstdio>
+#include <fstream>
+
+#include "src/trace/trace.h"
+
+namespace oobp {
+namespace {
+
+TraceEvent Ev(const char* name, int track, TimeNs start, TimeNs dur) {
+  TraceEvent ev;
+  ev.name = name;
+  ev.category = "test";
+  ev.track = track;
+  ev.start = start;
+  ev.duration = dur;
+  return ev;
+}
+
+TEST(TraceTest, TrackEventsFilteredAndSorted) {
+  TraceRecorder trace;
+  trace.Add(Ev("b", 0, 200, 50));
+  trace.Add(Ev("a", 0, 100, 50));
+  trace.Add(Ev("other", 1, 0, 10));
+  const auto events = trace.TrackEvents(0);
+  ASSERT_EQ(events.size(), 2u);
+  EXPECT_EQ(events[0].name, "a");
+  EXPECT_EQ(events[1].name, "b");
+}
+
+TEST(TraceTest, BusyTimeUnionsOverlaps) {
+  TraceRecorder trace;
+  trace.Add(Ev("a", 0, 0, 100));
+  trace.Add(Ev("b", 0, 50, 100));   // overlaps a
+  trace.Add(Ev("c", 0, 300, 100));  // gap before c
+  EXPECT_EQ(trace.BusyTime(0, 0, 400), 250);
+  EXPECT_EQ(trace.BusyTime(0, 0, 100), 100);
+  EXPECT_EQ(trace.BusyTime(0, 120, 160), 30);
+  EXPECT_EQ(trace.BusyTime(1, 0, 400), 0);
+}
+
+TEST(TraceTest, Makespan) {
+  TraceRecorder trace;
+  EXPECT_EQ(trace.Makespan(), 0);
+  trace.Add(Ev("a", 0, 100, 50));
+  trace.Add(Ev("b", 3, 120, 500));
+  EXPECT_EQ(trace.Makespan(), 620);
+}
+
+TEST(TraceTest, ChromeJsonWellFormed) {
+  TraceRecorder trace;
+  TraceEvent ev = Ev("kernel \"x\"", 2, 1000, 2000);
+  ev.args["bytes"] = "42";
+  trace.Add(ev);
+  const std::string json = trace.ToChromeJson({{2, "main-stream"}});
+  // Metadata record, escaped quotes, microsecond timestamps.
+  EXPECT_NE(json.find("thread_name"), std::string::npos);
+  EXPECT_NE(json.find("main-stream"), std::string::npos);
+  EXPECT_NE(json.find("kernel \\\"x\\\""), std::string::npos);
+  EXPECT_NE(json.find("\"ts\":1.000"), std::string::npos);
+  EXPECT_NE(json.find("\"dur\":2.000"), std::string::npos);
+  EXPECT_NE(json.find("\"bytes\":\"42\""), std::string::npos);
+  EXPECT_EQ(json.front(), '[');
+  EXPECT_EQ(json[json.size() - 2], ']');
+}
+
+TEST(TraceTest, WriteChromeJsonRoundTrips) {
+  TraceRecorder trace;
+  trace.Add(Ev("k", 0, 0, 10));
+  const std::string path = "/tmp/oobp_trace_test.json";
+  ASSERT_TRUE(trace.WriteChromeJson(path, {{0, "gpu"}}));
+  std::ifstream f(path);
+  std::string content((std::istreambuf_iterator<char>(f)),
+                      std::istreambuf_iterator<char>());
+  EXPECT_EQ(content, trace.ToChromeJson({{0, "gpu"}}));
+  std::remove(path.c_str());
+}
+
+TEST(TraceTest, ClearEmptiesRecorder) {
+  TraceRecorder trace;
+  trace.Add(Ev("k", 0, 0, 10));
+  trace.Clear();
+  EXPECT_TRUE(trace.events().empty());
+  EXPECT_EQ(trace.Makespan(), 0);
+}
+
+}  // namespace
+}  // namespace oobp
