@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/abl_hybrid.dir/abl_hybrid.cc.o"
+  "CMakeFiles/abl_hybrid.dir/abl_hybrid.cc.o.d"
+  "abl_hybrid"
+  "abl_hybrid.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/abl_hybrid.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

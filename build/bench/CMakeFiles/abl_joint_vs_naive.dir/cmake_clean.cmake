@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/abl_joint_vs_naive.dir/abl_joint_vs_naive.cc.o"
+  "CMakeFiles/abl_joint_vs_naive.dir/abl_joint_vs_naive.cc.o.d"
+  "abl_joint_vs_naive"
+  "abl_joint_vs_naive.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/abl_joint_vs_naive.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,2 @@
+# Empty compiler generated dependencies file for abl_joint_vs_naive.
+# This may be replaced when dependencies are built.

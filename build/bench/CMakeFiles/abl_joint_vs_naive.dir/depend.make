@@ -1,0 +1,2 @@
+# Empty dependencies file for abl_joint_vs_naive.
+# This may be replaced when dependencies are built.

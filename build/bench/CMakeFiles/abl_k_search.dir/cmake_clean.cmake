@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/abl_k_search.dir/abl_k_search.cc.o"
+  "CMakeFiles/abl_k_search.dir/abl_k_search.cc.o.d"
+  "abl_k_search"
+  "abl_k_search.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/abl_k_search.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/abl_list_scheduling.dir/abl_list_scheduling.cc.o"
+  "CMakeFiles/abl_list_scheduling.dir/abl_list_scheduling.cc.o.d"
+  "abl_list_scheduling"
+  "abl_list_scheduling.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/abl_list_scheduling.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

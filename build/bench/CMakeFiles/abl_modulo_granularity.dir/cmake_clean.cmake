@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/abl_modulo_granularity.dir/abl_modulo_granularity.cc.o"
+  "CMakeFiles/abl_modulo_granularity.dir/abl_modulo_granularity.cc.o.d"
+  "abl_modulo_granularity"
+  "abl_modulo_granularity.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/abl_modulo_granularity.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

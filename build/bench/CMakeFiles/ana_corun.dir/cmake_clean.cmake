@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ana_corun.dir/ana_corun.cc.o"
+  "CMakeFiles/ana_corun.dir/ana_corun.cc.o.d"
+  "ana_corun"
+  "ana_corun.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ana_corun.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

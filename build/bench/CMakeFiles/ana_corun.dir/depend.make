@@ -1,0 +1,2 @@
+# Empty dependencies file for ana_corun.
+# This may be replaced when dependencies are built.

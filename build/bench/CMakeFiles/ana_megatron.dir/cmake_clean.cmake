@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ana_megatron.dir/ana_megatron.cc.o"
+  "CMakeFiles/ana_megatron.dir/ana_megatron.cc.o.d"
+  "ana_megatron"
+  "ana_megatron.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ana_megatron.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ana_reverse_k.dir/ana_reverse_k.cc.o"
+  "CMakeFiles/ana_reverse_k.dir/ana_reverse_k.cc.o.d"
+  "ana_reverse_k"
+  "ana_reverse_k.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ana_reverse_k.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,2 @@
+# Empty dependencies file for ana_reverse_k.
+# This may be replaced when dependencies are built.

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig01_kernel_issue.dir/fig01_kernel_issue.cc.o"
+  "CMakeFiles/fig01_kernel_issue.dir/fig01_kernel_issue.cc.o.d"
+  "fig01_kernel_issue"
+  "fig01_kernel_issue.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig01_kernel_issue.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

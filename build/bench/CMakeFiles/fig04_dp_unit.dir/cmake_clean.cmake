@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig04_dp_unit.dir/fig04_dp_unit.cc.o"
+  "CMakeFiles/fig04_dp_unit.dir/fig04_dp_unit.cc.o.d"
+  "fig04_dp_unit"
+  "fig04_dp_unit.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig04_dp_unit.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

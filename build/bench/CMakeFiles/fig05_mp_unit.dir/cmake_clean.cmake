@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig05_mp_unit.dir/fig05_mp_unit.cc.o"
+  "CMakeFiles/fig05_mp_unit.dir/fig05_mp_unit.cc.o.d"
+  "fig05_mp_unit"
+  "fig05_mp_unit.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig05_mp_unit.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig06_pipe_unit.dir/fig06_pipe_unit.cc.o"
+  "CMakeFiles/fig06_pipe_unit.dir/fig06_pipe_unit.cc.o.d"
+  "fig06_pipe_unit"
+  "fig06_pipe_unit.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig06_pipe_unit.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

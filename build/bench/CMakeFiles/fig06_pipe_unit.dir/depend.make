@@ -1,0 +1,2 @@
+# Empty dependencies file for fig06_pipe_unit.
+# This may be replaced when dependencies are built.

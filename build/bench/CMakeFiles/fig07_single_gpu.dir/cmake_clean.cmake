@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig07_single_gpu.dir/fig07_single_gpu.cc.o"
+  "CMakeFiles/fig07_single_gpu.dir/fig07_single_gpu.cc.o.d"
+  "fig07_single_gpu"
+  "fig07_single_gpu.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig07_single_gpu.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

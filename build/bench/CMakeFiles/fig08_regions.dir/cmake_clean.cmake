@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig08_regions.dir/fig08_regions.cc.o"
+  "CMakeFiles/fig08_regions.dir/fig08_regions.cc.o.d"
+  "fig08_regions"
+  "fig08_regions.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig08_regions.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig09_memory.dir/fig09_memory.cc.o"
+  "CMakeFiles/fig09_memory.dir/fig09_memory.cc.o.d"
+  "fig09_memory"
+  "fig09_memory.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig09_memory.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig10_data_parallel.dir/fig10_data_parallel.cc.o"
+  "CMakeFiles/fig10_data_parallel.dir/fig10_data_parallel.cc.o.d"
+  "fig10_data_parallel"
+  "fig10_data_parallel.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig10_data_parallel.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

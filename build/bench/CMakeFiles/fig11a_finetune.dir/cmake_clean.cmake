@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig11a_finetune.dir/fig11a_finetune.cc.o"
+  "CMakeFiles/fig11a_finetune.dir/fig11a_finetune.cc.o.d"
+  "fig11a_finetune"
+  "fig11a_finetune.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig11a_finetune.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig11b_interconnect.dir/fig11b_interconnect.cc.o"
+  "CMakeFiles/fig11b_interconnect.dir/fig11b_interconnect.cc.o.d"
+  "fig11b_interconnect"
+  "fig11b_interconnect.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig11b_interconnect.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

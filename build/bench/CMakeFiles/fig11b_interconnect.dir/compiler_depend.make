@@ -1,0 +1,2 @@
+# Empty compiler generated dependencies file for fig11b_interconnect.
+# This may be replaced when dependencies are built.

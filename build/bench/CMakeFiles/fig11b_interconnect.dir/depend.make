@@ -1,0 +1,2 @@
+# Empty dependencies file for fig11b_interconnect.
+# This may be replaced when dependencies are built.

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig12_ffnn_timeline.dir/fig12_ffnn_timeline.cc.o"
+  "CMakeFiles/fig12_ffnn_timeline.dir/fig12_ffnn_timeline.cc.o.d"
+  "fig12_ffnn_timeline"
+  "fig12_ffnn_timeline.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig12_ffnn_timeline.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig13_scaling.dir/fig13_scaling.cc.o"
+  "CMakeFiles/fig13_scaling.dir/fig13_scaling.cc.o.d"
+  "fig13_scaling"
+  "fig13_scaling.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig13_scaling.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bert_pipeline.dir/bert_pipeline.cc.o"
+  "CMakeFiles/bert_pipeline.dir/bert_pipeline.cc.o.d"
+  "bert_pipeline"
+  "bert_pipeline.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bert_pipeline.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

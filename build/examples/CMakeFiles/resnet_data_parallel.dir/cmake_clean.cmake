@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/resnet_data_parallel.dir/resnet_data_parallel.cc.o"
+  "CMakeFiles/resnet_data_parallel.dir/resnet_data_parallel.cc.o.d"
+  "resnet_data_parallel"
+  "resnet_data_parallel.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/resnet_data_parallel.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/oobp_common.dir/str_util.cc.o"
+  "CMakeFiles/oobp_common.dir/str_util.cc.o.d"
+  "liboobp_common.a"
+  "liboobp_common.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/oobp_common.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,35 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/core/corun_profiler.cc" "src/core/CMakeFiles/oobp_core.dir/corun_profiler.cc.o" "gcc" "src/core/CMakeFiles/oobp_core.dir/corun_profiler.cc.o.d"
+  "/root/repo/src/core/fast_forward.cc" "src/core/CMakeFiles/oobp_core.dir/fast_forward.cc.o" "gcc" "src/core/CMakeFiles/oobp_core.dir/fast_forward.cc.o.d"
+  "/root/repo/src/core/joint_scheduler.cc" "src/core/CMakeFiles/oobp_core.dir/joint_scheduler.cc.o" "gcc" "src/core/CMakeFiles/oobp_core.dir/joint_scheduler.cc.o.d"
+  "/root/repo/src/core/k_search.cc" "src/core/CMakeFiles/oobp_core.dir/k_search.cc.o" "gcc" "src/core/CMakeFiles/oobp_core.dir/k_search.cc.o.d"
+  "/root/repo/src/core/list_dp_scheduler.cc" "src/core/CMakeFiles/oobp_core.dir/list_dp_scheduler.cc.o" "gcc" "src/core/CMakeFiles/oobp_core.dir/list_dp_scheduler.cc.o.d"
+  "/root/repo/src/core/memory_model.cc" "src/core/CMakeFiles/oobp_core.dir/memory_model.cc.o" "gcc" "src/core/CMakeFiles/oobp_core.dir/memory_model.cc.o.d"
+  "/root/repo/src/core/modulo_alloc.cc" "src/core/CMakeFiles/oobp_core.dir/modulo_alloc.cc.o" "gcc" "src/core/CMakeFiles/oobp_core.dir/modulo_alloc.cc.o.d"
+  "/root/repo/src/core/recompute.cc" "src/core/CMakeFiles/oobp_core.dir/recompute.cc.o" "gcc" "src/core/CMakeFiles/oobp_core.dir/recompute.cc.o.d"
+  "/root/repo/src/core/region.cc" "src/core/CMakeFiles/oobp_core.dir/region.cc.o" "gcc" "src/core/CMakeFiles/oobp_core.dir/region.cc.o.d"
+  "/root/repo/src/core/reverse_k.cc" "src/core/CMakeFiles/oobp_core.dir/reverse_k.cc.o" "gcc" "src/core/CMakeFiles/oobp_core.dir/reverse_k.cc.o.d"
+  "/root/repo/src/core/schedule.cc" "src/core/CMakeFiles/oobp_core.dir/schedule.cc.o" "gcc" "src/core/CMakeFiles/oobp_core.dir/schedule.cc.o.d"
+  "/root/repo/src/core/schedule_io.cc" "src/core/CMakeFiles/oobp_core.dir/schedule_io.cc.o" "gcc" "src/core/CMakeFiles/oobp_core.dir/schedule_io.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/common/CMakeFiles/oobp_common.dir/DependInfo.cmake"
+  "/root/repo/build/src/nn/CMakeFiles/oobp_nn.dir/DependInfo.cmake"
+  "/root/repo/build/src/hw/CMakeFiles/oobp_hw.dir/DependInfo.cmake"
+  "/root/repo/build/src/sim/CMakeFiles/oobp_sim.dir/DependInfo.cmake"
+  "/root/repo/build/src/trace/CMakeFiles/oobp_trace.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,33 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/oobp_core.dir/corun_profiler.cc.o"
+  "CMakeFiles/oobp_core.dir/corun_profiler.cc.o.d"
+  "CMakeFiles/oobp_core.dir/fast_forward.cc.o"
+  "CMakeFiles/oobp_core.dir/fast_forward.cc.o.d"
+  "CMakeFiles/oobp_core.dir/joint_scheduler.cc.o"
+  "CMakeFiles/oobp_core.dir/joint_scheduler.cc.o.d"
+  "CMakeFiles/oobp_core.dir/k_search.cc.o"
+  "CMakeFiles/oobp_core.dir/k_search.cc.o.d"
+  "CMakeFiles/oobp_core.dir/list_dp_scheduler.cc.o"
+  "CMakeFiles/oobp_core.dir/list_dp_scheduler.cc.o.d"
+  "CMakeFiles/oobp_core.dir/memory_model.cc.o"
+  "CMakeFiles/oobp_core.dir/memory_model.cc.o.d"
+  "CMakeFiles/oobp_core.dir/modulo_alloc.cc.o"
+  "CMakeFiles/oobp_core.dir/modulo_alloc.cc.o.d"
+  "CMakeFiles/oobp_core.dir/recompute.cc.o"
+  "CMakeFiles/oobp_core.dir/recompute.cc.o.d"
+  "CMakeFiles/oobp_core.dir/region.cc.o"
+  "CMakeFiles/oobp_core.dir/region.cc.o.d"
+  "CMakeFiles/oobp_core.dir/reverse_k.cc.o"
+  "CMakeFiles/oobp_core.dir/reverse_k.cc.o.d"
+  "CMakeFiles/oobp_core.dir/schedule.cc.o"
+  "CMakeFiles/oobp_core.dir/schedule.cc.o.d"
+  "CMakeFiles/oobp_core.dir/schedule_io.cc.o"
+  "CMakeFiles/oobp_core.dir/schedule_io.cc.o.d"
+  "liboobp_core.a"
+  "liboobp_core.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/oobp_core.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

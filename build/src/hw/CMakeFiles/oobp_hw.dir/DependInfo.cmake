@@ -1,0 +1,26 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/hw/cluster.cc" "src/hw/CMakeFiles/oobp_hw.dir/cluster.cc.o" "gcc" "src/hw/CMakeFiles/oobp_hw.dir/cluster.cc.o.d"
+  "/root/repo/src/hw/cpu_launcher.cc" "src/hw/CMakeFiles/oobp_hw.dir/cpu_launcher.cc.o" "gcc" "src/hw/CMakeFiles/oobp_hw.dir/cpu_launcher.cc.o.d"
+  "/root/repo/src/hw/gpu.cc" "src/hw/CMakeFiles/oobp_hw.dir/gpu.cc.o" "gcc" "src/hw/CMakeFiles/oobp_hw.dir/gpu.cc.o.d"
+  "/root/repo/src/hw/gpu_spec.cc" "src/hw/CMakeFiles/oobp_hw.dir/gpu_spec.cc.o" "gcc" "src/hw/CMakeFiles/oobp_hw.dir/gpu_spec.cc.o.d"
+  "/root/repo/src/hw/link.cc" "src/hw/CMakeFiles/oobp_hw.dir/link.cc.o" "gcc" "src/hw/CMakeFiles/oobp_hw.dir/link.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/common/CMakeFiles/oobp_common.dir/DependInfo.cmake"
+  "/root/repo/build/src/sim/CMakeFiles/oobp_sim.dir/DependInfo.cmake"
+  "/root/repo/build/src/trace/CMakeFiles/oobp_trace.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,19 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/oobp_hw.dir/cluster.cc.o"
+  "CMakeFiles/oobp_hw.dir/cluster.cc.o.d"
+  "CMakeFiles/oobp_hw.dir/cpu_launcher.cc.o"
+  "CMakeFiles/oobp_hw.dir/cpu_launcher.cc.o.d"
+  "CMakeFiles/oobp_hw.dir/gpu.cc.o"
+  "CMakeFiles/oobp_hw.dir/gpu.cc.o.d"
+  "CMakeFiles/oobp_hw.dir/gpu_spec.cc.o"
+  "CMakeFiles/oobp_hw.dir/gpu_spec.cc.o.d"
+  "CMakeFiles/oobp_hw.dir/link.cc.o"
+  "CMakeFiles/oobp_hw.dir/link.cc.o.d"
+  "liboobp_hw.a"
+  "liboobp_hw.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/oobp_hw.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

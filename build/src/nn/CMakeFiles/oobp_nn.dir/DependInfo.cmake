@@ -1,0 +1,31 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/nn/cost_model.cc" "src/nn/CMakeFiles/oobp_nn.dir/cost_model.cc.o" "gcc" "src/nn/CMakeFiles/oobp_nn.dir/cost_model.cc.o.d"
+  "/root/repo/src/nn/densenet.cc" "src/nn/CMakeFiles/oobp_nn.dir/densenet.cc.o" "gcc" "src/nn/CMakeFiles/oobp_nn.dir/densenet.cc.o.d"
+  "/root/repo/src/nn/layer.cc" "src/nn/CMakeFiles/oobp_nn.dir/layer.cc.o" "gcc" "src/nn/CMakeFiles/oobp_nn.dir/layer.cc.o.d"
+  "/root/repo/src/nn/layer_builder.cc" "src/nn/CMakeFiles/oobp_nn.dir/layer_builder.cc.o" "gcc" "src/nn/CMakeFiles/oobp_nn.dir/layer_builder.cc.o.d"
+  "/root/repo/src/nn/mobilenet.cc" "src/nn/CMakeFiles/oobp_nn.dir/mobilenet.cc.o" "gcc" "src/nn/CMakeFiles/oobp_nn.dir/mobilenet.cc.o.d"
+  "/root/repo/src/nn/resnet.cc" "src/nn/CMakeFiles/oobp_nn.dir/resnet.cc.o" "gcc" "src/nn/CMakeFiles/oobp_nn.dir/resnet.cc.o.d"
+  "/root/repo/src/nn/rnn_ffnn.cc" "src/nn/CMakeFiles/oobp_nn.dir/rnn_ffnn.cc.o" "gcc" "src/nn/CMakeFiles/oobp_nn.dir/rnn_ffnn.cc.o.d"
+  "/root/repo/src/nn/train_graph.cc" "src/nn/CMakeFiles/oobp_nn.dir/train_graph.cc.o" "gcc" "src/nn/CMakeFiles/oobp_nn.dir/train_graph.cc.o.d"
+  "/root/repo/src/nn/transformer.cc" "src/nn/CMakeFiles/oobp_nn.dir/transformer.cc.o" "gcc" "src/nn/CMakeFiles/oobp_nn.dir/transformer.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/common/CMakeFiles/oobp_common.dir/DependInfo.cmake"
+  "/root/repo/build/src/hw/CMakeFiles/oobp_hw.dir/DependInfo.cmake"
+  "/root/repo/build/src/sim/CMakeFiles/oobp_sim.dir/DependInfo.cmake"
+  "/root/repo/build/src/trace/CMakeFiles/oobp_trace.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,27 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/oobp_nn.dir/cost_model.cc.o"
+  "CMakeFiles/oobp_nn.dir/cost_model.cc.o.d"
+  "CMakeFiles/oobp_nn.dir/densenet.cc.o"
+  "CMakeFiles/oobp_nn.dir/densenet.cc.o.d"
+  "CMakeFiles/oobp_nn.dir/layer.cc.o"
+  "CMakeFiles/oobp_nn.dir/layer.cc.o.d"
+  "CMakeFiles/oobp_nn.dir/layer_builder.cc.o"
+  "CMakeFiles/oobp_nn.dir/layer_builder.cc.o.d"
+  "CMakeFiles/oobp_nn.dir/mobilenet.cc.o"
+  "CMakeFiles/oobp_nn.dir/mobilenet.cc.o.d"
+  "CMakeFiles/oobp_nn.dir/resnet.cc.o"
+  "CMakeFiles/oobp_nn.dir/resnet.cc.o.d"
+  "CMakeFiles/oobp_nn.dir/rnn_ffnn.cc.o"
+  "CMakeFiles/oobp_nn.dir/rnn_ffnn.cc.o.d"
+  "CMakeFiles/oobp_nn.dir/train_graph.cc.o"
+  "CMakeFiles/oobp_nn.dir/train_graph.cc.o.d"
+  "CMakeFiles/oobp_nn.dir/transformer.cc.o"
+  "CMakeFiles/oobp_nn.dir/transformer.cc.o.d"
+  "liboobp_nn.a"
+  "liboobp_nn.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/oobp_nn.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,3 @@
+file(REMOVE_RECURSE
+  "liboobp_nn.a"
+)

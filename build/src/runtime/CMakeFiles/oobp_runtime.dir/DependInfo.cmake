@@ -1,0 +1,28 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/runtime/data_parallel_engine.cc" "src/runtime/CMakeFiles/oobp_runtime.dir/data_parallel_engine.cc.o" "gcc" "src/runtime/CMakeFiles/oobp_runtime.dir/data_parallel_engine.cc.o.d"
+  "/root/repo/src/runtime/hybrid_engine.cc" "src/runtime/CMakeFiles/oobp_runtime.dir/hybrid_engine.cc.o" "gcc" "src/runtime/CMakeFiles/oobp_runtime.dir/hybrid_engine.cc.o.d"
+  "/root/repo/src/runtime/pipeline_engine.cc" "src/runtime/CMakeFiles/oobp_runtime.dir/pipeline_engine.cc.o" "gcc" "src/runtime/CMakeFiles/oobp_runtime.dir/pipeline_engine.cc.o.d"
+  "/root/repo/src/runtime/single_gpu_engine.cc" "src/runtime/CMakeFiles/oobp_runtime.dir/single_gpu_engine.cc.o" "gcc" "src/runtime/CMakeFiles/oobp_runtime.dir/single_gpu_engine.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/core/CMakeFiles/oobp_core.dir/DependInfo.cmake"
+  "/root/repo/build/src/hw/CMakeFiles/oobp_hw.dir/DependInfo.cmake"
+  "/root/repo/build/src/nn/CMakeFiles/oobp_nn.dir/DependInfo.cmake"
+  "/root/repo/build/src/trace/CMakeFiles/oobp_trace.dir/DependInfo.cmake"
+  "/root/repo/build/src/sim/CMakeFiles/oobp_sim.dir/DependInfo.cmake"
+  "/root/repo/build/src/common/CMakeFiles/oobp_common.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

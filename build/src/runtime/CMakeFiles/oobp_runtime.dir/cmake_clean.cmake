@@ -1,0 +1,17 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/oobp_runtime.dir/data_parallel_engine.cc.o"
+  "CMakeFiles/oobp_runtime.dir/data_parallel_engine.cc.o.d"
+  "CMakeFiles/oobp_runtime.dir/hybrid_engine.cc.o"
+  "CMakeFiles/oobp_runtime.dir/hybrid_engine.cc.o.d"
+  "CMakeFiles/oobp_runtime.dir/pipeline_engine.cc.o"
+  "CMakeFiles/oobp_runtime.dir/pipeline_engine.cc.o.d"
+  "CMakeFiles/oobp_runtime.dir/single_gpu_engine.cc.o"
+  "CMakeFiles/oobp_runtime.dir/single_gpu_engine.cc.o.d"
+  "liboobp_runtime.a"
+  "liboobp_runtime.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/oobp_runtime.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

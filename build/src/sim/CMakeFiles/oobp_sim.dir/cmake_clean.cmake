@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/oobp_sim.dir/engine.cc.o"
+  "CMakeFiles/oobp_sim.dir/engine.cc.o.d"
+  "CMakeFiles/oobp_sim.dir/fluid.cc.o"
+  "CMakeFiles/oobp_sim.dir/fluid.cc.o.d"
+  "liboobp_sim.a"
+  "liboobp_sim.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/oobp_sim.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/oobp_trace.dir/trace.cc.o"
+  "CMakeFiles/oobp_trace.dir/trace.cc.o.d"
+  "liboobp_trace.a"
+  "liboobp_trace.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/oobp_trace.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

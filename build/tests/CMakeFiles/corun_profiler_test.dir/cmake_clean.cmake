@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/corun_profiler_test.dir/corun_profiler_test.cc.o"
+  "CMakeFiles/corun_profiler_test.dir/corun_profiler_test.cc.o.d"
+  "corun_profiler_test"
+  "corun_profiler_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/corun_profiler_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

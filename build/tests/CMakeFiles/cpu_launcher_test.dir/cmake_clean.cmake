@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/cpu_launcher_test.dir/cpu_launcher_test.cc.o"
+  "CMakeFiles/cpu_launcher_test.dir/cpu_launcher_test.cc.o.d"
+  "cpu_launcher_test"
+  "cpu_launcher_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/cpu_launcher_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,2 @@
+# Empty dependencies file for cpu_launcher_test.
+# This may be replaced when dependencies are built.

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/data_parallel_engine_test.dir/data_parallel_engine_test.cc.o"
+  "CMakeFiles/data_parallel_engine_test.dir/data_parallel_engine_test.cc.o.d"
+  "data_parallel_engine_test"
+  "data_parallel_engine_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/data_parallel_engine_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

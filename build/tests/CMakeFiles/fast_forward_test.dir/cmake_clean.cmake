@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fast_forward_test.dir/fast_forward_test.cc.o"
+  "CMakeFiles/fast_forward_test.dir/fast_forward_test.cc.o.d"
+  "fast_forward_test"
+  "fast_forward_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fast_forward_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

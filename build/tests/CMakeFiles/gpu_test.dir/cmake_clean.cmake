@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/gpu_test.dir/gpu_test.cc.o"
+  "CMakeFiles/gpu_test.dir/gpu_test.cc.o.d"
+  "gpu_test"
+  "gpu_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/gpu_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/hybrid_engine_test.dir/hybrid_engine_test.cc.o"
+  "CMakeFiles/hybrid_engine_test.dir/hybrid_engine_test.cc.o.d"
+  "hybrid_engine_test"
+  "hybrid_engine_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/hybrid_engine_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

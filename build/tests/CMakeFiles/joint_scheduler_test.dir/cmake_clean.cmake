@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/joint_scheduler_test.dir/joint_scheduler_test.cc.o"
+  "CMakeFiles/joint_scheduler_test.dir/joint_scheduler_test.cc.o.d"
+  "joint_scheduler_test"
+  "joint_scheduler_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/joint_scheduler_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

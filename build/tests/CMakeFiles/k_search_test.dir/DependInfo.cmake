@@ -1,0 +1,26 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/tests/k_search_test.cc" "tests/CMakeFiles/k_search_test.dir/k_search_test.cc.o" "gcc" "tests/CMakeFiles/k_search_test.dir/k_search_test.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/runtime/CMakeFiles/oobp_runtime.dir/DependInfo.cmake"
+  "/root/repo/build/src/core/CMakeFiles/oobp_core.dir/DependInfo.cmake"
+  "/root/repo/build/src/nn/CMakeFiles/oobp_nn.dir/DependInfo.cmake"
+  "/root/repo/build/src/hw/CMakeFiles/oobp_hw.dir/DependInfo.cmake"
+  "/root/repo/build/src/sim/CMakeFiles/oobp_sim.dir/DependInfo.cmake"
+  "/root/repo/build/src/trace/CMakeFiles/oobp_trace.dir/DependInfo.cmake"
+  "/root/repo/build/src/common/CMakeFiles/oobp_common.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/k_search_test.dir/k_search_test.cc.o"
+  "CMakeFiles/k_search_test.dir/k_search_test.cc.o.d"
+  "k_search_test"
+  "k_search_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/k_search_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/link_test.dir/link_test.cc.o"
+  "CMakeFiles/link_test.dir/link_test.cc.o.d"
+  "link_test"
+  "link_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/link_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/list_dp_scheduler_test.dir/list_dp_scheduler_test.cc.o"
+  "CMakeFiles/list_dp_scheduler_test.dir/list_dp_scheduler_test.cc.o.d"
+  "list_dp_scheduler_test"
+  "list_dp_scheduler_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/list_dp_scheduler_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/megatron_strategy_test.dir/megatron_strategy_test.cc.o"
+  "CMakeFiles/megatron_strategy_test.dir/megatron_strategy_test.cc.o.d"
+  "megatron_strategy_test"
+  "megatron_strategy_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/megatron_strategy_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/model_zoo_test.dir/model_zoo_test.cc.o"
+  "CMakeFiles/model_zoo_test.dir/model_zoo_test.cc.o.d"
+  "model_zoo_test"
+  "model_zoo_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/model_zoo_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

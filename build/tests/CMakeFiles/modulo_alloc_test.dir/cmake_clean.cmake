@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/modulo_alloc_test.dir/modulo_alloc_test.cc.o"
+  "CMakeFiles/modulo_alloc_test.dir/modulo_alloc_test.cc.o.d"
+  "modulo_alloc_test"
+  "modulo_alloc_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/modulo_alloc_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

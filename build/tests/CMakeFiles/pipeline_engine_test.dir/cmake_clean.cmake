@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/pipeline_engine_test.dir/pipeline_engine_test.cc.o"
+  "CMakeFiles/pipeline_engine_test.dir/pipeline_engine_test.cc.o.d"
+  "pipeline_engine_test"
+  "pipeline_engine_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/pipeline_engine_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/recompute_test.dir/recompute_test.cc.o"
+  "CMakeFiles/recompute_test.dir/recompute_test.cc.o.d"
+  "recompute_test"
+  "recompute_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/recompute_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/reverse_k_test.dir/reverse_k_test.cc.o"
+  "CMakeFiles/reverse_k_test.dir/reverse_k_test.cc.o.d"
+  "reverse_k_test"
+  "reverse_k_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/reverse_k_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

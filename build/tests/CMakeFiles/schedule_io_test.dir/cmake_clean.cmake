@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/schedule_io_test.dir/schedule_io_test.cc.o"
+  "CMakeFiles/schedule_io_test.dir/schedule_io_test.cc.o.d"
+  "schedule_io_test"
+  "schedule_io_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/schedule_io_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/single_gpu_engine_test.dir/single_gpu_engine_test.cc.o"
+  "CMakeFiles/single_gpu_engine_test.dir/single_gpu_engine_test.cc.o.d"
+  "single_gpu_engine_test"
+  "single_gpu_engine_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/single_gpu_engine_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/oobp.dir/oobp_sim.cc.o"
+  "CMakeFiles/oobp.dir/oobp_sim.cc.o.d"
+  "oobp"
+  "oobp.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/oobp.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()
