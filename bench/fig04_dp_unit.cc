@@ -1,60 +1,7 @@
-// Figure 4: data-parallel scheduling on a uniform toy network —
-// (a) conventional wait-free backprop with FIFO communication,
-// (b) prioritized parameter communication,
-// (c) prioritized communication + reordered computation (reverse first-k).
-//
-// The paper's unit-time analysis: (c) beats (a) by ~16% and (b) by ~12%.
-// We reproduce the toy with a uniform FFNN whose per-layer sync time is
-// comparable to its per-layer gradient compute time.
+// Figure 4: data-parallel scheduling on a uniform toy network. The full
+// experiment lives in src/runner/paper_scenarios.cc as "fig04_dp_unit";
+// this binary is a thin wrapper kept for `make fig04_dp_unit` workflows.
 
-#include "bench/bench_common.h"
-#include "src/core/reverse_k.h"
-#include "src/nn/model_zoo.h"
-#include "src/runtime/data_parallel_engine.h"
+#include "src/runner/runner.h"
 
-int main() {
-  using namespace oobp;
-  BenchHeader("Figure 4", "data-parallel schedules on a uniform toy model");
-
-  const NnModel model = Ffnn(5, 512, 8192);
-  const TrainGraph graph(&model);
-
-  DataParallelConfig config;
-  // A single NVLink node keeps per-layer sync comparable to per-layer
-  // gradient compute, matching the figure's unit-time proportions.
-  config.cluster = ClusterSpec::PubB(1);
-  config.num_gpus = 8;
-  config.commit_window_bytes = 96LL << 20;
-
-  // (a) FIFO: Horovod with immediate per-tensor flush (no batching delay).
-  DataParallelConfig fifo = config;
-  fifo.scheme = CommScheme::kHorovod;
-  fifo.fusion_cycle = 1;          // flush essentially immediately
-  fifo.fusion_buffer_bytes = 1;   // one tensor per flush
-  const TrainMetrics a =
-      DataParallelEngine(fifo).Run(model, graph.ConventionalBackprop());
-
-  // (b) prioritized communication (BytePS), conventional order.
-  config.scheme = CommScheme::kBytePS;
-  const DataParallelEngine byteps(config);
-  const TrainMetrics b = byteps.Run(model, graph.ConventionalBackprop());
-
-  // (c) + reordered computation: reverse the first 3 of 5 layers, exactly
-  // the paper's example.
-  const ReverseFirstKResult rk = ReverseFirstK(graph, 3);
-  const TrainMetrics c = byteps.Run(model, rk.order);
-
-  Table table({"schedule", "iter(ms)", "samples/s"});
-  table.Row({"(a) conventional", StrFormat("%.2f", ToMs(a.iteration_time)),
-             StrFormat("%.0f", a.throughput)});
-  table.Row({"(b) prio comm", StrFormat("%.2f", ToMs(b.iteration_time)),
-             StrFormat("%.0f", b.throughput)});
-  table.Row({"(c) prio comm+comp", StrFormat("%.2f", ToMs(c.iteration_time)),
-             StrFormat("%.0f", c.throughput)});
-
-  ShapeCheck("(c) vs (a) speedup (paper toy: 1.16)", 1.16,
-             c.throughput / a.throughput);
-  ShapeCheck("(c) vs (b) speedup (paper toy: 1.12)", 1.12,
-             c.throughput / b.throughput);
-  return 0;
-}
+int main() { return oobp::RunStandaloneBench("fig04_dp_unit"); }

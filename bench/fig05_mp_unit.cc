@@ -1,45 +1,8 @@
-// Figure 5: cross-layer model parallelism of an 8-layer network on 2 GPUs
-// (no micro-batches) — (a) conventional, (b) gradient fast-forwarding,
-// (c) + modulo allocation. The paper's unit-time makespans: 23 / 19 / 16
-// (1.21x and 1.44x over conventional).
+// Figure 5: cross-layer model parallelism, 8 layers / 2 GPUs (unit-time
+// makespans 23 / 19 / 16). The experiment lives in
+// src/runner/paper_scenarios.cc as "fig05_mp_unit"; this binary is a thin
+// wrapper kept for `make fig05_mp_unit` workflows.
 
-#include "bench/bench_common.h"
-#include "src/nn/model_zoo.h"
-#include "src/runtime/pipeline_engine.h"
+#include "src/runner/runner.h"
 
-int main() {
-  using namespace oobp;
-  BenchHeader("Figure 5", "cross-layer model parallelism, 8 layers / 2 GPUs");
-
-  const NnModel model = Ffnn(8, 256, 4096);
-  PipelineConfig config;
-  config.cluster = ClusterSpec::PubB(1);
-  config.num_gpus = 2;
-  config.num_micro_batches = 1;  // cross-layer MP: no micro-batches
-  config.use_link_override = true;
-  config.link_override = {"ideal", 10000.0, 0};
-
-  const PipelineEngine engine(config);
-  const PipelineResult a = engine.Run(model, PipelineStrategy::kGPipe);
-  const PipelineResult b = engine.Run(model, PipelineStrategy::kOooPipe1);
-  const PipelineResult c = engine.Run(model, PipelineStrategy::kOooPipe2);
-
-  Table table({"execution", "iter(ms)", "util", "speedup"});
-  auto row = [&](const char* name, const PipelineResult& r) {
-    table.Row({name, StrFormat("%.3f", ToMs(r.metrics.iteration_time)),
-               StrFormat("%.0f%%", 100 * r.metrics.gpu_utilization),
-               StrFormat("%.2fx", static_cast<double>(a.metrics.iteration_time) /
-                                      r.metrics.iteration_time)});
-  };
-  row("(a) conventional MP", a);
-  row("(b) + fast-forwarding", b);
-  row("(c) + modulo alloc", c);
-
-  ShapeCheck("(b) speedup (paper: 23/19 = 1.21)", 23.0 / 19.0,
-             static_cast<double>(a.metrics.iteration_time) /
-                 b.metrics.iteration_time);
-  ShapeCheck("(c) speedup (paper: 23/16 = 1.44)", 23.0 / 16.0,
-             static_cast<double>(a.metrics.iteration_time) /
-                 c.metrics.iteration_time);
-  return 0;
-}
+int main() { return oobp::RunStandaloneBench("fig05_mp_unit"); }

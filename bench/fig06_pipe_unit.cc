@@ -1,82 +1,7 @@
-// Figure 6: pipeline parallelism with micro-batches — the Figure 5 network
-// (8 layers / 2 GPUs), mini-batch split into two micro-batches A and B;
-// (a) GPipe, (b) + gradient fast-forwarding, (c) + modulo allocation.
-// Prints ASCII timelines reconstructed from the execution trace.
+// Figure 6: pipeline parallelism with two micro-batches. The experiment
+// lives in src/runner/paper_scenarios.cc as "fig06_pipe_unit"; this binary
+// is a thin wrapper kept for `make fig06_pipe_unit` workflows.
 
-#include <algorithm>
-#include <map>
+#include "src/runner/runner.h"
 
-#include "bench/bench_common.h"
-#include "src/nn/model_zoo.h"
-#include "src/runtime/pipeline_engine.h"
-#include "src/trace/trace.h"
-
-namespace {
-
-using namespace oobp;
-
-// Renders per-GPU tracks as text, one column per `unit` of simulated time.
-void RenderAscii(const TraceRecorder& trace, int gpus, TimeNs unit) {
-  for (int g = 0; g < gpus; ++g) {
-    std::string line = StrFormat("GPU%d |", g);
-    TimeNs cursor = 0;
-    for (const TraceEvent& ev : trace.TrackEvents(g)) {
-      while (cursor + unit / 2 < ev.start) {
-        line += "    .";
-        cursor += unit;
-      }
-      // Label: layer index + micro-batch letter (F upper-case, bwd lower).
-      std::string label = ev.name.substr(0, ev.name.find('#'));
-      label.resize(5, ' ');
-      line += label;
-      cursor = ev.end();
-    }
-    std::printf("%s\n", line.c_str());
-  }
-}
-
-PipelineResult RunAndPrint(const PipelineEngine& engine, const NnModel& model,
-                           PipelineStrategy s, TimeNs* unit) {
-  TraceRecorder trace;
-  const PipelineResult r = engine.Run(model, s, &trace);
-  std::printf("\n(%s) iteration %.3f ms, utilization %.0f%%\n",
-              PipelineStrategyName(s), ToMs(r.metrics.iteration_time),
-              100 * r.metrics.gpu_utilization);
-  if (*unit == 0 && !trace.events().empty()) {
-    *unit = trace.events().front().duration;
-  }
-  RenderAscii(trace, engine.config().num_gpus, std::max<TimeNs>(*unit, 1));
-  return r;
-}
-
-}  // namespace
-
-int main() {
-  using namespace oobp;
-  BenchHeader("Figure 6", "pipeline parallelism with 2 micro-batches");
-
-  const NnModel model = Ffnn(8, 128, 4096);  // micro-batch model
-  PipelineConfig config;
-  config.cluster = ClusterSpec::PubB(1);
-  config.num_gpus = 2;
-  config.num_micro_batches = 2;
-  config.use_link_override = true;
-  config.link_override = {"ideal", 10000.0, 0};
-
-  const PipelineEngine engine(config);
-  TimeNs unit = 0;
-  const PipelineResult a = RunAndPrint(engine, model, PipelineStrategy::kGPipe, &unit);
-  const PipelineResult b =
-      RunAndPrint(engine, model, PipelineStrategy::kOooPipe1, &unit);
-  const PipelineResult c =
-      RunAndPrint(engine, model, PipelineStrategy::kOooPipe2, &unit);
-
-  std::printf("\n");
-  ShapeCheck("fast-forwarding speedup over GPipe (>1)", 1.15,
-             static_cast<double>(a.metrics.iteration_time) /
-                 b.metrics.iteration_time);
-  ShapeCheck("+ modulo allocation speedup over GPipe (>1.3)", 1.45,
-             static_cast<double>(a.metrics.iteration_time) /
-                 c.metrics.iteration_time);
-  return 0;
-}
+int main() { return oobp::RunStandaloneBench("fig06_pipe_unit"); }

@@ -1,128 +1,7 @@
-// Figure 7: single-GPU training throughput on a V100, normalized to
-// TensorFlow XLA, for DenseNet-121/169, MobileNet V3 and ResNet-50/101 at
-// batch 32 and 64. Systems: XLA, XLA+Opt1 (pre-compiled kernel issue),
-// OOO-XLA = XLA+Opt1+Opt2 (multi-stream ooo computation), and Nimble.
-//
-// Paper bands: OOO-XLA/XLA = 1.09-1.21 (DenseNet-121), 1.07-1.19
-// (MobileNet), 1.03-1.06 (ResNet); maxima 1.54x (DenseNet k=12 b=32) and
-// 1.58x (MobileNet a=0.25 b=32); Nimble OOMs at batch 64 for most models.
+// Figure 7: single-GPU training throughput vs XLA on a V100. The experiment
+// lives in src/runner/paper_scenarios.cc, split per model family as
+// "fig07_*" scenarios; this binary runs them all serially.
 
-#include <functional>
-#include <optional>
-#include <vector>
+#include "src/runner/runner.h"
 
-#include "bench/bench_common.h"
-#include "src/core/corun_profiler.h"
-#include "src/core/joint_scheduler.h"
-#include "src/core/region.h"
-#include "src/nn/model_zoo.h"
-#include "src/runtime/single_gpu_engine.h"
-
-namespace {
-
-using namespace oobp;
-
-struct Result {
-  double xla = 0, opt1 = 0, ooo = 0;
-  std::optional<double> nimble;
-  bool ooo_oom = false;
-};
-
-Result RunConfig(const NnModel& model) {
-  const TrainGraph graph(&model);
-  const GpuSpec gpu = GpuSpec::V100();
-  const SystemProfile xla = SystemProfile::TensorFlowXla();
-  Result r;
-
-  const IterationSchedule conventional = ConventionalIteration(graph);
-  const TrainMetrics m_xla =
-      SingleGpuEngine({gpu, xla, /*precompiled_issue=*/false}).Run(model, conventional);
-  const TrainMetrics m_opt1 =
-      SingleGpuEngine({gpu, xla, /*precompiled_issue=*/true}).Run(model, conventional);
-
-  const CostModel cost(gpu, xla);
-  const CorunProfiler profiler(graph, cost, BuildRegions(graph));
-  JointScheduleOptions opts;
-  const MemoryTimeline conv_mem =
-      EstimateBackpropMemory(model, conventional.MergedOrder());
-  opts.memory_cap_bytes = static_cast<int64_t>(1.1 * conv_mem.peak);
-  const JointScheduleResult sched = MultiRegionJointSchedule(graph, profiler, opts);
-  const TrainMetrics m_ooo =
-      SingleGpuEngine({gpu, xla, /*precompiled_issue=*/true}).Run(model, sched.schedule);
-
-  const TrainMetrics m_nimble =
-      SingleGpuEngine({gpu, SystemProfile::PyTorchNimble(), true})
-          .Run(model, conventional);
-
-  r.xla = m_xla.oom ? 0 : m_xla.throughput;
-  r.opt1 = m_opt1.oom ? 0 : m_opt1.throughput;
-  r.ooo = m_ooo.oom ? 0 : m_ooo.throughput;
-  r.ooo_oom = m_ooo.oom;
-  if (!m_nimble.oom) {
-    r.nimble = m_nimble.throughput;
-  }
-  return r;
-}
-
-}  // namespace
-
-int main() {
-  using namespace oobp;
-  BenchHeader("Figure 7", "single-GPU throughput vs XLA (V100)");
-
-  struct Entry {
-    std::string label;
-    std::function<NnModel(int)> make;
-  };
-  const std::vector<Entry> entries = {
-      {"DenseNet-121(k24)", [](int b) { return DenseNet(121, 24, b, 32); }},
-      {"DenseNet-169(k32)", [](int b) { return DenseNet(169, 32, b, 32); }},
-      {"MobileNetV3(a.75)", [](int b) { return MobileNetV3Large(0.75, b); }},
-      {"ResNet-50", [](int b) { return ResNet(50, b); }},
-      {"ResNet-101", [](int b) { return ResNet(101, b); }},
-  };
-
-  Table table({"model", "batch", "XLA", "+Opt1", "OOO-XLA", "Nimble",
-               "OOO/XLA"});
-  std::vector<double> densenet_gain, mobilenet_gain, resnet_gain;
-  for (const Entry& entry : entries) {
-    for (int batch : {32, 64}) {
-      const Result r = RunConfig(entry.make(batch));
-      table.Row({entry.label, StrFormat("%d", batch),
-                 StrFormat("%.0f", r.xla), StrFormat("%.2f", r.opt1 / r.xla),
-                 r.ooo_oom ? "N/A" : StrFormat("%.2f", r.ooo / r.xla),
-                 r.nimble ? StrFormat("%.2f", *r.nimble / r.xla) : "N/A",
-                 StrFormat("%.2fx", r.ooo / r.xla)});
-      const double gain = r.ooo / r.xla;
-      if (entry.label.starts_with("DenseNet")) {
-        densenet_gain.push_back(gain);
-      } else if (entry.label.starts_with("MobileNet")) {
-        mobilenet_gain.push_back(gain);
-      } else {
-        resnet_gain.push_back(gain);
-      }
-    }
-  }
-
-  // Maximum-speedup configurations the paper calls out separately.
-  const Result k12 = RunConfig(DenseNet(121, 12, 32, 32));
-  const Result a025 = RunConfig(MobileNetV3Large(0.25, 32));
-
-  std::printf("\n");
-  ShapeCheck("DenseNet OOO/XLA upper (paper 1.21)", 1.21,
-             *std::max_element(densenet_gain.begin(), densenet_gain.end()));
-  ShapeCheck("MobileNet OOO/XLA upper (paper 1.19)", 1.19,
-             *std::max_element(mobilenet_gain.begin(), mobilenet_gain.end()));
-  ShapeCheck("ResNet OOO/XLA upper (paper 1.06)", 1.06,
-             *std::max_element(resnet_gain.begin(), resnet_gain.end()));
-  ShapeCheck("max gain DenseNet-121 k=12 b=32 (paper 1.54)", 1.54,
-             k12.ooo / k12.xla);
-  ShapeCheck("max gain MobileNet a=0.25 b=32 (paper 1.58)", 1.58,
-             a025.ooo / a025.xla);
-
-  // Nimble memory behaviour: OOM at batch 64 for the large CNNs.
-  const Result nimble64 = RunConfig(ResNet(101, 64));
-  std::printf("  [shape] Nimble ResNet-101 batch=64: %s (paper: N/A)\n",
-              nimble64.nimble ? "ran" : "OOM");
-  return 0;
-}
+int main() { return oobp::RunStandaloneBench("fig07_*"); }

@@ -1,89 +1,8 @@
-// Figure 10: data-parallel training throughput of ResNet-50/101 on the
-// three clusters of Table 2 — (a) 8x Titan XP + 10GbE, (b) 20x P100 +
-// 20GbE, (c) 48x V100 (Pub-A, NVLink + 10GbE) — for Horovod, BytePS and
-// OOO-BytePS (reverse first-k with the concave k search).
-//
-// Paper bands: OOO-BytePS / BytePS = 1.10-1.27x at 16-48 GPUs; up to 15.3%
-// on Titan XP at 8 GPUs; BytePS far ahead of Horovod everywhere at scale.
+// Figure 10: data-parallel scaling (Horovod / BytePS / OOO-BytePS) on the
+// three clusters of Table 2. The experiment lives in
+// src/runner/paper_scenarios.cc, split per cluster as "fig10_*" scenarios;
+// this binary runs them all serially.
 
-#include <vector>
+#include "src/runner/runner.h"
 
-#include "bench/bench_common.h"
-#include "src/core/k_search.h"
-#include "src/core/reverse_k.h"
-#include "src/nn/model_zoo.h"
-#include "src/runtime/data_parallel_engine.h"
-
-namespace {
-
-using namespace oobp;
-
-struct ClusterRun {
-  const char* title;
-  ClusterSpec cluster;
-  std::vector<int> gpu_counts;
-  int batch50, batch101;
-};
-
-void RunCluster(const ClusterRun& run, std::vector<double>* gains_16plus) {
-  for (const int depth : {50, 101}) {
-    const int batch = depth == 50 ? run.batch50 : run.batch101;
-    const NnModel model = ResNet(depth, batch);
-    const TrainGraph graph(&model);
-    std::printf("\n%s — ResNet-%d, batch %d/GPU\n", run.title, depth, batch);
-    Table table({"GPUs", "Horovod", "BytePS", "OOO-BytePS", "k*", "gain"});
-    for (int gpus : run.gpu_counts) {
-      DataParallelConfig config;
-      config.cluster = run.cluster;
-      config.num_gpus = gpus;
-
-      config.scheme = CommScheme::kHorovod;
-      const double hvd = DataParallelEngine(config)
-                             .Run(model, graph.ConventionalBackprop())
-                             .throughput;
-      config.scheme = CommScheme::kBytePS;
-      const DataParallelEngine byteps(config);
-      const double bps =
-          byteps.Run(model, graph.ConventionalBackprop()).throughput;
-      const KSearchResult search = SearchBestK(model.num_layers(), [&](int k) {
-        return byteps.Run(model, ReverseFirstK(graph, k).order).throughput;
-      });
-      const double ooo = search.best_throughput;
-      table.Row({StrFormat("%d", gpus), StrFormat("%.0f", hvd),
-                 StrFormat("%.0f", bps), StrFormat("%.0f", ooo),
-                 StrFormat("%d", search.best_k),
-                 StrFormat("%.2fx", ooo / bps)});
-      if (gpus >= 16) {
-        gains_16plus->push_back(ooo / bps);
-      }
-    }
-  }
-}
-
-}  // namespace
-
-int main() {
-  using namespace oobp;
-  BenchHeader("Figure 10", "data-parallel scaling: Horovod / BytePS / OOO-BytePS");
-
-  std::vector<double> gains_16plus;
-  RunCluster({"(a) Priv-A: Titan XP x8, PCIe + 10GbE", ClusterSpec::PrivA(),
-              {1, 2, 4, 8}, 64, 64},
-             &gains_16plus);
-  RunCluster({"(b) Priv-B: P100 x20, PCIe + 20GbE", ClusterSpec::PrivB(),
-              {1, 4, 8, 16, 20}, 64, 64},
-             &gains_16plus);
-  RunCluster({"(c) Pub-A: V100 x48, NVLink + 10GbE", ClusterSpec::PubA(),
-              {1, 4, 8, 16, 32, 48}, 128, 96},
-             &gains_16plus);
-
-  std::printf("\n");
-  double lo = 10.0, hi = 0.0;
-  for (double g : gains_16plus) {
-    lo = std::min(lo, g);
-    hi = std::max(hi, g);
-  }
-  ShapeCheck("min OOO/BytePS gain at 16+ GPUs (paper >= 1.05)", 1.10, lo);
-  ShapeCheck("max OOO/BytePS gain at 16+ GPUs (paper <= 1.27)", 1.27, hi);
-  return 0;
-}
+int main() { return oobp::RunStandaloneBench("fig10_*"); }

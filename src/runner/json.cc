@@ -1,0 +1,404 @@
+#include "src/runner/json.h"
+
+#include <cctype>
+#include <cmath>
+#include <cstdio>
+#include <cstdlib>
+
+namespace oobp {
+
+JsonValue JsonValue::Bool(bool b) {
+  JsonValue v;
+  v.type_ = Type::kBool;
+  v.bool_ = b;
+  return v;
+}
+
+JsonValue JsonValue::Number(double d) {
+  JsonValue v;
+  v.type_ = Type::kNumber;
+  v.number_ = d;
+  return v;
+}
+
+JsonValue JsonValue::Str(std::string s) {
+  JsonValue v;
+  v.type_ = Type::kString;
+  v.string_ = std::move(s);
+  return v;
+}
+
+JsonValue JsonValue::Array() {
+  JsonValue v;
+  v.type_ = Type::kArray;
+  return v;
+}
+
+JsonValue JsonValue::Object() {
+  JsonValue v;
+  v.type_ = Type::kObject;
+  return v;
+}
+
+const JsonValue* JsonValue::Find(const std::string& key) const {
+  if (type_ != Type::kObject) {
+    return nullptr;
+  }
+  for (const auto& [k, v] : object_) {
+    if (k == key) {
+      return &v;
+    }
+  }
+  return nullptr;
+}
+
+void JsonValue::Set(const std::string& key, JsonValue value) {
+  for (auto& [k, v] : object_) {
+    if (k == key) {
+      v = std::move(value);
+      return;
+    }
+  }
+  object_.emplace_back(key, std::move(value));
+}
+
+std::string JsonNumberToString(double v) {
+  if (!std::isfinite(v)) {
+    return "null";  // JSON has no inf/nan; the runner never emits them
+  }
+  if (v == std::floor(v) && std::fabs(v) < 1e15) {
+    char buf[32];
+    std::snprintf(buf, sizeof(buf), "%lld", static_cast<long long>(v));
+    return buf;
+  }
+  char buf[64];
+  std::snprintf(buf, sizeof(buf), "%.12g", v);
+  return buf;
+}
+
+namespace {
+
+void EscapeString(const std::string& s, std::string* out) {
+  out->push_back('"');
+  for (char c : s) {
+    switch (c) {
+      case '"':
+        *out += "\\\"";
+        break;
+      case '\\':
+        *out += "\\\\";
+        break;
+      case '\n':
+        *out += "\\n";
+        break;
+      case '\t':
+        *out += "\\t";
+        break;
+      case '\r':
+        *out += "\\r";
+        break;
+      default:
+        if (static_cast<unsigned char>(c) < 0x20) {
+          char buf[8];
+          std::snprintf(buf, sizeof(buf), "\\u%04x", c);
+          *out += buf;
+        } else {
+          out->push_back(c);
+        }
+    }
+  }
+  out->push_back('"');
+}
+
+void Indent(std::string* out, int n) { out->append(static_cast<size_t>(n), ' '); }
+
+}  // namespace
+
+void JsonValue::DumpTo(std::string* out, int indent) const {
+  switch (type_) {
+    case Type::kNull:
+      *out += "null";
+      return;
+    case Type::kBool:
+      *out += bool_ ? "true" : "false";
+      return;
+    case Type::kNumber:
+      *out += JsonNumberToString(number_);
+      return;
+    case Type::kString:
+      EscapeString(string_, out);
+      return;
+    case Type::kArray: {
+      if (array_.empty()) {
+        *out += "[]";
+        return;
+      }
+      *out += "[\n";
+      for (size_t i = 0; i < array_.size(); ++i) {
+        Indent(out, indent + 2);
+        array_[i].DumpTo(out, indent + 2);
+        *out += i + 1 < array_.size() ? ",\n" : "\n";
+      }
+      Indent(out, indent);
+      *out += "]";
+      return;
+    }
+    case Type::kObject: {
+      if (object_.empty()) {
+        *out += "{}";
+        return;
+      }
+      *out += "{\n";
+      for (size_t i = 0; i < object_.size(); ++i) {
+        Indent(out, indent + 2);
+        EscapeString(object_[i].first, out);
+        *out += ": ";
+        object_[i].second.DumpTo(out, indent + 2);
+        *out += i + 1 < object_.size() ? ",\n" : "\n";
+      }
+      Indent(out, indent);
+      *out += "}";
+      return;
+    }
+  }
+}
+
+std::string JsonValue::Dump() const {
+  std::string out;
+  DumpTo(&out, 0);
+  out += "\n";
+  return out;
+}
+
+namespace {
+
+class Parser {
+ public:
+  Parser(const std::string& text, std::string* error)
+      : text_(text), error_(error) {}
+
+  std::optional<JsonValue> Run() {
+    auto v = ParseValue();
+    if (!v.has_value()) {
+      return std::nullopt;
+    }
+    SkipWs();
+    if (pos_ != text_.size()) {
+      return Fail("trailing characters after document");
+    }
+    return v;
+  }
+
+ private:
+  std::optional<JsonValue> Fail(const std::string& msg) {
+    if (error_ != nullptr && error_->empty()) {
+      *error_ = msg + " at offset " + std::to_string(pos_);
+    }
+    return std::nullopt;
+  }
+
+  void SkipWs() {
+    while (pos_ < text_.size() && std::isspace(static_cast<unsigned char>(text_[pos_]))) {
+      ++pos_;
+    }
+  }
+
+  bool Consume(char c) {
+    SkipWs();
+    if (pos_ < text_.size() && text_[pos_] == c) {
+      ++pos_;
+      return true;
+    }
+    return false;
+  }
+
+  bool ConsumeLiteral(const char* lit) {
+    const size_t n = std::string(lit).size();
+    if (text_.compare(pos_, n, lit) == 0) {
+      pos_ += n;
+      return true;
+    }
+    return false;
+  }
+
+  std::optional<JsonValue> ParseValue() {
+    SkipWs();
+    if (pos_ >= text_.size()) {
+      return Fail("unexpected end of input");
+    }
+    const char c = text_[pos_];
+    if (c == '{') {
+      return ParseObject();
+    }
+    if (c == '[') {
+      return ParseArray();
+    }
+    if (c == '"') {
+      auto s = ParseString();
+      if (!s.has_value()) {
+        return std::nullopt;
+      }
+      return JsonValue::Str(std::move(*s));
+    }
+    if (ConsumeLiteral("true")) {
+      return JsonValue::Bool(true);
+    }
+    if (ConsumeLiteral("false")) {
+      return JsonValue::Bool(false);
+    }
+    if (ConsumeLiteral("null")) {
+      return JsonValue::Null();
+    }
+    return ParseNumber();
+  }
+
+  std::optional<std::string> ParseString() {
+    if (!Consume('"')) {
+      Fail("expected string");
+      return std::nullopt;
+    }
+    std::string out;
+    while (pos_ < text_.size()) {
+      const char c = text_[pos_++];
+      if (c == '"') {
+        return out;
+      }
+      if (c != '\\') {
+        out.push_back(c);
+        continue;
+      }
+      if (pos_ >= text_.size()) {
+        break;
+      }
+      const char esc = text_[pos_++];
+      switch (esc) {
+        case '"':
+          out.push_back('"');
+          break;
+        case '\\':
+          out.push_back('\\');
+          break;
+        case '/':
+          out.push_back('/');
+          break;
+        case 'b':
+          out.push_back('\b');
+          break;
+        case 'f':
+          out.push_back('\f');
+          break;
+        case 'n':
+          out.push_back('\n');
+          break;
+        case 'r':
+          out.push_back('\r');
+          break;
+        case 't':
+          out.push_back('\t');
+          break;
+        case 'u': {
+          if (pos_ + 4 > text_.size()) {
+            Fail("truncated \\u escape");
+            return std::nullopt;
+          }
+          const long cp = std::strtol(text_.substr(pos_, 4).c_str(), nullptr, 16);
+          pos_ += 4;
+          // ASCII only; anything beyond is replaced (the runner never emits
+          // non-ASCII).
+          out.push_back(cp > 0 && cp < 0x80 ? static_cast<char>(cp) : '?');
+          break;
+        }
+        default:
+          Fail("bad escape character");
+          return std::nullopt;
+      }
+    }
+    Fail("unterminated string");
+    return std::nullopt;
+  }
+
+  std::optional<JsonValue> ParseNumber() {
+    const size_t start = pos_;
+    while (pos_ < text_.size() &&
+           (std::isdigit(static_cast<unsigned char>(text_[pos_])) ||
+            text_[pos_] == '-' || text_[pos_] == '+' || text_[pos_] == '.' ||
+            text_[pos_] == 'e' || text_[pos_] == 'E')) {
+      ++pos_;
+    }
+    if (pos_ == start) {
+      return Fail("expected value");
+    }
+    const std::string tok = text_.substr(start, pos_ - start);
+    char* end = nullptr;
+    const double v = std::strtod(tok.c_str(), &end);
+    if (end == nullptr || *end != '\0') {
+      return Fail("malformed number '" + tok + "'");
+    }
+    return JsonValue::Number(v);
+  }
+
+  std::optional<JsonValue> ParseArray() {
+    Consume('[');
+    JsonValue arr = JsonValue::Array();
+    SkipWs();
+    if (Consume(']')) {
+      return arr;
+    }
+    while (true) {
+      auto v = ParseValue();
+      if (!v.has_value()) {
+        return std::nullopt;
+      }
+      arr.Append(std::move(*v));
+      if (Consume(']')) {
+        return arr;
+      }
+      if (!Consume(',')) {
+        return Fail("expected ',' or ']' in array");
+      }
+    }
+  }
+
+  std::optional<JsonValue> ParseObject() {
+    Consume('{');
+    JsonValue obj = JsonValue::Object();
+    SkipWs();
+    if (Consume('}')) {
+      return obj;
+    }
+    while (true) {
+      SkipWs();
+      auto key = ParseString();
+      if (!key.has_value()) {
+        return std::nullopt;
+      }
+      if (!Consume(':')) {
+        return Fail("expected ':' after object key");
+      }
+      auto v = ParseValue();
+      if (!v.has_value()) {
+        return std::nullopt;
+      }
+      obj.Set(*key, std::move(*v));
+      if (Consume('}')) {
+        return obj;
+      }
+      if (!Consume(',')) {
+        return Fail("expected ',' or '}' in object");
+      }
+    }
+  }
+
+  const std::string& text_;
+  std::string* error_;
+  size_t pos_ = 0;
+};
+
+}  // namespace
+
+std::optional<JsonValue> JsonValue::Parse(const std::string& text,
+                                          std::string* error) {
+  return Parser(text, error).Run();
+}
+
+}  // namespace oobp

@@ -1,0 +1,36 @@
+#include "src/runner/result.h"
+
+namespace oobp {
+
+void ScenarioResult::Set(const std::string& key, double value) {
+  for (MetricKv& kv : values) {
+    if (kv.key == key) {
+      kv.value = value;
+      return;
+    }
+  }
+  values.push_back({key, value});
+}
+
+void ScenarioResult::SetMetrics(const std::string& prefix,
+                                const TrainMetrics& m) {
+  for (const MetricKv& kv : MetricsToKv(m, prefix)) {
+    Set(kv.key, kv.value);
+  }
+}
+
+const double* ScenarioResult::Find(const std::string& key) const {
+  for (const MetricKv& kv : values) {
+    if (kv.key == key) {
+      return &kv.value;
+    }
+  }
+  return nullptr;
+}
+
+double ScenarioResult::Get(const std::string& key, double def) const {
+  const double* v = Find(key);
+  return v != nullptr ? *v : def;
+}
+
+}  // namespace oobp

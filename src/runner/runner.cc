@@ -1,0 +1,293 @@
+#include "src/runner/runner.h"
+
+#include <atomic>
+#include <chrono>
+#include <cstdio>
+#include <exception>
+#include <fstream>
+#include <thread>
+
+#include "src/common/str_util.h"
+#include "src/runner/json.h"
+#include "src/runner/paper_scenarios.h"
+
+namespace oobp {
+
+std::string ScenarioJson(const Scenario& scenario,
+                         const ScenarioResult& result) {
+  JsonValue doc = JsonValue::Object();
+  doc.Set("scenario", JsonValue::Str(scenario.name));
+  doc.Set("figure", JsonValue::Str(scenario.figure));
+  doc.Set("description", JsonValue::Str(scenario.description));
+  JsonValue values = JsonValue::Object();
+  for (const MetricKv& kv : result.values) {
+    values.Set(kv.key, JsonValue::Number(kv.value));
+  }
+  doc.Set("values", std::move(values));
+  JsonValue notes = JsonValue::Array();
+  for (const std::string& note : result.notes) {
+    notes.Append(JsonValue::Str(note));
+  }
+  doc.Set("notes", std::move(notes));
+  return doc.Dump();
+}
+
+namespace {
+
+int ResolveJobs(int jobs, size_t num_scenarios) {
+  int n = jobs;
+  if (n <= 0) {
+    n = static_cast<int>(std::thread::hardware_concurrency());
+    if (n <= 0) {
+      n = 1;
+    }
+  }
+  if (static_cast<size_t>(n) > num_scenarios) {
+    n = static_cast<int>(num_scenarios);
+  }
+  return n < 1 ? 1 : n;
+}
+
+void RunOne(const Scenario& scenario, const ScenarioParams& params,
+            ScenarioRun* run) {
+  const auto start = std::chrono::steady_clock::now();
+  try {
+    run->result = scenario.run(params);
+    run->ok = true;
+  } catch (const std::exception& e) {
+    run->ok = false;
+    run->error = e.what();
+  } catch (...) {
+    run->ok = false;
+    run->error = "unknown exception";
+  }
+  run->wall_seconds =
+      std::chrono::duration<double>(std::chrono::steady_clock::now() - start)
+          .count();
+  if (run->ok) {
+    run->json = ScenarioJson(scenario, run->result);
+  }
+}
+
+void PrintRun(const ScenarioRun& run) {
+  std::printf("== %s", run.scenario->name.c_str());
+  if (!run.scenario->figure.empty()) {
+    std::printf(" (%s)", run.scenario->figure.c_str());
+  }
+  std::printf(" — %s  [%.2fs]\n", run.scenario->description.c_str(),
+              run.wall_seconds);
+  if (!run.ok) {
+    std::printf("  FAILED: %s\n", run.error.c_str());
+    return;
+  }
+  for (const std::string& note : run.result.notes) {
+    std::printf("  # %s\n", note.c_str());
+  }
+  for (const MetricKv& kv : run.result.values) {
+    std::printf("  %-44s %s\n", kv.key.c_str(),
+                JsonNumberToString(kv.value).c_str());
+  }
+  if (run.golden_compared) {
+    if (run.golden_failures.empty()) {
+      std::printf("  golden: OK\n");
+    } else {
+      for (const std::string& f : run.golden_failures) {
+        std::printf("  golden MISMATCH: %s\n", f.c_str());
+      }
+    }
+  }
+}
+
+}  // namespace
+
+RunnerReport RunScenarios(const RunnerOptions& opts) {
+  RunnerReport report;
+  const std::vector<const Scenario*> matched =
+      ScenarioRegistry::Global().Match(opts.filter);
+  report.runs.resize(matched.size());
+  for (size_t i = 0; i < matched.size(); ++i) {
+    report.runs[i].scenario = matched[i];
+  }
+
+  const int jobs = ResolveJobs(opts.jobs, matched.size());
+  if (jobs <= 1) {
+    for (ScenarioRun& run : report.runs) {
+      RunOne(*run.scenario, opts.params, &run);
+    }
+  } else {
+    std::atomic<size_t> next{0};
+    std::vector<std::thread> pool;
+    pool.reserve(static_cast<size_t>(jobs));
+    for (int t = 0; t < jobs; ++t) {
+      pool.emplace_back([&report, &opts, &next] {
+        while (true) {
+          const size_t i = next.fetch_add(1);
+          if (i >= report.runs.size()) {
+            return;
+          }
+          ScenarioRun& run = report.runs[i];
+          RunOne(*run.scenario, opts.params, &run);
+        }
+      });
+    }
+    for (std::thread& t : pool) {
+      t.join();
+    }
+  }
+
+  // Post-processing stays single-threaded and in registration order so the
+  // printed report and any written files are deterministic.
+  for (ScenarioRun& run : report.runs) {
+    if (!run.ok) {
+      ++report.num_scenario_failures;
+    }
+    if (run.ok && !opts.golden_dir.empty()) {
+      const std::string path =
+          GoldenPathFor(opts.golden_dir, run.scenario->name);
+      std::string error;
+      if (const auto spec = LoadGoldenFile(path, &error); spec.has_value()) {
+        run.golden_compared = true;
+        run.golden_failures = CheckAgainstGolden(*spec, run.result);
+        if (!run.golden_failures.empty()) {
+          ++report.num_golden_failures;
+        }
+      }
+      // A scenario without a golden file is simply not compared.
+    }
+    if (run.ok && !opts.output_dir.empty()) {
+      const std::string path =
+          opts.output_dir + "/BENCH_" + run.scenario->name + ".json";
+      std::ofstream out(path, std::ios::binary);
+      if (out) {
+        out << run.json;
+      } else if (opts.print) {
+        std::printf("warning: cannot write %s\n", path.c_str());
+      }
+    }
+    if (opts.print) {
+      PrintRun(run);
+    }
+  }
+  if (opts.print) {
+    int compared = 0;
+    for (const ScenarioRun& run : report.runs) {
+      compared += run.golden_compared ? 1 : 0;
+    }
+    std::printf("\n%zu scenario(s), %d failed", report.runs.size(),
+                report.num_scenario_failures);
+    if (compared > 0) {
+      std::printf("; %d golden-checked, %d mismatched", compared,
+                  report.num_golden_failures);
+    }
+    std::printf("\n");
+  }
+  return report;
+}
+
+namespace {
+
+int ListScenarios() {
+  for (const Scenario& s : ScenarioRegistry::Global().scenarios()) {
+    std::printf("%-24s %-10s %s\n", s.name.c_str(), s.figure.c_str(),
+                s.description.c_str());
+  }
+  return 0;
+}
+
+int BenchUsage() {
+  std::fprintf(stderr,
+               "usage: oobp bench [--list] [--filter=GLOB] [--jobs=N]\n"
+               "                  [--out=DIR] [--golden[=DIR]] [--param k=v]\n"
+               "  --filter=GLOB  run scenarios matching GLOB (default '*')\n"
+               "  --jobs=N       thread-pool size; 0 = all cores (default 1)\n"
+               "  --out=DIR      write BENCH_<scenario>.json files (default .)\n"
+               "  --golden[=DIR] compare against golden files "
+               "(default bench/golden)\n"
+               "  --param k=v    forward a parameter to every scenario\n");
+  return 2;
+}
+
+}  // namespace
+
+int BenchMain(int argc, char** argv) {
+  RegisterPaperScenarios();
+
+  RunnerOptions opts;
+  opts.output_dir = ".";
+  bool list = false;
+  for (int i = 1; i < argc; ++i) {
+    std::string arg = argv[i];
+    if (arg.rfind("--", 0) != 0) {
+      continue;  // binary name / "bench" subcommand / stray positionals
+    }
+    arg = arg.substr(2);
+    std::string value;
+    const size_t eq = arg.find('=');
+    const bool has_value = eq != std::string::npos;
+    if (has_value) {
+      value = arg.substr(eq + 1);
+      arg = arg.substr(0, eq);
+    }
+    // `--flag value` form for flags that require a value.
+    auto next_value = [&]() -> std::string {
+      if (has_value) {
+        return value;
+      }
+      if (i + 1 < argc && argv[i + 1][0] != '-') {
+        return argv[++i];
+      }
+      return "";
+    };
+    if (arg == "list") {
+      list = true;
+    } else if (arg == "filter") {
+      opts.filter = next_value();
+    } else if (arg == "jobs") {
+      opts.jobs = std::atoi(next_value().c_str());
+    } else if (arg == "out") {
+      opts.output_dir = next_value();
+    } else if (arg == "golden") {
+      const std::string dir = next_value();
+      opts.golden_dir = dir.empty() ? "bench/golden" : dir;
+    } else if (arg == "param") {
+      const std::string kv = next_value();
+      const size_t split = kv.find('=');
+      if (split == std::string::npos) {
+        std::fprintf(stderr, "--param needs key=value, got '%s'\n",
+                     kv.c_str());
+        return BenchUsage();
+      }
+      opts.params.Set(kv.substr(0, split), kv.substr(split + 1));
+    } else if (arg == "help") {
+      return BenchUsage();
+    } else {
+      std::fprintf(stderr, "unknown flag --%s\n", arg.c_str());
+      return BenchUsage();
+    }
+  }
+  if (list) {
+    return ListScenarios();
+  }
+  const RunnerReport report = RunScenarios(opts);
+  if (report.runs.empty()) {
+    std::fprintf(stderr, "no scenario matches filter '%s'\n",
+                 opts.filter.c_str());
+    return 2;
+  }
+  return report.ok() ? 0 : 1;
+}
+
+int RunStandaloneBench(const std::string& filter) {
+  RegisterPaperScenarios();
+  RunnerOptions opts;
+  opts.filter = filter;
+  opts.jobs = 1;
+  const RunnerReport report = RunScenarios(opts);
+  if (report.runs.empty()) {
+    std::fprintf(stderr, "no scenario matches filter '%s'\n", filter.c_str());
+    return 2;
+  }
+  return report.ok() ? 0 : 1;
+}
+
+}  // namespace oobp

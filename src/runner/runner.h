@@ -1,0 +1,77 @@
+// Parallel scenario runner.
+//
+// Executes every registered scenario matching a glob across a std::thread
+// pool. Simulations are deterministic and share no state, so the full suite
+// is embarrassingly parallel; results are collected into registration-order
+// slots, which makes the emitted JSON byte-identical whatever --jobs is.
+//
+// CLI (wired as `oobp bench`, also behind the thin bench/ wrappers):
+//
+//   oobp bench --list
+//   oobp bench --filter='fig0[456]*' --jobs=8
+//   oobp bench --filter='fig10_*' --out=results --golden=bench/golden
+//   oobp bench --param k=3 --param batch=64
+//
+// Each scenario writes `<out>/BENCH_<scenario>.json`; --golden compares
+// results against `<golden>/<scenario>.json` tolerance files and the exit
+// code reports any scenario error or golden mismatch.
+
+#ifndef OOBP_SRC_RUNNER_RUNNER_H_
+#define OOBP_SRC_RUNNER_RUNNER_H_
+
+#include <string>
+#include <vector>
+
+#include "src/runner/golden.h"
+#include "src/runner/registry.h"
+#include "src/runner/result.h"
+
+namespace oobp {
+
+struct RunnerOptions {
+  std::string filter = "*";
+  int jobs = 1;             // <= 0 selects std::thread::hardware_concurrency
+  std::string output_dir;   // empty: do not write BENCH_*.json files
+  std::string golden_dir;   // empty: skip golden comparison
+  ScenarioParams params;    // forwarded to every scenario
+  bool print = true;        // human-readable report on stdout
+};
+
+struct ScenarioRun {
+  const Scenario* scenario = nullptr;
+  ScenarioResult result;
+  std::string json;  // deterministic serialization of `result`
+  bool ok = true;    // scenario body completed
+  std::string error;
+  bool golden_compared = false;
+  std::vector<std::string> golden_failures;
+  double wall_seconds = 0.0;  // host time; reporting only, never serialized
+};
+
+struct RunnerReport {
+  std::vector<ScenarioRun> runs;  // registration order
+  int num_scenario_failures = 0;
+  int num_golden_failures = 0;
+  bool ok() const {
+    return num_scenario_failures == 0 && num_golden_failures == 0;
+  }
+};
+
+// Serializes one scenario's result (stable field and key order).
+std::string ScenarioJson(const Scenario& scenario, const ScenarioResult& result);
+
+// Runs all scenarios matching opts.filter on a thread pool of opts.jobs.
+RunnerReport RunScenarios(const RunnerOptions& opts);
+
+// `oobp bench` entry point; parses flags (any leading non-flag tokens such
+// as the binary name and the "bench" subcommand are skipped), registers the
+// paper scenarios, and returns a process exit code.
+int BenchMain(int argc, char** argv);
+
+// Serial convenience used by the thin bench/ figure wrappers: registers the
+// paper scenarios, runs `filter`, prints, writes no files. Returns exit code.
+int RunStandaloneBench(const std::string& filter);
+
+}  // namespace oobp
+
+#endif  // OOBP_SRC_RUNNER_RUNNER_H_

@@ -16,6 +16,12 @@
 
 namespace oobp {
 
+namespace {
+// Nominal per-layer synchronization volume in unit-time mode; the channel
+// bandwidth is derived from it, so its absolute value cancels out.
+constexpr int64_t kUnitSyncVolumeBytes = 1 << 20;
+}  // namespace
+
 DataParallelEngine::DataParallelEngine(DataParallelConfig config)
     : config_(std::move(config)) {
   OOBP_CHECK_GE(config_.num_gpus, 1);
@@ -26,6 +32,12 @@ int64_t DataParallelEngine::SyncVolume(const NnModel& model, int layer) const {
   const int n = config_.num_gpus;
   if (n <= 1) {
     return 0;
+  }
+  if (config_.unit_time > 0) {
+    // Unit mode: every parameterized layer synchronizes the same nominal
+    // volume; ChannelBandwidthGbps is sized so it serializes for
+    // unit_sync_units * unit_time.
+    return model.layers[layer].has_params() ? kUnitSyncVolumeBytes : 0;
   }
   const int64_t grad = model.layers[layer].param_bytes;
   const int gpn = config_.cluster.gpus_per_node;
@@ -44,6 +56,12 @@ int64_t DataParallelEngine::SyncVolume(const NnModel& model, int layer) const {
 }
 
 double DataParallelEngine::ChannelBandwidthGbps() const {
+  if (config_.unit_time > 0) {
+    // 1 GB/s moves one byte per nanosecond, so this serializes the nominal
+    // unit volume in exactly unit_sync_units * unit_time.
+    return static_cast<double>(kUnitSyncVolumeBytes) /
+           (config_.unit_sync_units * static_cast<double>(config_.unit_time));
+  }
   const int n = config_.num_gpus;
   const int gpn = config_.cluster.gpus_per_node;
   if (n <= gpn) {
@@ -132,7 +150,11 @@ class Driver {
     }
     waiting_layer_ = -1;
 
-    const KernelCost kc = cost_.Cost(model_.layers[op.layer], op.type);
+    KernelCost kc = cost_.Cost(model_.layers[op.layer], op.type);
+    if (config_.unit_time > 0) {
+      kc.duration = config_.unit_time;
+      kc.issue_latency = 0;
+    }
     const TimeNs latency = config_.precompiled_issue ? 0 : kc.issue_latency;
     engine_->ScheduleAfter(latency, [this, op, kc] {
       KernelDesc desc;
@@ -277,7 +299,11 @@ TrainMetrics DataParallelEngine::Run(const NnModel& model,
   const int iterations = 1 + config_.measured_iterations;
 
   SimEngine engine;
-  Gpu gpu(&engine, config_.cluster.gpu, trace, /*trace_track_base=*/0);
+  GpuSpec gpu_spec = config_.cluster.gpu;
+  if (config_.unit_time > 0) {
+    gpu_spec.kernel_exec_overhead = 0;  // ops cost exactly one unit
+  }
+  Gpu gpu(&engine, gpu_spec, trace, /*trace_track_base=*/0);
 
   // Channel: the worker's share of the cluster interconnect. Horovod's flat
   // ring also pays per-step coordination latency proportional to the ring
@@ -292,6 +318,9 @@ TrainMetrics DataParallelEngine::Run(const NnModel& model,
       config_.scheme == CommScheme::kHorovod
           ? base_latency * 2 * std::max(1, config_.num_gpus - 1)
           : base_latency;
+  if (config_.unit_time > 0) {
+    channel_spec.latency = 0;  // unit schedules count serialization only
+  }
   Link channel(&engine, channel_spec, /*chunk_bytes=*/1 << 20, trace,
                /*track=*/200,
                config_.scheme == CommScheme::kBytePS

@@ -51,6 +51,14 @@ struct DataParallelConfig {
   // window (see hw/link.h).
   int64_t partition_bytes = 4LL << 20;
   int64_t commit_window_bytes = 256LL << 20;
+  // Figure 4 unit-time toy mode: when > 0, every F/dO/dW op takes exactly
+  // `unit_time` with no issue latency or kernel overhead, and each
+  // parameterized layer's synchronization serializes for
+  // `unit_sync_units * unit_time` on the channel (every layer carries the
+  // same nominal volume). This reproduces the paper's unit-schedule
+  // analysis, where per-layer sync time is comparable to per-layer compute.
+  TimeNs unit_time = 0;
+  double unit_sync_units = 2.0;
 };
 
 class DataParallelEngine {

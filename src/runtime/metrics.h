@@ -4,6 +4,8 @@
 #define OOBP_SRC_RUNTIME_METRICS_H_
 
 #include <cstdint>
+#include <string>
+#include <vector>
 
 #include "src/common/time.h"
 
@@ -17,6 +19,26 @@ struct TrainMetrics {
   int64_t peak_memory_bytes = 0;          // per-GPU peak (activations + base)
   bool oom = false;                       // peak exceeded device memory
 };
+
+// One serializable metric entry; ordered lists of these are what the
+// scenario runner writes into BENCH_<scenario>.json and compares against
+// golden values.
+struct MetricKv {
+  std::string key;
+  double value = 0.0;
+};
+
+// Flattens TrainMetrics into the runner's key/value form. Keys are stable
+// API: golden files reference them (`<prefix>iteration_ms`, ...).
+inline std::vector<MetricKv> MetricsToKv(const TrainMetrics& m,
+                                         const std::string& prefix = "") {
+  return {{prefix + "iteration_ms", ToMs(m.iteration_time)},
+          {prefix + "throughput", m.throughput},
+          {prefix + "gpu_utilization", m.gpu_utilization},
+          {prefix + "comm_comp_ratio", m.comm_comp_ratio},
+          {prefix + "peak_memory_mb", static_cast<double>(m.peak_memory_bytes) / 1e6},
+          {prefix + "oom", m.oom ? 1.0 : 0.0}};
+}
 
 }  // namespace oobp
 

@@ -94,6 +94,10 @@ class PipeSim {
     defer_wgrads_ = strategy == PipelineStrategy::kOooPipe1 ||
                     strategy == PipelineStrategy::kOooPipe2 ||
                     strategy == PipelineStrategy::kMegatronFF;
+    // Conventional backward is a fused dO+dW operation: the gradient leaves
+    // the layer only once both finish. Gradient fast-forwarding (Section 5.2)
+    // sends it immediately after dO.
+    fast_forward_ = defer_wgrads_;
     backward_preferred_ = strategy == PipelineStrategy::kPipeDream ||
                           strategy == PipelineStrategy::kDapple ||
                           strategy == PipelineStrategy::kMegatron ||
@@ -208,13 +212,23 @@ class PipeSim {
               op.done = true;
               continue;
             }
+            if (kind == PipeOpKind::kDgrad && l == 0 &&
+                config_.unit_time > 0) {
+              // Unit-time mode follows the paper's figures: layer 0 computes
+              // no input gradient.
+              op.exists = false;
+              op.done = true;
+              continue;
+            }
             const TrainOpType ot = kind == PipeOpKind::kFwd
                                        ? TrainOpType::kForward
                                        : (kind == PipeOpKind::kDgrad
                                               ? TrainOpType::kOutputGrad
                                               : TrainOpType::kWeightGrad);
-            op.duration = cost_.Cost(layer, ot).duration +
-                          cost_.gpu().kernel_exec_overhead;
+            op.duration = config_.unit_time > 0
+                              ? config_.unit_time
+                              : cost_.Cost(layer, ot).duration +
+                                    cost_.gpu().kernel_exec_overhead;
             // Dependencies: F needs its input activation (except layer 0,
             // which reads the micro-batch); dO/dW need the incoming
             // gradient. Iteration barriers for flush strategies are added
@@ -228,17 +242,21 @@ class PipeSim {
         }
       }
     }
-    // Per-iteration update barrier time: the slowest GPU's weight updates.
+    // Per-iteration update barrier time: the slowest GPU's weight updates
+    // (free in unit-time mode — the paper's unit timelines do not count
+    // updates).
     update_time_ = 0;
-    std::vector<TimeNs> per_gpu_update(config_.num_gpus, 0);
-    for (int l = 0; l < L_; ++l) {
-      if (graph_.HasWgrad(l)) {
-        per_gpu_update[assignment_[l]] +=
-            cost_.Cost(model_.layers[l], TrainOpType::kWeightUpdate).duration;
+    if (config_.unit_time <= 0) {
+      std::vector<TimeNs> per_gpu_update(config_.num_gpus, 0);
+      for (int l = 0; l < L_; ++l) {
+        if (graph_.HasWgrad(l)) {
+          per_gpu_update[assignment_[l]] +=
+              cost_.Cost(model_.layers[l], TrainOpType::kWeightUpdate).duration;
+        }
       }
-    }
-    for (TimeNs t : per_gpu_update) {
-      update_time_ = std::max(update_time_, t);
+      for (TimeNs t : per_gpu_update) {
+        update_time_ = std::max(update_time_, t);
+      }
     }
   }
 
@@ -404,11 +422,14 @@ class PipeSim {
   void DeliverGradient(int t, int m, int l, int src) {
     const int dst = assignment_[l];
     const int64_t bytes = model_.layers[l].output_bytes;
+    const bool has_dgrad = ops_[OpIndex(t, m, l, PipeOpKind::kDgrad)].exists;
     grad_consumers_[OpIndex(t, m, l, PipeOpKind::kFwd) / 3] =
-        1 + (graph_.HasWgrad(l) ? 1 : 0);
-    auto arrive = [this, t, m, l, dst, bytes] {
+        (has_dgrad ? 1 : 0) + (graph_.HasWgrad(l) ? 1 : 0);
+    auto arrive = [this, t, m, l, dst, bytes, has_dgrad] {
       AddMem(dst, bytes);
-      SatisfyDep(OpIndex(t, m, l, PipeOpKind::kDgrad));
+      if (has_dgrad) {
+        SatisfyDep(OpIndex(t, m, l, PipeOpKind::kDgrad));
+      }
       if (graph_.HasWgrad(l)) {
         SatisfyDep(OpIndex(t, m, l, PipeOpKind::kWgrad));
       }
@@ -462,7 +483,12 @@ class PipeSim {
         ++gs.bwd_done;
         AddMem(op.gpu, -model_.layers[l].stash_bytes);
         if (l > 0) {
-          DeliverGradient(t, m, l - 1, op.gpu);
+          // Non-existent dW ops are marked done at build time, so this test
+          // also covers parameter-free layers.
+          if (fast_forward_ ||
+              ops_[OpIndex(t, m, l, PipeOpKind::kWgrad)].done) {
+            DeliverGradient(t, m, l - 1, op.gpu);
+          }
           if (!graph_.HasWgrad(l)) {
             // A parameter-free layer releases its input activation here.
             ConsumeActivation(t, m, l - 1);
@@ -473,6 +499,10 @@ class PipeSim {
       case PipeOpKind::kWgrad:
         if (t == 0) {
           wgrad_done_[l] = std::max(wgrad_done_[l], engine_->now());
+        }
+        if (!fast_forward_ && l > 0 &&
+            ops_[OpIndex(t, m, l, PipeOpKind::kDgrad)].done) {
+          DeliverGradient(t, m, l - 1, op.gpu);
         }
         if (l > 0) {
           ConsumeActivation(t, m, l - 1);
@@ -508,6 +538,7 @@ class PipeSim {
   const int M_;
 
   bool defer_wgrads_ = false;
+  bool fast_forward_ = false;
   bool backward_preferred_ = false;
   bool flush_ = true;
   TimeNs update_time_ = 0;

@@ -75,6 +75,13 @@ struct PipelineConfig {
   bool use_link_override = false;
   LinkSpec link_override;
   int measured_iterations = 3;  // only kPipeDream needs several
+  // Paper-figure unit-time mode (the Figure 5/6 toy timelines): when > 0,
+  // every F/dO/dW op takes exactly `unit_time` (no kernel overhead), weight
+  // updates are free, and layer 0's dO op is omitted — the first layer
+  // needs no input gradient, which is what makes the paper's conventional
+  // 8-layer/2-GPU makespan 23 units rather than 24. Combine with an ideal
+  // link override so transfers stay negligible against the unit.
+  TimeNs unit_time = 0;
 };
 
 struct PipelineResult {

@@ -1,0 +1,91 @@
+// DESIGN.md §4 determinism guarantee: the simulator has no wall-clock or
+// randomness inputs, so running the same configuration twice must produce
+// identical iteration times AND an identical event stream (verified through
+// the serialized Chrome trace, which captures every kernel, transfer and
+// issue event with its timestamps).
+
+#include <gtest/gtest.h>
+
+#include <map>
+#include <string>
+
+#include "src/core/reverse_k.h"
+#include "src/core/schedule.h"
+#include "src/nn/model_zoo.h"
+#include "src/runtime/data_parallel_engine.h"
+#include "src/runtime/pipeline_engine.h"
+#include "src/runtime/single_gpu_engine.h"
+#include "src/trace/trace.h"
+
+namespace oobp {
+namespace {
+
+TEST(DeterminismTest, SingleGpuEngine) {
+  const NnModel model = DenseNet(121, 24, 32, 32);
+  const TrainGraph graph(&model);
+  const IterationSchedule schedule = ConventionalIteration(graph);
+  const SingleGpuEngine engine(
+      {GpuSpec::V100(), SystemProfile::TensorFlowXla(), true});
+
+  TraceRecorder trace1, trace2;
+  const TrainMetrics m1 = engine.Run(model, schedule, &trace1);
+  const TrainMetrics m2 = engine.Run(model, schedule, &trace2);
+
+  EXPECT_EQ(m1.iteration_time, m2.iteration_time);
+  EXPECT_EQ(m1.peak_memory_bytes, m2.peak_memory_bytes);
+  EXPECT_DOUBLE_EQ(m1.throughput, m2.throughput);
+  EXPECT_DOUBLE_EQ(m1.gpu_utilization, m2.gpu_utilization);
+  const std::map<int, std::string> tracks;
+  EXPECT_GT(trace1.events().size(), 0u);
+  EXPECT_EQ(trace1.ToChromeJson(tracks), trace2.ToChromeJson(tracks));
+}
+
+TEST(DeterminismTest, DataParallelEngine) {
+  const NnModel model = ResNet(50, 64);
+  const TrainGraph graph(&model);
+  DataParallelConfig config;
+  config.cluster = ClusterSpec::PubA();
+  config.num_gpus = 16;
+  config.scheme = CommScheme::kBytePS;
+  const DataParallelEngine engine(config);
+  const auto order = ReverseFirstK(graph, 8).order;
+
+  TraceRecorder trace1, trace2;
+  const TrainMetrics m1 = engine.Run(model, order, &trace1);
+  const TrainMetrics m2 = engine.Run(model, order, &trace2);
+
+  EXPECT_EQ(m1.iteration_time, m2.iteration_time);
+  EXPECT_DOUBLE_EQ(m1.throughput, m2.throughput);
+  EXPECT_DOUBLE_EQ(m1.comm_comp_ratio, m2.comm_comp_ratio);
+  const std::map<int, std::string> tracks;
+  EXPECT_GT(trace1.events().size(), 0u);
+  EXPECT_EQ(trace1.ToChromeJson(tracks), trace2.ToChromeJson(tracks));
+}
+
+TEST(DeterminismTest, PipelineEngine) {
+  const NnModel model = Bert(12, 8);
+  PipelineConfig config;
+  config.cluster = ClusterSpec::PubB(1);
+  config.num_gpus = 4;
+  config.num_micro_batches = 4;
+  const PipelineEngine engine(config);
+
+  for (PipelineStrategy s :
+       {PipelineStrategy::kGPipe, PipelineStrategy::kOooPipe1,
+        PipelineStrategy::kOooPipe2}) {
+    TraceRecorder trace1, trace2;
+    const PipelineResult r1 = engine.Run(model, s, &trace1);
+    const PipelineResult r2 = engine.Run(model, s, &trace2);
+    EXPECT_EQ(r1.metrics.iteration_time, r2.metrics.iteration_time)
+        << PipelineStrategyName(s);
+    EXPECT_EQ(r1.per_gpu_peak_memory, r2.per_gpu_peak_memory)
+        << PipelineStrategyName(s);
+    const std::map<int, std::string> tracks;
+    EXPECT_GT(trace1.events().size(), 0u) << PipelineStrategyName(s);
+    EXPECT_EQ(trace1.ToChromeJson(tracks), trace2.ToChromeJson(tracks))
+        << PipelineStrategyName(s);
+  }
+}
+
+}  // namespace
+}  // namespace oobp

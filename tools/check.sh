@@ -1,0 +1,19 @@
+#!/usr/bin/env bash
+# One-shot health check: configure, build, run the unit-test tier, then run
+# the unit-time toy scenarios against their golden files.
+#
+# Usage: tools/check.sh [build-dir]
+set -euo pipefail
+
+REPO_ROOT="$(cd "$(dirname "$0")/.." && pwd)"
+BUILD_DIR="${1:-${REPO_ROOT}/build}"
+
+cmake -S "${REPO_ROOT}" -B "${BUILD_DIR}" -DCMAKE_BUILD_TYPE=Release
+cmake --build "${BUILD_DIR}" -j"$(nproc)"
+
+ctest --test-dir "${BUILD_DIR}" -L unit --output-on-failure
+
+"${BUILD_DIR}/tools/oobp" bench --filter 'fig0[456]*' --jobs 0 \
+    --out "${BUILD_DIR}" --golden "${REPO_ROOT}/bench/golden"
+
+echo "check.sh: all green"

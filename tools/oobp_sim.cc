@@ -12,6 +12,8 @@
 //                     [--strategy=gpipe|dapple|pipedream|megatron|ooo1|ooo2]
 //   oobp_sim hybrid   --model=bert24 --gpus=8 --replicas=2 [--k=0]
 //   oobp_sim replay   --model=densenet121 --schedule=<file>
+//   oobp_sim bench    [--list] [--filter=<glob>] [--jobs=N] [--out=<dir>]
+//                     [--golden[=<dir>]] [--param k=v]  (see src/runner)
 //
 // Common flags: --trace=<path.json> exports the execution timeline;
 // `single --system=ooo --export-schedule=<file>` saves the computed
@@ -30,6 +32,7 @@
 #include "src/core/reverse_k.h"
 #include "src/core/schedule_io.h"
 #include "src/nn/model_zoo.h"
+#include "src/runner/runner.h"
 #include "src/runtime/data_parallel_engine.h"
 #include "src/runtime/hybrid_engine.h"
 #include "src/runtime/pipeline_engine.h"
@@ -342,7 +345,8 @@ int RunHybrid(const Flags& flags) {
 
 int Usage() {
   std::fprintf(stderr,
-               "usage: oobp_sim <single|dp|pipeline|hybrid> [--flags]\n"
+               "usage: oobp_sim <single|dp|pipeline|hybrid|replay|bench> "
+               "[--flags]\n"
                "see the header comment of tools/oobp_sim.cc for details\n");
   return 2;
 }
@@ -370,6 +374,9 @@ int main(int argc, char** argv) {
   }
   if (mode == "replay") {
     return oobp::RunReplay(flags);
+  }
+  if (mode == "bench") {
+    return oobp::BenchMain(argc, argv);
   }
   return oobp::Usage();
 }
