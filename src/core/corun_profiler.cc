@@ -13,13 +13,27 @@ CorunProfiler::CorunProfiler(const TrainGraph& graph, const CostModel& cost,
     : graph_(&graph), cost_(&cost), regions_(std::move(regions)) {
   const double capacity = static_cast<double>(cost_->gpu().slot_capacity());
   const TimeNs setup = cost_->gpu().kernel_exec_overhead;
+  const int L = graph_->num_layers();
+
+  // The cost model is pure in (layer, op type); evaluate each pair once.
+  constexpr int kNumOpTypes = 4;
+  cost_cache_.resize(static_cast<size_t>(L) * kNumOpTypes);
+  for (int i = 0; i < L; ++i) {
+    for (int t = 0; t < kNumOpTypes; ++t) {
+      cost_cache_[static_cast<size_t>(i) * kNumOpTypes + t] =
+          cost_->Cost(graph_->model().layers[i], static_cast<TrainOpType>(t));
+    }
+  }
 
   profiles_.resize(regions_.size());
+  seg_end_.resize(regions_.size());
   main_duration_.assign(regions_.size(), 0);
+  dgrad_end_.assign(L, {-1, 0});
+  fwd_region_.assign(L, -1);
   for (size_t r = 0; r < regions_.size(); ++r) {
     TimeNs offset = 0;
     for (const TrainOp& op : regions_[r].main_ops) {
-      const KernelCost kc = cost_->Cost(graph_->model().layers[op.layer], op.type);
+      const KernelCost& kc = CachedCost(op);
       // The per-kernel SM setup gap leaves the whole device to the sub
       // stream — in saturated regions this is the only co-run capacity,
       // which is exactly the paper's R2 observation (the gain there equals
@@ -35,13 +49,24 @@ CorunProfiler::CorunProfiler(const TrainGraph& graph, const CostModel& cost,
       if (op.type == TrainOpType::kOutputGrad) {
         dgrad_end_[op.layer] = {static_cast<int>(r), offset};
       } else if (op.type == TrainOpType::kForward) {
-        if (fwd_region_.find(op.layer) == fwd_region_.end()) {
+        if (fwd_region_[op.layer] < 0) {
           fwd_region_[op.layer] = static_cast<int>(r);
         }
       }
     }
     main_duration_[r] = offset;
+    seg_end_[r].reserve(profiles_[r].size());
+    TimeNs end = 0;
+    for (const Segment& seg : profiles_[r]) {
+      end += seg.duration;
+      seg_end_[r].push_back(end);
+    }
   }
+}
+
+const KernelCost& CorunProfiler::CachedCost(const TrainOp& op) const {
+  return cost_cache_[static_cast<size_t>(op.layer) * 4 +
+                     static_cast<int>(op.type)];
 }
 
 TimeNs CorunProfiler::MainDuration(int r) const {
@@ -51,7 +76,7 @@ TimeNs CorunProfiler::MainDuration(int r) const {
 }
 
 TimeNs CorunProfiler::SoloTime(const TrainOp& op) const {
-  return cost_->Cost(graph_->model().layers[op.layer], op.type).duration;
+  return CachedCost(op).duration;
 }
 
 TimeNs CorunProfiler::SubTimeAt(int r, const TrainOp& op, TimeNs offset) const {
@@ -59,18 +84,22 @@ TimeNs CorunProfiler::SubTimeAt(int r, const TrainOp& op, TimeNs offset) const {
   OOBP_CHECK_LT(r, num_regions());
   OOBP_CHECK_GE(offset, 0);
   const double capacity = static_cast<double>(cost_->gpu().slot_capacity());
-  const KernelCost kc = cost_->Cost(graph_->model().layers[op.layer], op.type);
+  const KernelCost& kc = CachedCost(op);
   const double solo_rate = EffectiveOccupancy(kc.thread_blocks, capacity);
   double work = static_cast<double>(kc.duration) * solo_rate;
 
+  // Skip straight to the first segment whose end lies past `offset`; the
+  // per-region prefix sums make this a binary search rather than a scan of
+  // every earlier segment on every query.
+  const std::vector<TimeNs>& ends = seg_end_[r];
+  const size_t first =
+      std::upper_bound(ends.begin(), ends.end(), offset) - ends.begin();
+
   TimeNs t = 0;  // time elapsed since the kernel started (at `offset`)
-  TimeNs seg_start = 0;
-  for (const Segment& seg : profiles_[r]) {
+  TimeNs seg_start = first == 0 ? 0 : ends[first - 1];
+  for (size_t k = first; k < profiles_[r].size(); ++k) {
+    const Segment& seg = profiles_[r][k];
     const TimeNs seg_end = seg_start + seg.duration;
-    if (seg_end <= offset) {
-      seg_start = seg_end;
-      continue;
-    }
     const TimeNs begin = std::max(seg_start, offset);
     const TimeNs avail = seg_end - begin;
     // Same allocation rule as the fluid GPU model: the kernel's wave-average
@@ -106,19 +135,16 @@ std::pair<int, TimeNs> CorunProfiler::ReadyPoint(const TrainOp& op) const {
   if (producer >= graph_->num_layers()) {
     return {0, 0};  // the loss gradient is available at backprop start
   }
-  auto it = dgrad_end_.find(producer);
-  OOBP_CHECK(it != dgrad_end_.end())
+  const std::pair<int, TimeNs>& end = dgrad_end_[producer];
+  OOBP_CHECK_GE(end.first, 0)
       << "dO[" << producer << "] not present in any region";
-  return it->second;
+  return end;
 }
 
 int CorunProfiler::DeadlineRegion(const TrainOp& op) const {
   OOBP_CHECK(op.type == TrainOpType::kWeightGrad);
-  auto it = fwd_region_.find(op.layer);
-  if (it == fwd_region_.end()) {
-    return num_regions();
-  }
-  return it->second;
+  const int r = fwd_region_[op.layer];
+  return r < 0 ? num_regions() : r;
 }
 
 }  // namespace oobp

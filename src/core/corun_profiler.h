@@ -15,7 +15,6 @@
 #ifndef OOBP_SRC_CORE_CORUN_PROFILER_H_
 #define OOBP_SRC_CORE_CORUN_PROFILER_H_
 
-#include <map>
 #include <utility>
 #include <vector>
 
@@ -65,15 +64,27 @@ class CorunProfiler {
     double leftover;  // free SM slots while this main kernel runs
   };
 
+  // Memoized cost (the model is pure in (layer, type)); the planner queries
+  // the same few hundred (layer, type) pairs hundreds of thousands of times
+  // per schedule, so the roofline evaluation is hoisted into the ctor.
+  const KernelCost& CachedCost(const TrainOp& op) const;
+
   const TrainGraph* graph_;
   const CostModel* cost_;
   std::vector<Region> regions_;
   std::vector<std::vector<Segment>> profiles_;
+  // seg_end_[r][k] = end offset of segment k within region r (prefix sums of
+  // segment durations); lets SubTimeAt binary-search its starting segment.
+  std::vector<std::vector<TimeNs>> seg_end_;
   std::vector<TimeNs> main_duration_;
-  // dO layer -> (region index, offset of the op's end within the region).
-  std::map<int, std::pair<int, TimeNs>> dgrad_end_;
-  // forward layer -> region index.
-  std::map<int, int> fwd_region_;
+  // Layer-indexed lookups (dense: layer ids are 0..L-1).
+  // dgrad_end_[layer] = (region index, offset of dO end within the region),
+  // region -1 when dO_layer appears in no region.
+  std::vector<std::pair<int, TimeNs>> dgrad_end_;
+  // fwd_region_[layer] = region containing F_layer, or -1.
+  std::vector<int> fwd_region_;
+  // cost_cache_[layer * 4 + op_type].
+  std::vector<KernelCost> cost_cache_;
 };
 
 }  // namespace oobp

@@ -2,7 +2,6 @@
 
 #include <algorithm>
 #include <cmath>
-#include <map>
 #include <set>
 #include <utility>
 
@@ -21,17 +20,32 @@ std::vector<std::vector<int>> RunAlgorithm1(const TrainGraph& graph,
   const int N = profiler.num_regions();
   std::vector<std::vector<int>> region_order(N);
 
+  // ReadyPoint and DeadlineRegion are pure in the op; hoist them into dense
+  // per-layer arrays so the greedy loop below does array reads instead of
+  // re-deriving them for every (region, kernel) pair on every iteration.
+  std::vector<int> ready_region(L, -1);
+  std::vector<TimeNs> ready_offset(L, 0);
+  std::vector<int> deadline(L, N);
+  for (int i = 0; i < L; ++i) {
+    if (!graph.HasWgrad(i)) {
+      continue;
+    }
+    const TrainOp op{TrainOpType::kWeightGrad, i};
+    const auto rp = profiler.ReadyPoint(op);
+    ready_region[i] = rp.first;
+    ready_offset[i] = rp.second;
+    deadline[i] = profiler.DeadlineRegion(op);
+  }
+
   // U <- {dW_i | layer i has weights}, minus eagerly pre-scheduled ones.
   std::set<int> unscheduled;
   for (int i = 0; i < L; ++i) {
     if (!graph.HasWgrad(i)) {
       continue;
     }
-    const TrainOp op{TrainOpType::kWeightGrad, i};
-    const auto [ready_region, ready_offset] = profiler.ReadyPoint(op);
-    if (ready_region < pre_k) {
+    if (ready_region[i] < pre_k) {
       // Pre-scheduled region: run as soon as ready, in readiness order.
-      region_order[ready_region].push_back(i);
+      region_order[ready_region[i]].push_back(i);
       continue;
     }
     unscheduled.insert(i);
@@ -43,6 +57,27 @@ std::vector<std::vector<int>> RunAlgorithm1(const TrainGraph& graph,
     candidates.insert(r);
   }
 
+  // SpeedupAt(r, i, now[r]) only changes when now[r] advances, which happens
+  // once per committed kernel — memoize per (region, layer) and drop a
+  // region's row on commit. kStale marks entries to (re)compute; kBlocked
+  // marks pairs that are not runnable at now[r] (also invalidated with the
+  // row, since readiness is a function of now[r]).
+  constexpr int64_t kStale = -2;
+  constexpr int64_t kBlocked = -1;
+  std::vector<std::vector<int64_t>> speedup_memo(
+      N, std::vector<int64_t>(L, kStale));
+  // Per-region winner over the current unscheduled set: (quantized speedup,
+  // layer), layer -1 when nothing is runnable. A region's winner only
+  // changes when its clock moves or when its cached winning layer gets
+  // committed elsewhere, so most iterations rescan one or two regions
+  // instead of every (region, kernel) pair.
+  struct RegionBest {
+    int64_t speedup = -1;
+    int layer = -1;
+  };
+  std::vector<RegionBest> region_best(N);
+  std::vector<char> best_valid(N, 0);
+
   while (!unscheduled.empty() && !candidates.empty()) {
     // Lines 4-8: per candidate region, the runnable dW with max speedup;
     // then the globally best (region, kernel) pair.
@@ -50,27 +85,45 @@ std::vector<std::vector<int>> RunAlgorithm1(const TrainGraph& graph,
     int best_layer = -1;
     int64_t best_speedup = -1;
     for (int r : candidates) {
-      for (int i : unscheduled) {
-        const TrainOp op{TrainOpType::kWeightGrad, i};
-        const auto [ready_region, ready_offset] = profiler.ReadyPoint(op);
-        const bool runnable =
-            (ready_region < r) || (ready_region == r && ready_offset <= now[r]);
-        if (!runnable || r >= profiler.DeadlineRegion(op)) {
-          continue;
+      if (!best_valid[r]) {
+        std::vector<int64_t>& memo = speedup_memo[r];
+        RegionBest rb;
+        for (int i : unscheduled) {
+          int64_t p = memo[i];
+          if (p == kStale) {
+            const bool runnable = (ready_region[i] < r) ||
+                                  (ready_region[i] == r &&
+                                   ready_offset[i] <= now[r]);
+            if (!runnable || r >= deadline[i]) {
+              p = kBlocked;
+            } else {
+              // Quantize to percent so float noise does not override the
+              // tie-break; among near-equal speedups prefer the earliest
+              // region (shorter tensor lifetimes, lower memory pressure)
+              // and the lowest layer.
+              const TrainOp op{TrainOpType::kWeightGrad, i};
+              p = static_cast<int64_t>(
+                  std::llround(100.0 * profiler.SpeedupAt(r, op, now[r])));
+            }
+            memo[i] = p;
+          }
+          // Ascending iteration keeps the first layer on ties, matching the
+          // original i < best_layer tie-break within a region.
+          if (p != kBlocked && p > rb.speedup) {
+            rb.speedup = p;
+            rb.layer = i;
+          }
         }
-        // Quantize to percent so float noise does not override the
-        // tie-break; among near-equal speedups prefer the earliest region
-        // (shorter tensor lifetimes, lower memory pressure) and the lowest
-        // layer.
-        const int64_t p = static_cast<int64_t>(
-            std::llround(100.0 * profiler.SpeedupAt(r, op, now[r])));
-        if (p > best_speedup ||
-            (p == best_speedup &&
-             (r < best_region || (r == best_region && i < best_layer)))) {
-          best_speedup = p;
-          best_region = r;
-          best_layer = i;
-        }
+        region_best[r] = rb;
+        best_valid[r] = 1;
+      }
+      const RegionBest& rb = region_best[r];
+      // Ascending region iteration keeps the earliest region on ties,
+      // matching the original r < best_region tie-break.
+      if (rb.layer >= 0 && rb.speedup > best_speedup) {
+        best_speedup = rb.speedup;
+        best_region = r;
+        best_layer = rb.layer;
       }
     }
 
@@ -80,10 +133,8 @@ std::vector<std::vector<int>> RunAlgorithm1(const TrainGraph& graph,
       // last region its deadline allows, so the simulation stays valid —
       // only slower.
       const int i = *unscheduled.begin();
-      const TrainOp op{TrainOpType::kWeightGrad, i};
-      const auto [ready_region, ready_offset] = profiler.ReadyPoint(op);
-      int r = std::min(profiler.DeadlineRegion(op) - 1, N - 1);
-      r = std::max(r, ready_region);
+      int r = std::min(deadline[i] - 1, N - 1);
+      r = std::max(r, ready_region[i]);
       region_order[r].push_back(i);
       unscheduled.erase(i);
       continue;
@@ -95,6 +146,17 @@ std::vector<std::vector<int>> RunAlgorithm1(const TrainGraph& graph,
     region_order[best_region].push_back(best_layer);
     unscheduled.erase(best_layer);
     now[best_region] += profiler.SubTimeAt(best_region, op, now[best_region]);
+    // The region's clock moved: every memoized speedup for it is stale.
+    std::fill(speedup_memo[best_region].begin(),
+              speedup_memo[best_region].end(), kStale);
+    best_valid[best_region] = 0;
+    // Other regions' memo entries are still valid, but a cached winner that
+    // just got committed elsewhere must be re-picked from what remains.
+    for (int r : candidates) {
+      if (region_best[r].layer == best_layer) {
+        best_valid[r] = 0;
+      }
+    }
     if (now[best_region] >= profiler.MainDuration(best_region)) {
       candidates.erase(best_region);
     }
@@ -102,10 +164,8 @@ std::vector<std::vector<int>> RunAlgorithm1(const TrainGraph& graph,
 
   // Regions exhausted with kernels left: append to the last legal region.
   for (int i : unscheduled) {
-    const TrainOp op{TrainOpType::kWeightGrad, i};
-    const auto [ready_region, ready_offset] = profiler.ReadyPoint(op);
-    int r = std::min(profiler.DeadlineRegion(op) - 1, N - 1);
-    r = std::max(r, ready_region);
+    int r = std::min(deadline[i] - 1, N - 1);
+    r = std::max(r, ready_region[i]);
     region_order[r].push_back(i);
   }
   return region_order;
@@ -116,11 +176,14 @@ IterationSchedule BuildSchedule(const TrainGraph& graph,
                                 const CorunProfiler& profiler,
                                 const std::vector<std::vector<int>>& region_order) {
   const int N = profiler.num_regions();
+  const int L = graph.num_layers();
 
   // Flatten main-stream ops and record positions.
   std::vector<TrainOp> main_ops;
   std::vector<int> region_first_main(N, 0);
-  std::map<int, int> dgrad_pos;  // dO layer -> main position
+  // dO layer -> main position, -1 when absent (one extra slot so the
+  // producer index layer+1 == L needs no bounds branch).
+  std::vector<int> dgrad_pos(L + 1, -1);
   for (int r = 0; r < N; ++r) {
     region_first_main[r] = static_cast<int>(main_ops.size());
     for (const TrainOp& op : profiler.region(r).main_ops) {
@@ -138,14 +201,14 @@ IterationSchedule BuildSchedule(const TrainGraph& graph,
     int layer;
     int region;
   };
-  std::map<int, std::vector<SubOp>> attach_after;  // main pos -> sub ops
+  // main pos -> sub ops attached after it
+  std::vector<std::vector<SubOp>> attach_after(main_ops.size());
   for (int r = 0; r < N; ++r) {
     for (int layer : region_order[r]) {
       int pos = region_first_main[r];
       const int producer = layer + 1;
-      auto it = dgrad_pos.find(producer);
-      if (it != dgrad_pos.end()) {
-        pos = std::max(pos, it->second);
+      if (dgrad_pos[producer] >= 0) {
+        pos = std::max(pos, dgrad_pos[producer]);
       }
       attach_after[pos].push_back({layer, r});
     }
@@ -156,11 +219,7 @@ IterationSchedule BuildSchedule(const TrainGraph& graph,
   for (size_t m = 0; m < main_ops.size(); ++m) {
     final_main_index[m] = static_cast<int>(sched.ops.size());
     sched.ops.push_back({main_ops[m], kMainStream, -1});
-    auto it = attach_after.find(static_cast<int>(m));
-    if (it == attach_after.end()) {
-      continue;
-    }
-    for (const SubOp& sub : it->second) {
+    for (const SubOp& sub : attach_after[m]) {
       const int wait_idx = final_main_index[region_first_main[sub.region]];
       sched.ops.push_back(
           {{TrainOpType::kWeightGrad, sub.layer}, kSubStream, wait_idx});

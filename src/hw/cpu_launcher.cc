@@ -39,6 +39,7 @@ void CpuLauncher::Launch(std::vector<IssueItem> items,
   issue_busy_ = 0;
   items_ = std::move(items);
   item_kernel_ids_.assign(items_.size(), -1);
+  gpu_->ReserveKernels(items_.size());
   on_issued_ = std::move(on_issued);
   on_all_issued_ = std::move(on_all_issued);
 
@@ -99,19 +100,23 @@ void CpuLauncher::IssueNext() {
 }
 
 KernelId CpuLauncher::EnqueueItem(size_t index) {
-  const IssueItem& item = items_[index];
+  IssueItem& item = items_[index];
   KernelDesc desc;
-  desc.name = item.name;
-  desc.category = item.category;
+  // The item is never read again after this call (any trace event naming it
+  // was emitted by the caller first), so its labels can be stolen.
+  desc.name = std::move(item.name);
+  desc.category = std::move(item.category);
   desc.solo_duration = item.solo_duration;
   desc.thread_blocks = item.thread_blocks;
-  desc.deps.reserve(item.dep_items.size());
-  for (size_t dep : item.dep_items) {
+  KernelId deps[IssueItem::kMaxDeps];
+  for (int d = 0; d < item.num_deps; ++d) {
+    const size_t dep = item.dep_items[d];
     OOBP_CHECK_LT(dep, index) << "dependency must precede dependent in issue order";
     OOBP_CHECK_GE(item_kernel_ids_[dep], 0);
-    desc.deps.push_back(item_kernel_ids_[dep]);
+    deps[d] = item_kernel_ids_[dep];
   }
-  const KernelId id = gpu_->Enqueue(item.stream, std::move(desc));
+  const KernelId id = gpu_->Enqueue(item.stream, std::move(desc), deps,
+                                    static_cast<size_t>(item.num_deps));
   ++in_flight_;
   item_kernel_ids_[index] = id;
   if (on_issued_) {

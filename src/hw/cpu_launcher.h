@@ -29,15 +29,25 @@ namespace oobp {
 
 // One kernel to issue. Dependencies are expressed as indices into the issue
 // sequence (they must point at earlier items); the launcher resolves them to
-// KernelIds at enqueue time.
+// KernelIds at enqueue time. Dependencies are stored inline (a kernel waits
+// on at most a handful of events), so building an issue sequence performs no
+// per-item allocation.
 struct IssueItem {
+  static constexpr int kMaxDeps = 4;
+
   StreamId stream = 0;
   std::string name;
   std::string category;
   TimeNs solo_duration = 0;
   double thread_blocks = 1.0;
-  std::vector<size_t> dep_items;
+  size_t dep_items[kMaxDeps];
+  int num_deps = 0;
   TimeNs issue_latency = 0;  // host-side cost to issue this kernel (kPerOp)
+
+  void AddDep(size_t item_index) {
+    OOBP_CHECK_LT(num_deps, kMaxDeps);
+    dep_items[num_deps++] = item_index;
+  }
 };
 
 class CpuLauncher {

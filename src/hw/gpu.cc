@@ -24,6 +24,15 @@ StreamId Gpu::CreateStream(int priority) {
 }
 
 KernelId Gpu::Enqueue(StreamId stream, KernelDesc desc) {
+  // desc.deps survives the move below (the buffer travels with the vector),
+  // so the span stays valid for the duration of the call.
+  const KernelId* deps = desc.deps.data();
+  const size_t num_deps = desc.deps.size();
+  return Enqueue(stream, std::move(desc), deps, num_deps);
+}
+
+KernelId Gpu::Enqueue(StreamId stream, KernelDesc desc, const KernelId* deps,
+                      size_t num_deps) {
   OOBP_CHECK_GE(stream, 0);
   OOBP_CHECK_LT(stream, static_cast<StreamId>(streams_.size()));
   OOBP_CHECK_GE(desc.solo_duration, 0);
@@ -33,12 +42,13 @@ KernelId Gpu::Enqueue(StreamId stream, KernelDesc desc) {
   Kernel k;
   k.stream = stream;
   k.enqueue_time = engine_->now();
-  for (KernelId dep : desc.deps) {
+  for (size_t d = 0; d < num_deps; ++d) {
+    const KernelId dep = deps[d];
     OOBP_CHECK_GE(dep, 0);
     OOBP_CHECK_LT(dep, id) << "dependencies must be enqueued before dependents";
     if (!kernels_[dep].done) {
       ++k.deps_pending;
-      kernels_[dep].dependents.push_back(id);
+      kernels_[dep].AddDependent(id);
     }
   }
   k.desc = std::move(desc);
@@ -92,14 +102,18 @@ void Gpu::FinishKernel(KernelId id) {
   // Callbacks below (dependents, on_kernel_done_) may Enqueue new kernels and
   // reallocate kernels_, so copy everything needed out of the record first.
   StreamId stream;
-  std::vector<KernelId> dependents;
+  KernelId first_dependent;
+  std::vector<KernelId> more_dependents;
   {
     Kernel& k = kernels_[id];
     k.done = true;
     k.done_time = engine_->now();
     ++completed_;
     stream = k.stream;
-    dependents = k.dependents;
+    // The dependent list is never read again once the kernel is done (later
+    // Enqueues see k.done and skip it), so steal it instead of copying.
+    first_dependent = k.first_dependent;
+    more_dependents = std::move(k.more_dependents);
 
     if (trace_ != nullptr) {
       TraceEvent ev;
@@ -119,12 +133,18 @@ void Gpu::FinishKernel(KernelId id) {
   s.head_dispatched = false;
 
   // Wake dependents whose last dependency this was.
-  for (KernelId dep_id : dependents) {
+  const auto wake = [this](KernelId dep_id) {
     Kernel& d = kernels_[dep_id];
     OOBP_CHECK_GT(d.deps_pending, 0);
     if (--d.deps_pending == 0) {
       MaybeDispatch(d.stream);
     }
+  };
+  if (first_dependent >= 0) {
+    wake(first_dependent);
+  }
+  for (KernelId dep_id : more_dependents) {
+    wake(dep_id);
   }
   for (const auto& listener : done_listeners_) {
     listener(id);

@@ -66,6 +66,17 @@ class Gpu {
   // dependency of later kernels. Dependencies must already be enqueued.
   KernelId Enqueue(StreamId stream, KernelDesc desc);
 
+  // Same, with dependencies passed as a span instead of desc.deps. A caller
+  // issuing many kernels can reuse one scratch buffer; the ids are consumed
+  // during the call and not retained.
+  KernelId Enqueue(StreamId stream, KernelDesc desc, const KernelId* deps,
+                   size_t num_deps);
+
+  // Pre-sizes the kernel table for `n` further Enqueue calls (optional; a
+  // launcher that knows its sequence length avoids repeated regrowth of the
+  // per-kernel records).
+  void ReserveKernels(size_t n) { kernels_.reserve(kernels_.size() + n); }
+
   bool Done(KernelId id) const;
   // Completion timestamp; kernel must be done.
   TimeNs CompletionTime(KernelId id) const;
@@ -95,7 +106,19 @@ class Gpu {
     bool started = false;
     bool done = false;
     int deps_pending = 0;
-    std::vector<KernelId> dependents;  // kernels waiting on this one
+    // Kernels waiting on this one. Nearly every kernel has exactly one
+    // dependent (its stream successor's cross-stream wait), so the first is
+    // stored inline and only the rare extras hit the heap.
+    KernelId first_dependent = -1;
+    std::vector<KernelId> more_dependents;
+
+    void AddDependent(KernelId id) {
+      if (first_dependent < 0) {
+        first_dependent = id;
+      } else {
+        more_dependents.push_back(id);
+      }
+    }
   };
   struct Stream {
     int priority = 0;

@@ -1,0 +1,151 @@
+#include "src/runner/perf.h"
+
+#include <chrono>
+#include <cstdio>
+#include <fstream>
+#include <vector>
+
+#include "src/runner/json.h"
+#include "src/runner/registry.h"
+#include "src/sim/engine.h"
+
+namespace oobp {
+
+namespace {
+
+struct PerfRow {
+  const Scenario* scenario = nullptr;
+  double wall_best_ms = 0.0;
+  double wall_mean_ms = 0.0;
+  uint64_t events = 0;  // per single run
+  double events_per_sec = 0.0;
+  bool ok = true;
+  std::string error;
+};
+
+bool MeasureScenario(const Scenario& scenario, const PerfOptions& opts,
+                     PerfRow* row) {
+  using Clock = std::chrono::steady_clock;
+  row->scenario = &scenario;
+  try {
+    for (int i = 0; i < opts.warmup; ++i) {
+      scenario.run(opts.params);
+    }
+    double best_s = -1.0;
+    double sum_s = 0.0;
+    for (int i = 0; i < opts.repeats; ++i) {
+      const uint64_t events_before = SimEngine::TotalProcessedEvents();
+      const auto start = Clock::now();
+      scenario.run(opts.params);
+      const double s =
+          std::chrono::duration<double>(Clock::now() - start).count();
+      row->events = SimEngine::TotalProcessedEvents() - events_before;
+      sum_s += s;
+      if (best_s < 0.0 || s < best_s) {
+        best_s = s;
+      }
+    }
+    row->wall_best_ms = best_s * 1e3;
+    row->wall_mean_ms = sum_s / opts.repeats * 1e3;
+    row->events_per_sec =
+        best_s > 0.0 ? static_cast<double>(row->events) / best_s : 0.0;
+    return true;
+  } catch (const std::exception& e) {
+    row->ok = false;
+    row->error = e.what();
+    return false;
+  } catch (...) {
+    row->ok = false;
+    row->error = "unknown exception";
+    return false;
+  }
+}
+
+}  // namespace
+
+int RunPerf(const PerfOptions& opts) {
+  if (opts.warmup < 0 || opts.repeats < 1) {
+    std::fprintf(stderr, "perf: need --warmup >= 0 and --repeats >= 1\n");
+    return 2;
+  }
+  const std::vector<const Scenario*> matched =
+      ScenarioRegistry::Global().Match(opts.filter);
+  if (matched.empty()) {
+    std::fprintf(stderr, "perf: no scenario matches filter '%s'\n",
+                 opts.filter.c_str());
+    return 2;
+  }
+
+  std::vector<PerfRow> rows(matched.size());
+  int failures = 0;
+  for (size_t i = 0; i < matched.size(); ++i) {
+    if (!MeasureScenario(*matched[i], opts, &rows[i])) {
+      ++failures;
+    }
+    if (opts.print) {
+      const PerfRow& r = rows[i];
+      if (r.ok) {
+        std::printf("perf %-24s %8.2f ms best  %8.2f ms mean  %12llu events"
+                    "  %10.0f ev/s\n",
+                    r.scenario->name.c_str(), r.wall_best_ms, r.wall_mean_ms,
+                    static_cast<unsigned long long>(r.events),
+                    r.events_per_sec);
+      } else {
+        std::printf("perf %-24s FAILED: %s\n", r.scenario->name.c_str(),
+                    r.error.c_str());
+      }
+    }
+  }
+
+  JsonValue doc = JsonValue::Object();
+  doc.Set("warmup", JsonValue::Number(opts.warmup));
+  doc.Set("repeats", JsonValue::Number(opts.repeats));
+  JsonValue scenarios = JsonValue::Object();
+  double total_best_ms = 0.0;
+  uint64_t total_events = 0;
+  for (const PerfRow& r : rows) {
+    if (!r.ok) {
+      continue;
+    }
+    JsonValue entry = JsonValue::Object();
+    entry.Set("wall_ms_best", JsonValue::Number(r.wall_best_ms));
+    entry.Set("wall_ms_mean", JsonValue::Number(r.wall_mean_ms));
+    entry.Set("events", JsonValue::Number(static_cast<double>(r.events)));
+    entry.Set("events_per_sec", JsonValue::Number(r.events_per_sec));
+    scenarios.Set(r.scenario->name, std::move(entry));
+    total_best_ms += r.wall_best_ms;
+    total_events += r.events;
+  }
+  doc.Set("scenarios", std::move(scenarios));
+  JsonValue total = JsonValue::Object();
+  total.Set("wall_ms_best", JsonValue::Number(total_best_ms));
+  total.Set("events", JsonValue::Number(static_cast<double>(total_events)));
+  total.Set("events_per_sec",
+            JsonValue::Number(total_best_ms > 0.0
+                                  ? static_cast<double>(total_events) /
+                                        (total_best_ms / 1e3)
+                                  : 0.0));
+  doc.Set("total", std::move(total));
+
+  const std::string path = opts.output_dir + "/BENCH_sim_perf.json";
+  std::ofstream out(path, std::ios::binary);
+  if (!out) {
+    std::fprintf(stderr, "perf: cannot write %s\n", path.c_str());
+    return 1;
+  }
+  out << doc.Dump();
+  out.close();
+  if (opts.print) {
+    std::printf("perf: %zu scenario(s), %d failed; total %.2f ms, "
+                "%llu events, %.0f ev/s -> %s\n",
+                rows.size(), failures, total_best_ms,
+                static_cast<unsigned long long>(total_events),
+                total_best_ms > 0.0
+                    ? static_cast<double>(total_events) / (total_best_ms / 1e3)
+                    : 0.0,
+                path.c_str());
+  }
+  return failures == 0 ? 0 : 1;
+}
+
+}  // namespace oobp

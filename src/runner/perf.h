@@ -1,0 +1,53 @@
+// Wall-clock performance harness for the simulator core.
+//
+// `oobp bench --perf` (also tools/perf.sh) runs the selected scenarios with
+// warm-up iterations followed by timed repeats, all serially on one thread so
+// the numbers are not polluted by co-scheduling, and emits
+// `BENCH_sim_perf.json`:
+//
+//   {
+//     "warmup": 1,
+//     "repeats": 3,
+//     "scenarios": {
+//       "fig07_resnet50": {
+//         "wall_ms_best": ...,     // fastest repeat (headline number)
+//         "wall_ms_mean": ...,
+//         "events": ...,           // simulator events processed per run
+//         "events_per_sec": ...    // events / best wall time
+//       }, ...
+//     },
+//     "total": { "wall_ms_best": ..., "events": ..., "events_per_sec": ... }
+//   }
+//
+// Event counts come from SimEngine::TotalProcessedEvents() deltas; they are
+// deterministic per scenario, so events/sec is comparable across machines of
+// the same class and across commits — this file seeds the repo's perf
+// trajectory (see DESIGN.md §6). Wall-clock fields are intentionally NOT
+// golden-gated: only the simulation *results* (BENCH_<scenario>.json) must be
+// byte-identical across commits.
+
+#ifndef OOBP_SRC_RUNNER_PERF_H_
+#define OOBP_SRC_RUNNER_PERF_H_
+
+#include <string>
+
+#include "src/runner/registry.h"
+
+namespace oobp {
+
+struct PerfOptions {
+  std::string filter = "fig07_*";  // hot single-GPU scenarios by default
+  int warmup = 1;                  // untimed runs per scenario
+  int repeats = 3;                 // timed runs per scenario
+  std::string output_dir = ".";    // BENCH_sim_perf.json lands here
+  ScenarioParams params;           // forwarded to every scenario
+  bool print = true;
+};
+
+// Runs the harness; returns a process exit code (0 = every scenario ran and
+// the JSON file was written).
+int RunPerf(const PerfOptions& opts);
+
+}  // namespace oobp
+
+#endif  // OOBP_SRC_RUNNER_PERF_H_

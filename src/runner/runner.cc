@@ -10,6 +10,7 @@
 #include "src/common/str_util.h"
 #include "src/runner/json.h"
 #include "src/runner/paper_scenarios.h"
+#include "src/runner/perf.h"
 
 namespace oobp {
 
@@ -198,12 +199,19 @@ int BenchUsage() {
   std::fprintf(stderr,
                "usage: oobp bench [--list] [--filter=GLOB] [--jobs=N]\n"
                "                  [--out=DIR] [--golden[=DIR]] [--param k=v]\n"
-               "  --filter=GLOB  run scenarios matching GLOB (default '*')\n"
+               "                  [--perf] [--warmup=N] [--repeats=N]\n"
+               "  --filter=GLOB  run scenarios matching GLOB (default '*';\n"
+               "                 with --perf: 'fig07_*')\n"
                "  --jobs=N       thread-pool size; 0 = all cores (default 1)\n"
                "  --out=DIR      write BENCH_<scenario>.json files (default .)\n"
                "  --golden[=DIR] compare against golden files "
                "(default bench/golden)\n"
-               "  --param k=v    forward a parameter to every scenario\n");
+               "  --param k=v    forward a parameter to every scenario\n"
+               "  --perf         wall-clock harness: warm-up + timed repeats,\n"
+               "                 emits BENCH_sim_perf.json (see src/runner/"
+               "perf.h)\n"
+               "  --warmup=N     untimed runs per scenario (default 1)\n"
+               "  --repeats=N    timed runs per scenario (default 3)\n");
   return 2;
 }
 
@@ -215,6 +223,9 @@ int BenchMain(int argc, char** argv) {
   RunnerOptions opts;
   opts.output_dir = ".";
   bool list = false;
+  bool perf = false;
+  bool filter_given = false;
+  PerfOptions perf_opts;
   for (int i = 1; i < argc; ++i) {
     std::string arg = argv[i];
     if (arg.rfind("--", 0) != 0) {
@@ -240,8 +251,15 @@ int BenchMain(int argc, char** argv) {
     };
     if (arg == "list") {
       list = true;
+    } else if (arg == "perf") {
+      perf = true;
+    } else if (arg == "warmup") {
+      perf_opts.warmup = std::atoi(next_value().c_str());
+    } else if (arg == "repeats") {
+      perf_opts.repeats = std::atoi(next_value().c_str());
     } else if (arg == "filter") {
       opts.filter = next_value();
+      filter_given = true;
     } else if (arg == "jobs") {
       opts.jobs = std::atoi(next_value().c_str());
     } else if (arg == "out") {
@@ -267,6 +285,14 @@ int BenchMain(int argc, char** argv) {
   }
   if (list) {
     return ListScenarios();
+  }
+  if (perf) {
+    if (filter_given) {
+      perf_opts.filter = opts.filter;
+    }
+    perf_opts.output_dir = opts.output_dir;
+    perf_opts.params = opts.params;
+    return RunPerf(perf_opts);
   }
   const RunnerReport report = RunScenarios(opts);
   if (report.runs.empty()) {

@@ -99,7 +99,7 @@ class Driver {
   Driver(SimEngine* engine, Gpu* gpu, Link* channel, const NnModel& model,
          const CostModel& cost, const DataParallelEngine& parent,
          const DataParallelConfig& config,
-         const std::vector<TrainOp>& backprop, int iterations)
+         const std::vector<TrainOp>& backprop, int iterations, bool tracing)
       : engine_(engine),
         gpu_(gpu),
         channel_(channel),
@@ -107,7 +107,8 @@ class Driver {
         cost_(cost),
         parent_(parent),
         config_(config),
-        iterations_(iterations) {
+        iterations_(iterations),
+        tracing_(tracing) {
     const int L = model.num_layers();
     // Per-iteration op sequence: backprop (with updates folded into the
     // synchronization completion), then the next forward pass.
@@ -116,6 +117,17 @@ class Driver {
     }
     for (int i = 0; i < L; ++i) {
       sequence_.push_back({TrainOpType::kForward, i});
+    }
+    // The kernel cost of a sequence position is iteration-invariant; price
+    // each position once instead of on every issue.
+    seq_cost_.reserve(sequence_.size());
+    for (const TrainOp& op : sequence_) {
+      KernelCost kc = cost_.Cost(model_.layers[op.layer], op.type);
+      if (config_.unit_time > 0) {
+        kc.duration = config_.unit_time;
+        kc.issue_latency = 0;
+      }
+      seq_cost_.push_back(kc);
     }
     sync_done_.assign(iterations, std::vector<bool>(L, false));
     iter_end_.assign(iterations, 0);
@@ -150,21 +162,21 @@ class Driver {
     }
     waiting_layer_ = -1;
 
-    KernelCost kc = cost_.Cost(model_.layers[op.layer], op.type);
-    if (config_.unit_time > 0) {
-      kc.duration = config_.unit_time;
-      kc.issue_latency = 0;
-    }
+    const KernelCost& kc = seq_cost_[pos_];
     const TimeNs latency = config_.precompiled_issue ? 0 : kc.issue_latency;
     engine_->ScheduleAfter(latency, [this, op, kc] {
       KernelDesc desc;
-      desc.name = StrFormat("%s[%d]#%d", TrainOpTypeName(op.type), op.layer,
-                            iter_);
-      desc.category = TrainOpTypeName(op.type);
+      if (tracing_) {
+        // Labels only feed trace events; untraced runs skip the formatting.
+        desc.name = StrFormat("%s[%d]#%d", TrainOpTypeName(op.type), op.layer,
+                              iter_);
+        desc.category = TrainOpTypeName(op.type);
+      }
       desc.solo_duration = kc.duration;
       desc.thread_blocks = kc.thread_blocks;
       const KernelId id = gpu_->Enqueue(stream_, std::move(desc));
-      kernel_info_[id] = {iter_, op};
+      OOBP_CHECK_EQ(static_cast<size_t>(id), kernel_info_.size());
+      kernel_info_.push_back({iter_, op});
       compute_busy_ += kc.duration;
       Advance();
       IssueNext();
@@ -180,9 +192,8 @@ class Driver {
   }
 
   void OnKernelDone(KernelId id) {
-    auto it = kernel_info_.find(id);
-    OOBP_CHECK(it != kernel_info_.end());
-    const auto [t, op] = it->second;
+    OOBP_CHECK_LT(static_cast<size_t>(id), kernel_info_.size());
+    const auto [t, op] = kernel_info_[id];
     if (op.type == TrainOpType::kWeightGrad && config_.num_gpus > 1) {
       StartSync(t, op.layer);
     }
@@ -209,7 +220,9 @@ class Driver {
       for (int p = 0; p < parts; ++p) {
         const int64_t bytes = std::min<int64_t>(part, volume - p * part);
         channel_->Transfer(bytes, layer,
-                           StrFormat("sync[%d].%d#%d", layer, p, t),
+                           tracing_
+                               ? StrFormat("sync[%d].%d#%d", layer, p, t)
+                               : std::string(),
                            [this, t, layer, remaining] {
                              if (--*remaining == 0) {
                                OnSyncDone(t, layer);
@@ -243,7 +256,9 @@ class Driver {
     // FIFO: all fused transfers share one priority level, ordered by
     // submission sequence (Link breaks priority ties by arrival).
     channel_->Transfer(bytes, /*priority=*/1 << 20,
-                       StrFormat("fusion(%zu tensors)", batch.size()),
+                       tracing_
+                           ? StrFormat("fusion(%zu tensors)", batch.size())
+                           : std::string(),
                        [this, batch = std::move(batch)] {
                          for (const auto& item : batch) {
                            OnSyncDone(item.iter, item.layer);
@@ -272,16 +287,20 @@ class Driver {
   const DataParallelEngine& parent_;
   const DataParallelConfig& config_;
   int iterations_;
+  bool tracing_;
 
   StreamId stream_ = 0;
   std::vector<TrainOp> sequence_;
+  std::vector<KernelCost> seq_cost_;  // cost of sequence_[i], unit-adjusted
   size_t pos_ = 0;
   int iter_ = 0;
   int waiting_layer_ = -1;
   TimeNs compute_busy_ = 0;
   std::vector<std::vector<bool>> sync_done_;
   std::vector<TimeNs> iter_end_;
-  std::map<KernelId, std::pair<int, TrainOp>> kernel_info_;
+  // Indexed by KernelId: the Driver is this Gpu's only client, so ids are
+  // the dense enqueue sequence.
+  std::vector<std::pair<int, TrainOp>> kernel_info_;
 
   std::vector<FusionItem> fusion_pending_;
   int64_t fusion_bytes_ = 0;
@@ -328,7 +347,7 @@ TrainMetrics DataParallelEngine::Run(const NnModel& model,
                    : 0);
 
   Driver driver(&engine, &gpu, &channel, model, cost, *this, config_,
-                backprop, iterations);
+                backprop, iterations, /*tracing=*/trace != nullptr);
   driver.Start();
   engine.Run();
 

@@ -52,31 +52,44 @@ TrainMetrics SingleGpuEngine::Run(const NnModel& model,
                        config_.profile.graph_launch_latency, trace,
                        /*issue_track=*/100, config_.profile.issue_queue_depth);
 
+  // Kernel costs depend only on the scheduled op, not the iteration index:
+  // compute them once per schedule position instead of once per issued item.
+  std::vector<KernelCost> op_cost(schedule.ops.size());
+  for (size_t p = 0; p < schedule.ops.size(); ++p) {
+    op_cost[p] =
+        cost.Cost(model.layers[schedule.ops[p].op.layer], schedule.ops[p].op.type);
+  }
+
   // Build the issue sequence for all iterations with full data dependencies.
   std::vector<IssueItem> items;
+  items.reserve(schedule.ops.size() * iterations);
   std::vector<int> iter_last_item(iterations, -1);
   constexpr int kNone = -1;
   std::vector<int> fwd_item(L, kNone), dgrad_item(L, kNone),
       wgrad_item(L, kNone), update_item(L, kNone);
   std::vector<int> prev_fwd_item(L, kNone);
+  std::vector<int> sched_to_item(schedule.ops.size(), kNone);
 
   for (int t = 0; t < iterations; ++t) {
     std::fill(fwd_item.begin(), fwd_item.end(), kNone);
     std::fill(dgrad_item.begin(), dgrad_item.end(), kNone);
     std::fill(wgrad_item.begin(), wgrad_item.end(), kNone);
     std::fill(update_item.begin(), update_item.end(), kNone);
-    std::vector<int> sched_to_item(schedule.ops.size(), kNone);
+    std::fill(sched_to_item.begin(), sched_to_item.end(), kNone);
 
     for (size_t p = 0; p < schedule.ops.size(); ++p) {
       const ScheduledOp& s = schedule.ops[p];
-      const Layer& layer = model.layers[s.op.layer];
-      const KernelCost kc = cost.Cost(layer, s.op.type);
+      const KernelCost& kc = op_cost[p];
 
       IssueItem item;
       item.stream = s.stream == kSubStream ? sub_stream : main_stream;
-      item.name = StrFormat("%s[%s]#%d", TrainOpTypeName(s.op.type),
-                            layer.name.c_str(), t);
-      item.category = TrainOpTypeName(s.op.type);
+      if (trace != nullptr) {
+        // Labels only feed trace events; untraced runs skip the per-item
+        // string formatting entirely.
+        item.name = StrFormat("%s[%s]#%d", TrainOpTypeName(s.op.type),
+                              model.layers[s.op.layer].name.c_str(), t);
+        item.category = TrainOpTypeName(s.op.type);
+      }
       item.solo_duration = kc.duration;
       item.thread_blocks = kc.thread_blocks;
       item.issue_latency = kc.issue_latency;
@@ -85,38 +98,38 @@ TrainMetrics SingleGpuEngine::Run(const NnModel& model,
       switch (s.op.type) {
         case TrainOpType::kForward:
           if (i > 0 && fwd_item[i - 1] != kNone) {
-            item.dep_items.push_back(fwd_item[i - 1]);
+            item.AddDep(fwd_item[i - 1]);
           }
           if (update_item[i] != kNone) {
-            item.dep_items.push_back(update_item[i]);
+            item.AddDep(update_item[i]);
           }
           break;
         case TrainOpType::kOutputGrad:
           if (i + 1 < L && dgrad_item[i + 1] != kNone) {
-            item.dep_items.push_back(dgrad_item[i + 1]);
+            item.AddDep(dgrad_item[i + 1]);
           } else if (i + 1 >= L && prev_fwd_item[L - 1] != kNone) {
             // Loss gradient: available once the previous iteration's forward
             // pass (and loss) completed.
-            item.dep_items.push_back(prev_fwd_item[L - 1]);
+            item.AddDep(prev_fwd_item[L - 1]);
           }
           break;
         case TrainOpType::kWeightGrad:
           if (i + 1 < L) {
             OOBP_CHECK_NE(dgrad_item[i + 1], kNone)
                 << "dW[" << i << "] issued before dO[" << i + 1 << "]";
-            item.dep_items.push_back(dgrad_item[i + 1]);
+            item.AddDep(dgrad_item[i + 1]);
           } else if (prev_fwd_item[L - 1] != kNone) {
-            item.dep_items.push_back(prev_fwd_item[L - 1]);
+            item.AddDep(prev_fwd_item[L - 1]);
           }
           if (s.wait_for_index >= 0) {
             const int pinned = sched_to_item[s.wait_for_index];
             OOBP_CHECK_NE(pinned, kNone);
-            item.dep_items.push_back(pinned);
+            item.AddDep(pinned);
           }
           break;
         case TrainOpType::kWeightUpdate:
           OOBP_CHECK_NE(wgrad_item[i], kNone);
-          item.dep_items.push_back(wgrad_item[i]);
+          item.AddDep(wgrad_item[i]);
           break;
       }
 

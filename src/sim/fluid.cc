@@ -2,6 +2,7 @@
 
 #include <algorithm>
 #include <cmath>
+#include <limits>
 #include <utility>
 
 namespace oobp {
@@ -10,6 +11,20 @@ namespace {
 // Work below this many rate*ns counts as drained; absorbs the rounding that
 // integer-nanosecond completion times introduce.
 constexpr double kWorkEpsilon = 1e-6;
+
+// Insertion sort ascending by .first; the inputs are concatenations of a few
+// already-ascending runs (jobs are stored in (priority, seq) order), so this
+// is near-linear and allocation-free for the tiny active sets we see.
+template <typename Pair>
+void SortBySeq(std::vector<Pair>* v) {
+  for (size_t i = 1; i < v->size(); ++i) {
+    size_t j = i;
+    while (j > 0 && (*v)[j].first < (*v)[j - 1].first) {
+      std::swap((*v)[j], (*v)[j - 1]);
+      --j;
+    }
+  }
+}
 }  // namespace
 
 FluidProcessor::FluidProcessor(SimEngine* engine, double capacity)
@@ -20,7 +35,7 @@ FluidProcessor::FluidProcessor(SimEngine* engine, double capacity)
 }
 
 FluidJobId FluidProcessor::Add(double work, double max_rate, int priority,
-                               std::function<void()> on_complete) {
+                               SimEngine::Callback on_complete) {
   OOBP_CHECK_GE(work, 0.0);
   OOBP_CHECK_GT(max_rate, 0.0);
   Advance();
@@ -31,14 +46,20 @@ FluidJobId FluidProcessor::Add(double work, double max_rate, int priority,
   job.priority = priority;
   job.seq = id;
   job.on_complete = std::move(on_complete);
-  jobs_.emplace(id, std::move(job));
+  // Insert after every job with priority <= `priority`: seq grows
+  // monotonically, so this keeps (priority, seq) order with one shift.
+  const auto pos = std::upper_bound(
+      jobs_.begin(), jobs_.end(), priority,
+      [](int p, const Job& j) { return p < j.priority; });
+  jobs_.insert(pos, std::move(job));
   Reallocate();
   return id;
 }
 
 bool FluidProcessor::Cancel(FluidJobId id) {
   Advance();
-  auto it = jobs_.find(id);
+  const auto it = std::find_if(jobs_.begin(), jobs_.end(),
+                               [id](const Job& j) { return j.seq == id; });
   if (it == jobs_.end()) {
     return false;
   }
@@ -50,15 +71,24 @@ bool FluidProcessor::Cancel(FluidJobId id) {
 double FluidProcessor::busy_integral() const {
   double total = busy_integral_;
   const double dt = static_cast<double>(engine_->now() - last_update_);
-  for (const auto& [id, job] : jobs_) {
-    total += job.rate * dt;
+  // Ascending-seq accumulation keeps the floating-point sum identical to the
+  // former per-job-id map iteration, bit for bit.
+  std::vector<std::pair<uint64_t, double>>& contrib = contrib_scratch_;
+  contrib.clear();
+  for (const Job& job : jobs_) {
+    contrib.emplace_back(job.seq, job.rate * dt);
+  }
+  SortBySeq(&contrib);
+  for (const auto& [seq, c] : contrib) {
+    total += c;
   }
   return total;
 }
 
 double FluidProcessor::RateOf(FluidJobId id) const {
-  auto it = jobs_.find(id);
-  return it == jobs_.end() ? 0.0 : it->second.rate;
+  const auto it = std::find_if(jobs_.begin(), jobs_.end(),
+                               [id](const Job& j) { return j.seq == id; });
+  return it == jobs_.end() ? 0.0 : it->rate;
 }
 
 void FluidProcessor::Advance() {
@@ -67,65 +97,74 @@ void FluidProcessor::Advance() {
   const double dt = static_cast<double>(now - last_update_);
   last_update_ = now;
 
-  std::vector<std::function<void()>> completions;
   if (dt > 0.0) {
-    for (auto it = jobs_.begin(); it != jobs_.end();) {
-      Job& job = it->second;
-      // Integer-ns wake-ups can overshoot a completion by a fraction of a
-      // nanosecond; only count work that actually existed.
-      busy_integral_ += std::min(job.rate * dt, job.remaining);
+    // Integer-ns wake-ups can overshoot a completion by a fraction of a
+    // nanosecond; only count work that actually existed. The busy integral
+    // is accumulated in ascending job-id order so the floating-point sum is
+    // bit-identical to the original map-ordered implementation. No user code
+    // runs in this phase, so the shared scratch needs no reentrancy guard.
+    std::vector<std::pair<uint64_t, double>>& contrib = contrib_scratch_;
+    contrib.clear();
+    for (Job& job : jobs_) {
+      contrib.emplace_back(job.seq, std::min(job.rate * dt, job.remaining));
       job.remaining = std::max(0.0, job.remaining - job.rate * dt);
-      ++it;
+    }
+    SortBySeq(&contrib);
+    for (const auto& [seq, c] : contrib) {
+      busy_integral_ += c;
     }
   }
-  // Completion order is deterministic: ascending job id.
-  for (auto it = jobs_.begin(); it != jobs_.end();) {
-    if (it->second.remaining <= kWorkEpsilon) {
-      completions.push_back(std::move(it->second.on_complete));
-      it = jobs_.erase(it);
-    } else {
-      ++it;
+
+  // Completion order is deterministic: ascending job id. Take the scratch
+  // buffer by value (swap idiom): completion callbacks may re-enter Add()
+  // and thus Advance(), which must not clobber the list being iterated — a
+  // nested call starts from a fresh (empty) scratch instead.
+  std::vector<std::pair<uint64_t, SimEngine::Callback>> completions =
+      std::move(completions_scratch_);
+  completions.clear();
+  for (Job& job : jobs_) {
+    if (job.remaining <= kWorkEpsilon) {
+      completions.emplace_back(job.seq, std::move(job.on_complete));
     }
   }
+  if (completions.empty()) {
+    completions_scratch_ = std::move(completions);
+    return;
+  }
+  jobs_.erase(std::remove_if(jobs_.begin(), jobs_.end(),
+                             [](const Job& j) {
+                               return j.remaining <= kWorkEpsilon;
+                             }),
+              jobs_.end());
+  SortBySeq(&completions);
   // Callbacks run after the job table is consistent: they may re-enter Add().
-  for (auto& cb : completions) {
+  for (auto& [seq, cb] : completions) {
     if (cb) {
       cb();
     }
   }
+  completions.clear();
+  completions_scratch_ = std::move(completions);
 }
 
 void FluidProcessor::Reallocate() {
-  ++generation_;
+  // Retract the superseded wake-up (no-op if it already fired).
+  engine_->Cancel(wake_);
+  wake_ = SimEngine::TimerHandle();
   if (jobs_.empty()) {
     return;
   }
 
   // Priority-ordered greedy allocation (lower priority value first, FIFO
-  // within a level) — this is the GPU stream-priority semantics.
-  std::vector<Job*> order;
-  order.reserve(jobs_.size());
-  for (auto& [id, job] : jobs_) {
-    order.push_back(&job);
-  }
-  std::sort(order.begin(), order.end(), [](const Job* a, const Job* b) {
-    if (a->priority != b->priority) {
-      return a->priority < b->priority;
-    }
-    return a->seq < b->seq;
-  });
-
+  // within a level) — this is the GPU stream-priority semantics. jobs_ is
+  // already in that order; find the next completion in the same pass.
   double free = capacity_;
-  for (Job* job : order) {
-    job->rate = std::min(job->max_rate, free);
-    free -= job->rate;
-  }
-
-  // Next completion among jobs that are making progress.
   double min_tta = -1.0;
-  for (const Job* job : order) {
-    if (job->rate > 0.0) {
-      const double tta = job->remaining / job->rate;
+  for (Job& job : jobs_) {
+    job.rate = std::min(job.max_rate, free);
+    free -= job.rate;
+    if (job.rate > 0.0) {
+      const double tta = job.remaining / job.rate;
       if (min_tta < 0.0 || tta < min_tta) {
         min_tta = tta;
       }
@@ -134,13 +173,19 @@ void FluidProcessor::Reallocate() {
   if (min_tta < 0.0) {
     return;  // every active job is starved; a future Add/Cancel re-triggers
   }
-  const TimeNs wake =
-      engine_->now() + std::max<TimeNs>(1, static_cast<TimeNs>(std::ceil(min_tta)));
-  const uint64_t gen = generation_;
-  engine_->ScheduleAt(wake, [this, gen] {
-    if (gen != generation_) {
-      return;  // allocation changed since this wake-up was scheduled
-    }
+  // A starved-then-fed job with a tiny rate can make min_tta exceed the
+  // TimeNs range; the float->int conversion would be undefined. Clamp the
+  // wake-up to the end of simulated time (the job cannot finish anyway).
+  const TimeNs max_delay =
+      std::numeric_limits<TimeNs>::max() - engine_->now();
+  TimeNs delay;
+  if (min_tta >= static_cast<double>(max_delay)) {
+    delay = max_delay;
+  } else {
+    delay = std::max<TimeNs>(1, static_cast<TimeNs>(std::ceil(min_tta)));
+  }
+  wake_ = engine_->ScheduleAt(engine_->now() + delay, [this] {
+    wake_ = SimEngine::TimerHandle();  // consumed; nothing left to cancel
     Advance();
     Reallocate();
   });

@@ -15,13 +15,18 @@
 //    finishes in nearly the same wall time as running alone (free speedup);
 //  * a kernel that already saturates the slots gains nothing from co-running;
 //  * total throughput never exceeds capacity (work conservation).
+//
+// Implementation: jobs live in a flat vector kept sorted by (priority, seq),
+// so Reallocate() is a single allocation pass instead of the former
+// sort-the-whole-map-per-call, and the pending completion wake-up is a
+// cancellable SimEngine timer — superseded wake-ups are retracted from the
+// event queue rather than left behind as generation-guarded dead events
+// (which used to add one ghost event per Add/Cancel to every simulation).
 
 #ifndef OOBP_SRC_SIM_FLUID_H_
 #define OOBP_SRC_SIM_FLUID_H_
 
 #include <cstdint>
-#include <functional>
-#include <map>
 #include <vector>
 
 #include "src/common/check.h"
@@ -43,7 +48,7 @@ class FluidProcessor {
   // `max_rate` caps how much capacity the job can use at once, lower
   // `priority` values run first. `on_complete` fires when the work drains.
   FluidJobId Add(double work, double max_rate, int priority,
-                 std::function<void()> on_complete);
+                 SimEngine::Callback on_complete);
 
   // Cancels an active job (no completion callback). Returns false if the job
   // already completed.
@@ -64,23 +69,32 @@ class FluidProcessor {
     double remaining;      // work left, in rate*ns
     double max_rate;       // occupancy cap
     int priority;          // lower runs first
-    uint64_t seq;          // FIFO tie-break within a priority level
+    uint64_t seq;          // FIFO tie-break within a priority level; == id
     double rate = 0.0;     // current allocation
-    std::function<void()> on_complete;
+    SimEngine::Callback on_complete;
   };
 
   // Applies progress accrued since `last_update_`, completing drained jobs.
   void Advance();
-  // Recomputes allocations and schedules the next completion event.
+  // Recomputes allocations and (re)schedules the next completion event,
+  // cancelling any previously scheduled wake-up.
   void Reallocate();
 
   SimEngine* engine_;
   double capacity_;
   TimeNs last_update_ = 0;
   uint64_t next_id_ = 1;
-  uint64_t generation_ = 0;  // invalidates stale scheduled wake-ups
   mutable double busy_integral_ = 0.0;
-  std::map<FluidJobId, Job> jobs_;
+  // Sorted by (priority, seq): the greedy allocation order. Job counts are
+  // small (concurrent kernels on a device), so inserts are cheap and every
+  // Reallocate() pass is branch-predictable sequential access.
+  std::vector<Job> jobs_;
+  SimEngine::TimerHandle wake_;  // pending completion wake-up, if any
+  // Scratch for Advance()/busy_integral(): reused across calls so the per-
+  // event hot path performs no allocation. Only touched while no user code
+  // runs (completion callbacks use the swap idiom in Advance()).
+  mutable std::vector<std::pair<uint64_t, double>> contrib_scratch_;
+  std::vector<std::pair<uint64_t, SimEngine::Callback>> completions_scratch_;
 };
 
 }  // namespace oobp

@@ -1,0 +1,136 @@
+// Move-only `void()` callable with inline small-buffer storage.
+//
+// std::function is the wrong tool for a discrete-event queue: it is copyable
+// (which let the old priority_queue force a deep copy of every callback on
+// pop), its inline buffer is two words on libstdc++ (a `[this, index,
+// latency]` capture already heap-allocates), and it cannot hold move-only
+// captures. SmallCallback stores any callable of up to kInlineBytes inline,
+// relocates with a noexcept move (so the event slab can live in a growing
+// std::vector), and heap-allocates only oversized or potentially-throwing
+// targets.
+
+#ifndef OOBP_SRC_SIM_SMALL_CALLBACK_H_
+#define OOBP_SRC_SIM_SMALL_CALLBACK_H_
+
+#include <cstddef>
+#include <new>
+#include <type_traits>
+#include <utility>
+
+namespace oobp {
+
+class SmallCallback {
+ public:
+  // Large enough for a `this` pointer plus a handful of captured scalars —
+  // every callback the simulator schedules today fits inline.
+  static constexpr std::size_t kInlineBytes = 48;
+
+  SmallCallback() = default;
+  SmallCallback(std::nullptr_t) {}  // NOLINT: implicit like std::function
+
+  template <typename F,
+            typename = std::enable_if_t<
+                !std::is_same_v<std::decay_t<F>, SmallCallback> &&
+                !std::is_same_v<std::decay_t<F>, std::nullptr_t> &&
+                std::is_invocable_r_v<void, std::decay_t<F>&>>>
+  SmallCallback(F&& f) {  // NOLINT: implicit like std::function
+    using D = std::decay_t<F>;
+    if constexpr (sizeof(D) <= kInlineBytes &&
+                  alignof(D) <= alignof(std::max_align_t) &&
+                  std::is_nothrow_move_constructible_v<D>) {
+      ::new (static_cast<void*>(buf_)) D(std::forward<F>(f));
+      ops_ = &kInlineOps<D>;
+    } else {
+      ::new (static_cast<void*>(buf_)) D*(new D(std::forward<F>(f)));
+      ops_ = &kHeapOps<D>;
+    }
+  }
+
+  SmallCallback(SmallCallback&& other) noexcept : ops_(other.ops_) {
+    if (ops_ != nullptr) {
+      ops_->relocate(buf_, other.buf_);
+      other.ops_ = nullptr;
+    }
+  }
+
+  SmallCallback& operator=(SmallCallback&& other) noexcept {
+    if (this != &other) {
+      Reset();
+      ops_ = other.ops_;
+      if (ops_ != nullptr) {
+        ops_->relocate(buf_, other.buf_);
+        other.ops_ = nullptr;
+      }
+    }
+    return *this;
+  }
+
+  SmallCallback(const SmallCallback&) = delete;
+  SmallCallback& operator=(const SmallCallback&) = delete;
+
+  ~SmallCallback() { Reset(); }
+
+  void Reset() {
+    if (ops_ != nullptr) {
+      ops_->destroy(buf_);
+      ops_ = nullptr;
+    }
+  }
+
+  explicit operator bool() const { return ops_ != nullptr; }
+
+  void operator()() { ops_->invoke(buf_); }
+
+  // True when the target lives in the inline buffer (no heap allocation);
+  // meaningful only when the callback is non-empty. Exposed for tests.
+  bool stored_inline() const { return ops_ != nullptr && ops_->is_inline; }
+
+ private:
+  struct Ops {
+    void (*invoke)(void*);
+    void (*relocate)(void* dst, void* src);  // move-construct dst, destroy src
+    void (*destroy)(void*);
+    bool is_inline;
+  };
+
+  template <typename F>
+  static void InlineInvoke(void* p) {
+    (*static_cast<F*>(p))();
+  }
+  template <typename F>
+  static void InlineRelocate(void* dst, void* src) {
+    ::new (dst) F(std::move(*static_cast<F*>(src)));
+    static_cast<F*>(src)->~F();
+  }
+  template <typename F>
+  static void InlineDestroy(void* p) {
+    static_cast<F*>(p)->~F();
+  }
+
+  template <typename F>
+  static void HeapInvoke(void* p) {
+    (**static_cast<F**>(p))();
+  }
+  template <typename F>
+  static void HeapRelocate(void* dst, void* src) {
+    ::new (dst) F*(*static_cast<F**>(src));
+  }
+  template <typename F>
+  static void HeapDestroy(void* p) {
+    delete *static_cast<F**>(p);
+  }
+
+  template <typename F>
+  static constexpr Ops kInlineOps = {&InlineInvoke<F>, &InlineRelocate<F>,
+                                     &InlineDestroy<F>, true};
+  template <typename F>
+  static constexpr Ops kHeapOps = {&HeapInvoke<F>, &HeapRelocate<F>,
+                                   &HeapDestroy<F>, false};
+
+  alignas(std::max_align_t) unsigned char buf_[kInlineBytes];
+  const Ops* ops_ = nullptr;
+};
+
+}  // namespace oobp
+
+#endif  // OOBP_SRC_SIM_SMALL_CALLBACK_H_

@@ -100,7 +100,7 @@ TEST(CpuLauncherTest, DependenciesResolvedByItemIndex) {
   std::vector<IssueItem> items;
   items.push_back(Item(s0, 100, 0, "a"));
   IssueItem b = Item(s1, 100, 0, "b");
-  b.dep_items.push_back(0);
+  b.AddDep(0);
   items.push_back(b);
   std::vector<KernelId> ids(2, -1);
   launcher.Launch(items, [&](size_t i, KernelId id) { ids[i] = id; });

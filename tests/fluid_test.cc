@@ -1,0 +1,126 @@
+// Edge-case tests for the flat-vector FluidProcessor: cancellation of
+// completed jobs, starved job sets, zero-work jobs, deterministic completion
+// order at equal timestamps, busy-integral exactness across integer-ns
+// overshoot wake-ups, and the TimeNs overflow clamp for enormous
+// time-to-availability values.
+
+#include <gtest/gtest.h>
+
+#include <vector>
+
+#include "src/common/time.h"
+#include "src/sim/engine.h"
+#include "src/sim/fluid.h"
+
+namespace oobp {
+namespace {
+
+TEST(FluidEdgeTest, CancelOfCompletedJobReturnsFalse) {
+  SimEngine engine;
+  FluidProcessor proc(&engine, /*capacity=*/10.0);
+  bool done = false;
+  const FluidJobId id =
+      proc.Add(/*work=*/100.0, /*max_rate=*/10.0, /*priority=*/0,
+               [&] { done = true; });
+  engine.Run();
+  EXPECT_TRUE(done);
+  EXPECT_FALSE(proc.Cancel(id));
+  EXPECT_FALSE(proc.Cancel(12345));  // never-existed id
+  EXPECT_EQ(proc.RateOf(id), 0.0);
+}
+
+TEST(FluidEdgeTest, StarvedJobsAddNoWakeupEvents) {
+  SimEngine engine;
+  FluidProcessor proc(&engine, /*capacity=*/10.0);
+  TimeNs a_done = -1, b_done = -1;
+  const FluidJobId a =
+      proc.Add(/*work=*/1000.0, /*max_rate=*/10.0, /*priority=*/0,
+               [&] { a_done = engine.now(); });
+  const FluidJobId b =
+      proc.Add(/*work=*/50.0, /*max_rate=*/10.0, /*priority=*/1,
+               [&] { b_done = engine.now(); });
+  // `a` saturates the capacity; `b` is fully starved. The starved job must
+  // not contribute a wake-up: exactly one pending completion event.
+  EXPECT_EQ(proc.RateOf(a), 10.0);
+  EXPECT_EQ(proc.RateOf(b), 0.0);
+  EXPECT_EQ(engine.pending_events(), 1u);
+  engine.Run();
+  EXPECT_EQ(a_done, 100);
+  EXPECT_EQ(b_done, 105);  // fed only after `a` drains
+}
+
+TEST(FluidEdgeTest, ZeroWorkJobCompletesWithoutAccruingBusy) {
+  SimEngine engine;
+  FluidProcessor proc(&engine, /*capacity=*/10.0);
+  bool done = false;
+  proc.Add(/*work=*/0.0, /*max_rate=*/5.0, /*priority=*/0, [&] { done = true; });
+  engine.Run();
+  EXPECT_TRUE(done);
+  EXPECT_EQ(proc.active_jobs(), 0u);
+  EXPECT_DOUBLE_EQ(proc.busy_integral(), 0.0);
+}
+
+TEST(FluidEdgeTest, EqualTimestampCompletionsFireInJobIdOrder) {
+  SimEngine engine;
+  FluidProcessor proc(&engine, /*capacity=*/100.0);
+  std::vector<FluidJobId> order;
+  // The low-priority job is added FIRST (lowest id) but sits LAST in the
+  // internal (priority, seq) job order; completion order must still be by
+  // ascending id, not by allocation order.
+  const FluidJobId low = proc.Add(250.0, 25.0, /*priority=*/1,
+                                  [&] { order.push_back(1); });
+  const FluidJobId h1 = proc.Add(250.0, 25.0, /*priority=*/0,
+                                 [&] { order.push_back(2); });
+  const FluidJobId h2 = proc.Add(250.0, 25.0, /*priority=*/0,
+                                 [&] { order.push_back(3); });
+  const FluidJobId h3 = proc.Add(250.0, 25.0, /*priority=*/0,
+                                 [&] { order.push_back(4); });
+  // Capacity is ample: every job runs at its max rate and all four complete
+  // at the same instant, t = 250 / 25 = 10.
+  EXPECT_EQ(proc.RateOf(low), 25.0);
+  engine.Run();
+  EXPECT_EQ(engine.now(), 10);
+  EXPECT_EQ(order, (std::vector<FluidJobId>{1, 2, 3, 4}));
+  EXPECT_LT(low, h1);
+  EXPECT_LT(h1, h2);
+  EXPECT_LT(h2, h3);
+}
+
+TEST(FluidEdgeTest, BusyIntegralExactAcrossOvershootWakeups) {
+  SimEngine engine;
+  FluidProcessor proc(&engine, /*capacity=*/3.0);
+  // Fractional completion times: job A finishes at t = 7/2 = 3.5, so the
+  // integer-ns wake-up at t=4 overshoots by half a nanosecond. The overshoot
+  // must be clamped out of the busy integral: total busy == total work.
+  proc.Add(/*work=*/7.0, /*max_rate=*/2.0, /*priority=*/0, nullptr);
+  proc.Add(/*work=*/5.0, /*max_rate=*/2.0, /*priority=*/1, nullptr);
+  // Mid-flight (clock advanced by Run's limit, no event fired yet): the
+  // integral reflects the partial interval at the current rates 2 + 1.
+  engine.Run(/*limit=*/2);
+  EXPECT_DOUBLE_EQ(proc.busy_integral(), 6.0);
+  engine.Run();
+  EXPECT_EQ(proc.active_jobs(), 0u);
+  EXPECT_DOUBLE_EQ(proc.busy_integral(), 12.0);  // == 7 + 5, no overshoot
+}
+
+TEST(FluidEdgeTest, HugeTimeToAvailabilityClampsInsteadOfOverflowing) {
+  SimEngine engine;
+  FluidProcessor proc(&engine, /*capacity=*/1.0);
+  // time-to-availability = 1e30 ns, far beyond the TimeNs (int64) range. The
+  // float->int conversion of the raw value would be undefined behaviour; the
+  // wake-up must clamp to the end of simulated time instead.
+  const FluidJobId id =
+      proc.Add(/*work=*/1e30, /*max_rate=*/1.0, /*priority=*/0, nullptr);
+  EXPECT_EQ(engine.pending_events(), 1u);
+  // The clamped wake-up lies at the end of time; nothing fires in a normal
+  // horizon and the clock still advances to the limit.
+  EXPECT_EQ(engine.Run(/*limit=*/1000), 0u);
+  EXPECT_EQ(engine.now(), 1000);
+  EXPECT_EQ(proc.active_jobs(), 1u);
+  // Cancelling retracts the far-future wake-up from the queue entirely.
+  EXPECT_TRUE(proc.Cancel(id));
+  EXPECT_EQ(engine.pending_events(), 0u);
+}
+
+}  // namespace
+}  // namespace oobp

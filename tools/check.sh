@@ -1,19 +1,37 @@
 #!/usr/bin/env bash
-# One-shot health check: configure, build, run the unit-test tier, then run
-# the unit-time toy scenarios against their golden files.
+# One-shot health check, three tiers:
+#   1. Release build: unit-test tier + unit-time toy scenarios vs goldens.
+#   2. ASan+UBSan build (-DOOBP_SANITIZE=ON): unit-test tier under the
+#      sanitizers (catches lifetime bugs in the event slab / callback moves).
+#   3. Perf smoke: one `oobp bench --perf` pass over the fig07 scenarios with
+#      the golden gate on — asserts the fast path still produces the exact
+#      golden values while exercising the wall-clock harness.
 #
-# Usage: tools/check.sh [build-dir]
+# Usage: tools/check.sh [build-dir [asan-build-dir]]
 set -euo pipefail
 
 REPO_ROOT="$(cd "$(dirname "$0")/.." && pwd)"
-BUILD_DIR="${1:-${REPO_ROOT}/build}"
+BUILD_DIR="${1:-${REPO_ROOT}/build-check}"
+ASAN_DIR="${2:-${REPO_ROOT}/build-asan}"
 
+# --- Tier 1: Release + unit tests + golden gate --------------------------
 cmake -S "${REPO_ROOT}" -B "${BUILD_DIR}" -DCMAKE_BUILD_TYPE=Release
 cmake --build "${BUILD_DIR}" -j"$(nproc)"
 
 ctest --test-dir "${BUILD_DIR}" -L unit --output-on-failure
 
 "${BUILD_DIR}/tools/oobp" bench --filter 'fig0[456]*' --jobs 0 \
+    --out "${BUILD_DIR}" --golden "${REPO_ROOT}/bench/golden"
+
+# --- Tier 2: ASan + UBSan unit tests -------------------------------------
+cmake -S "${REPO_ROOT}" -B "${ASAN_DIR}" -DCMAKE_BUILD_TYPE=RelWithDebInfo \
+    -DOOBP_SANITIZE=ON
+cmake --build "${ASAN_DIR}" -j"$(nproc)"
+
+ctest --test-dir "${ASAN_DIR}" -L unit --output-on-failure
+
+# --- Tier 3: perf smoke with the golden gate on --------------------------
+"${BUILD_DIR}/tools/oobp" bench --perf --warmup 0 --repeats 1 --jobs 0 \
     --out "${BUILD_DIR}" --golden "${REPO_ROOT}/bench/golden"
 
 echo "check.sh: all green"

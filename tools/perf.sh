@@ -1,0 +1,23 @@
+#!/usr/bin/env bash
+# Wall-clock perf harness for the simulator core: Release build, then
+# `oobp bench --perf` over the fig07 scenarios (override with --filter).
+# Emits <build-dir>/BENCH_sim_perf.json; see src/runner/perf.h for the
+# schema and DESIGN.md §6 for how to read the numbers.
+#
+# Usage: tools/perf.sh [build-dir] [extra `oobp bench` flags...]
+#   tools/perf.sh                        # fig07 scenarios, 1 warmup, 3 repeats
+#   tools/perf.sh build-perf --filter='fig10_*' --repeats=5
+set -euo pipefail
+
+REPO_ROOT="$(cd "$(dirname "$0")/.." && pwd)"
+BUILD_DIR="${REPO_ROOT}/build-perf"
+if [[ $# -gt 0 && $1 != --* ]]; then
+  BUILD_DIR="$1"
+  shift
+fi
+
+cmake -S "${REPO_ROOT}" -B "${BUILD_DIR}" -DCMAKE_BUILD_TYPE=Release
+cmake --build "${BUILD_DIR}" -j"$(nproc)" --target oobp
+
+"${BUILD_DIR}/tools/oobp" bench --perf --out "${BUILD_DIR}" "$@"
+echo "perf.sh: wrote ${BUILD_DIR}/BENCH_sim_perf.json"
