@@ -283,4 +283,18 @@ JointScheduleResult MultiRegionJointSchedule(const TrainGraph& graph,
   return result;
 }
 
+JointScheduleResult MakeOooSchedule(const TrainGraph& graph,
+                                    const GpuSpec& gpu,
+                                    const SystemProfile& profile,
+                                    double memory_cap_factor) {
+  const CostModel cost(gpu, profile);
+  const CorunProfiler profiler(graph, cost, BuildRegions(graph));
+  JointScheduleOptions opts;
+  const MemoryTimeline conv_mem = EstimateBackpropMemory(
+      graph.model(), ConventionalIteration(graph).MergedOrder());
+  opts.memory_cap_bytes =
+      static_cast<int64_t>(memory_cap_factor * conv_mem.peak);
+  return MultiRegionJointSchedule(graph, profiler, opts);
+}
+
 }  // namespace oobp

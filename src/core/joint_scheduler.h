@@ -47,6 +47,16 @@ JointScheduleResult MultiRegionJointSchedule(
     const TrainGraph& graph, const CorunProfiler& profiler,
     const JointScheduleOptions& options = {});
 
+// The full OOO-XLA scheduling pipeline as one call: build regions, profile
+// co-runs against `gpu`/`profile`, cap activation memory at
+// `memory_cap_factor` x the conventional schedule's peak (the paper uses
+// 1.1x), and run Algorithm 1. Shared by the CLI driver, the Figure 7
+// scenarios, and the inference-serving co-run scenarios.
+JointScheduleResult MakeOooSchedule(const TrainGraph& graph,
+                                    const GpuSpec& gpu,
+                                    const SystemProfile& profile,
+                                    double memory_cap_factor = 1.1);
+
 }  // namespace oobp
 
 #endif  // OOBP_SRC_CORE_JOINT_SCHEDULER_H_

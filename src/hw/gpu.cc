@@ -69,6 +69,13 @@ TimeNs Gpu::CompletionTime(KernelId id) const {
   return kernels_[id].done_time;
 }
 
+TimeNs Gpu::StartTime(KernelId id) const {
+  OOBP_CHECK_GE(id, 0);
+  OOBP_CHECK_LT(id, static_cast<KernelId>(kernels_.size()));
+  OOBP_CHECK(kernels_[id].started);
+  return kernels_[id].start_time;
+}
+
 void Gpu::MaybeDispatch(StreamId stream) {
   Stream& s = streams_[stream];
   if (s.head_dispatched || s.queue.empty()) {

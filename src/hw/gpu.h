@@ -80,6 +80,10 @@ class Gpu {
   bool Done(KernelId id) const;
   // Completion timestamp; kernel must be done.
   TimeNs CompletionTime(KernelId id) const;
+  // Execution start timestamp (after the per-kernel setup gap); the kernel
+  // must have started. The serving metrics use start/completion pairs to
+  // separate queueing from contended execution time.
+  TimeNs StartTime(KernelId id) const;
 
   // Called once per kernel completion, after internal bookkeeping; multiple
   // listeners run in registration order.

@@ -114,17 +114,24 @@ std::vector<std::string> CheckAgainstGolden(const GoldenSpec& spec,
     if (GoldenCheckPasses(check, *value)) {
       continue;
     }
+    // A check may carry an expect and a band; report every constraint so a
+    // band-only violation doesn't print as a (passing) tolerance failure.
+    std::string detail;
     if (check.has_expect) {
-      failures.push_back(StrFormat(
-          "%s = %.6g, expected %.6g (rel_tol %.3g, abs_tol %.3g)",
-          check.key.c_str(), *value, check.expect, check.rel_tol,
-          check.abs_tol));
-    } else {
-      failures.push_back(StrFormat(
-          "%s = %.6g, outside [%s, %s]", check.key.c_str(), *value,
-          check.has_min ? StrFormat("%.6g", check.min).c_str() : "-inf",
-          check.has_max ? StrFormat("%.6g", check.max).c_str() : "+inf"));
+      detail = StrFormat("expected %.6g (rel_tol %.3g, abs_tol %.3g)",
+                         check.expect, check.rel_tol, check.abs_tol);
     }
+    if (check.has_min || check.has_max) {
+      if (!detail.empty()) {
+        detail += ", ";
+      }
+      detail += StrFormat(
+          "band [%s, %s]",
+          check.has_min ? StrFormat("%.6g", check.min).c_str() : "-inf",
+          check.has_max ? StrFormat("%.6g", check.max).c_str() : "+inf");
+    }
+    failures.push_back(StrFormat("%s = %.6g, %s", check.key.c_str(), *value,
+                                 detail.c_str()));
   }
   return failures;
 }

@@ -174,14 +174,7 @@ SingleGpuRow RunSingleGpuConfig(const NnModel& model) {
       SingleGpuEngine({gpu, xla, /*precompiled_issue=*/true})
           .Run(model, conventional);
 
-  const CostModel cost(gpu, xla);
-  const CorunProfiler profiler(graph, cost, BuildRegions(graph));
-  JointScheduleOptions opts;
-  const MemoryTimeline conv_mem =
-      EstimateBackpropMemory(model, conventional.MergedOrder());
-  opts.memory_cap_bytes = static_cast<int64_t>(1.1 * conv_mem.peak);
-  const JointScheduleResult sched =
-      MultiRegionJointSchedule(graph, profiler, opts);
+  const JointScheduleResult sched = MakeOooSchedule(graph, gpu, xla);
   const TrainMetrics m_ooo =
       SingleGpuEngine({gpu, xla, /*precompiled_issue=*/true})
           .Run(model, sched.schedule);

@@ -41,6 +41,11 @@ struct Scenario {
   std::string figure;       // paper anchor, e.g. "Figure 5"
   std::string description;  // one line, shown by --list
   std::function<ScenarioResult(const ScenarioParams&)> run;
+  // Scenario group, mirroring the CTest label taxonomy: "train" for the
+  // paper's training experiments, "serve" for the inference-serving
+  // subsystem. --list prints scenarios grouped by label. Declared after
+  // `run` so the existing positional aggregate initializers keep working.
+  std::string label = "train";
 };
 
 // fnmatch-style glob: `*`, `?`, and `[...]` classes (used by --filter, e.g.

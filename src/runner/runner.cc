@@ -1,5 +1,6 @@
 #include "src/runner/runner.h"
 
+#include <algorithm>
 #include <atomic>
 #include <chrono>
 #include <cstdio>
@@ -11,6 +12,7 @@
 #include "src/runner/json.h"
 #include "src/runner/paper_scenarios.h"
 #include "src/runner/perf.h"
+#include "src/runner/serve_scenarios.h"
 
 namespace oobp {
 
@@ -187,11 +189,29 @@ RunnerReport RunScenarios(const RunnerOptions& opts) {
 
 namespace {
 
+// Scenarios grouped by label (the CTest-style train/serve taxonomy), each
+// group in registration order. Labels print in first-appearance order, so
+// adding a group never reshuffles existing output.
 int ListScenarios() {
-  for (const Scenario& s : ScenarioRegistry::Global().scenarios()) {
-    std::printf("%-24s %-10s %s\n", s.name.c_str(), s.figure.c_str(),
-                s.description.c_str());
+  const std::vector<Scenario>& all = ScenarioRegistry::Global().scenarios();
+  std::vector<std::string> labels;
+  for (const Scenario& s : all) {
+    if (std::find(labels.begin(), labels.end(), s.label) == labels.end()) {
+      labels.push_back(s.label);
+    }
   }
+  for (const std::string& label : labels) {
+    std::printf("[%s]\n", label.c_str());
+    for (const Scenario& s : all) {
+      if (s.label == label) {
+        std::printf("  %-32s %-10s %s\n", s.name.c_str(), s.figure.c_str(),
+                    s.description.c_str());
+      }
+    }
+  }
+  std::printf("[perf]\n");
+  std::printf("  %-32s %-10s %s\n", "(--perf harness)", "",
+              "wall-clock timing over any --filter; see --help");
   return 0;
 }
 
@@ -200,6 +220,9 @@ int BenchUsage() {
                "usage: oobp bench [--list] [--filter=GLOB] [--jobs=N]\n"
                "                  [--out=DIR] [--golden[=DIR]] [--param k=v]\n"
                "                  [--perf] [--warmup=N] [--repeats=N]\n"
+               "  --list         print scenarios grouped by label\n"
+               "                 (train = paper figures, serve = inference\n"
+               "                 serving; e.g. --filter='serve_*')\n"
                "  --filter=GLOB  run scenarios matching GLOB (default '*';\n"
                "                 with --perf: 'fig07_*')\n"
                "  --jobs=N       thread-pool size; 0 = all cores (default 1)\n"
@@ -219,6 +242,7 @@ int BenchUsage() {
 
 int BenchMain(int argc, char** argv) {
   RegisterPaperScenarios();
+  RegisterServeScenarios();
 
   RunnerOptions opts;
   opts.output_dir = ".";
@@ -305,6 +329,7 @@ int BenchMain(int argc, char** argv) {
 
 int RunStandaloneBench(const std::string& filter) {
   RegisterPaperScenarios();
+  RegisterServeScenarios();
   RunnerOptions opts;
   opts.filter = filter;
   opts.jobs = 1;

@@ -1,0 +1,23 @@
+// Registration of the inference-serving scenarios.
+//
+// Three scenario families over the serving subsystem (src/serve):
+//   serve_only_*           — inference alone at a sweep of offered loads
+//   serve_corun_baseline_* — inference + in-order (conventional) training
+//   serve_corun_ooo_*      — inference + ooo-backprop training
+// The corun pairs share model, arrival trace and batcher configuration, so
+// comparing their golden files isolates the scheduling effect: ooo-backprop
+// demotes weight-gradient kernels below the inference stream's priority and
+// the serving tail (p99) tightens at near-equal training throughput.
+
+#ifndef OOBP_SRC_RUNNER_SERVE_SCENARIOS_H_
+#define OOBP_SRC_RUNNER_SERVE_SCENARIOS_H_
+
+namespace oobp {
+
+// Registers all serving scenarios (label "serve") into
+// ScenarioRegistry::Global(); idempotent.
+void RegisterServeScenarios();
+
+}  // namespace oobp
+
+#endif  // OOBP_SRC_RUNNER_SERVE_SCENARIOS_H_

@@ -29,28 +29,13 @@ IterationSchedule NaiveSubStreamIteration(const TrainGraph& graph) {
   return sched;
 }
 
-SingleGpuEngine::SingleGpuEngine(SingleGpuConfig config)
-    : config_(std::move(config)) {
-  OOBP_CHECK_GT(config_.measured_iterations, 0);
-}
-
-TrainMetrics SingleGpuEngine::Run(const NnModel& model,
-                                  const IterationSchedule& schedule,
-                                  TraceRecorder* trace) const {
-  const TrainGraph graph(&model);
-  const CostModel cost(config_.gpu, config_.profile);
+TrainIssuePlan BuildTrainIssuePlan(const NnModel& model,
+                                   const IterationSchedule& schedule,
+                                   const CostModel& cost, int iterations,
+                                   StreamId main_stream, StreamId sub_stream,
+                                   bool label_items) {
+  OOBP_CHECK_GT(iterations, 0);
   const int L = model.num_layers();
-  const int iterations = 1 + config_.measured_iterations;  // 1 warm-up
-
-  SimEngine engine;
-  Gpu gpu(&engine, config_.gpu, trace, /*trace_track_base=*/0);
-  const StreamId main_stream = gpu.CreateStream(/*priority=*/0);
-  const StreamId sub_stream = gpu.CreateStream(/*priority=*/1);
-  CpuLauncher launcher(&engine, &gpu,
-                       config_.precompiled_issue ? CpuLauncher::Mode::kPrecompiled
-                                                 : CpuLauncher::Mode::kPerOp,
-                       config_.profile.graph_launch_latency, trace,
-                       /*issue_track=*/100, config_.profile.issue_queue_depth);
 
   // Kernel costs depend only on the scheduled op, not the iteration index:
   // compute them once per schedule position instead of once per issued item.
@@ -61,9 +46,10 @@ TrainMetrics SingleGpuEngine::Run(const NnModel& model,
   }
 
   // Build the issue sequence for all iterations with full data dependencies.
-  std::vector<IssueItem> items;
+  TrainIssuePlan plan;
+  std::vector<IssueItem>& items = plan.items;
   items.reserve(schedule.ops.size() * iterations);
-  std::vector<int> iter_last_item(iterations, -1);
+  plan.iter_last_item.assign(iterations, -1);
   constexpr int kNone = -1;
   std::vector<int> fwd_item(L, kNone), dgrad_item(L, kNone),
       wgrad_item(L, kNone), update_item(L, kNone);
@@ -83,7 +69,7 @@ TrainMetrics SingleGpuEngine::Run(const NnModel& model,
 
       IssueItem item;
       item.stream = s.stream == kSubStream ? sub_stream : main_stream;
-      if (trace != nullptr) {
+      if (label_items) {
         // Labels only feed trace events; untraced runs skip the per-item
         // string formatting entirely.
         item.name = StrFormat("%s[%s]#%d", TrainOpTypeName(s.op.type),
@@ -152,27 +138,61 @@ TrainMetrics SingleGpuEngine::Run(const NnModel& model,
       items.push_back(std::move(item));
     }
     prev_fwd_item = fwd_item;
-    iter_last_item[t] = static_cast<int>(items.size()) - 1;
+    plan.iter_last_item[t] = static_cast<int>(items.size()) - 1;
   }
+  return plan;
+}
+
+std::vector<TimeNs> TrainIterationEndTimes(
+    const Gpu& gpu, const std::vector<KernelId>& item_kernel,
+    const std::vector<int>& iter_last_item) {
+  const int iterations = static_cast<int>(iter_last_item.size());
+  std::vector<TimeNs> iter_end(iterations, 0);
+  int t = 0;
+  for (size_t index = 0; index < item_kernel.size(); ++index) {
+    while (static_cast<int>(index) > iter_last_item[t]) {
+      ++t;
+    }
+    iter_end[t] = std::max(iter_end[t], gpu.CompletionTime(item_kernel[index]));
+  }
+  return iter_end;
+}
+
+SingleGpuEngine::SingleGpuEngine(SingleGpuConfig config)
+    : config_(std::move(config)) {
+  OOBP_CHECK_GT(config_.measured_iterations, 0);
+}
+
+TrainMetrics SingleGpuEngine::Run(const NnModel& model,
+                                  const IterationSchedule& schedule,
+                                  TraceRecorder* trace) const {
+  const CostModel cost(config_.gpu, config_.profile);
+  const int iterations = 1 + config_.measured_iterations;  // 1 warm-up
+
+  SimEngine engine;
+  Gpu gpu(&engine, config_.gpu, trace, /*trace_track_base=*/0);
+  const StreamId main_stream = gpu.CreateStream(/*priority=*/0);
+  const StreamId sub_stream = gpu.CreateStream(/*priority=*/1);
+  CpuLauncher launcher(&engine, &gpu,
+                       config_.precompiled_issue ? CpuLauncher::Mode::kPrecompiled
+                                                 : CpuLauncher::Mode::kPerOp,
+                       config_.profile.graph_launch_latency, trace,
+                       /*issue_track=*/100, config_.profile.issue_queue_depth);
+
+  TrainIssuePlan plan =
+      BuildTrainIssuePlan(model, schedule, cost, iterations, main_stream,
+                          sub_stream, /*label_items=*/trace != nullptr);
 
   // Run to completion, tracking per-item kernel ids for iteration timing.
-  std::vector<KernelId> item_kernel(items.size(), -1);
-  launcher.Launch(std::move(items), [&](size_t index, KernelId id) {
+  std::vector<KernelId> item_kernel(plan.items.size(), -1);
+  launcher.Launch(std::move(plan.items), [&](size_t index, KernelId id) {
     item_kernel[index] = id;
   });
   engine.Run();
   OOBP_CHECK_EQ(gpu.kernels_completed(), item_kernel.size());
 
-  std::vector<TimeNs> iter_end(iterations, 0);
-  {
-    int t = 0;
-    for (size_t index = 0; index < item_kernel.size(); ++index) {
-      while (static_cast<int>(index) > iter_last_item[t]) {
-        ++t;
-      }
-      iter_end[t] = std::max(iter_end[t], gpu.CompletionTime(item_kernel[index]));
-    }
-  }
+  const std::vector<TimeNs> iter_end =
+      TrainIterationEndTimes(gpu, item_kernel, plan.iter_last_item);
 
   TrainMetrics metrics;
   const TimeNs window = iter_end[iterations - 1] - iter_end[0];

@@ -16,8 +16,11 @@
 #define OOBP_SRC_RUNTIME_SINGLE_GPU_ENGINE_H_
 
 #include <cstdint>
+#include <vector>
 
 #include "src/core/schedule.h"
+#include "src/hw/cpu_launcher.h"
+#include "src/hw/gpu.h"
 #include "src/hw/gpu_spec.h"
 #include "src/nn/cost_model.h"
 #include "src/nn/train_graph.h"
@@ -38,6 +41,32 @@ struct SingleGpuConfig {
 // pragmatic mode the paper reports at 1.39x (vs 1.54x with reordering) for
 // DenseNet-121.
 IterationSchedule NaiveSubStreamIteration(const TrainGraph& graph);
+
+// The CPU issue sequence for `iterations` repetitions of an iteration
+// schedule, with the full cross-iteration data dependencies (dO_{L-1} of
+// iteration t waits on F_{L-1} of iteration t-1, F_i waits on U_i, ...).
+// Shared between SingleGpuEngine and the serving subsystem's co-run engine,
+// which interleaves inference kernels with the same training item stream.
+struct TrainIssuePlan {
+  std::vector<IssueItem> items;
+  // Index of the last issue item of each iteration (size == iterations).
+  std::vector<int> iter_last_item;
+};
+
+// `label_items` controls whether trace labels are built (pure annotations;
+// skip them for untraced runs).
+TrainIssuePlan BuildTrainIssuePlan(const NnModel& model,
+                                   const IterationSchedule& schedule,
+                                   const CostModel& cost, int iterations,
+                                   StreamId main_stream, StreamId sub_stream,
+                                   bool label_items);
+
+// Per-iteration completion times: iteration t ends when the last kernel of
+// any item in (iter_last_item[t-1], iter_last_item[t]] completes.
+// `item_kernel` maps issue-item index -> KernelId (all must be done).
+std::vector<TimeNs> TrainIterationEndTimes(
+    const Gpu& gpu, const std::vector<KernelId>& item_kernel,
+    const std::vector<int>& iter_last_item);
 
 class SingleGpuEngine {
  public:

@@ -1,0 +1,98 @@
+#include "src/serve/arrival.h"
+
+#include <cmath>
+
+#include "src/common/check.h"
+#include "src/common/rng.h"
+
+namespace oobp {
+
+namespace {
+
+// Exponential sample with the given rate (events per ns), as integer ns.
+// 1 - NextDouble() is in (0, 1], so the log argument never hits zero.
+TimeNs NextExp(Rng& rng, double rate_per_ns) {
+  const double u = 1.0 - rng.NextDouble();
+  return static_cast<TimeNs>(std::ceil(-std::log(u) / rate_per_ns));
+}
+
+}  // namespace
+
+std::vector<TimeNs> GenerateArrivals(const ArrivalSpec& spec, TimeNs horizon) {
+  OOBP_CHECK_GT(spec.rate_rps, 0.0);
+  OOBP_CHECK_GT(horizon, 0);
+  Rng rng(spec.seed);
+  std::vector<TimeNs> arrivals;
+  arrivals.reserve(
+      static_cast<size_t>(spec.rate_rps * ToSec(horizon) * 1.25) + 16);
+
+  const double mean_rate = spec.rate_rps / static_cast<double>(kNsPerSec);
+
+  if (spec.kind == ArrivalKind::kPoisson) {
+    TimeNs t = 0;
+    while (true) {
+      t += NextExp(rng, mean_rate);
+      if (t >= horizon) {
+        break;
+      }
+      arrivals.push_back(t);
+    }
+    return arrivals;
+  }
+
+  // Bursty: two-state Markov-modulated Poisson process. Solving
+  //   mean = (1 - f) * quiet + f * burst,  burst = B * quiet
+  // for the quiet-phase rate given overall mean rate, burst factor B and
+  // time-weighted burst fraction f:
+  OOBP_CHECK_GT(spec.burst_factor, 1.0);
+  OOBP_CHECK_GT(spec.burst_fraction, 0.0);
+  OOBP_CHECK_LT(spec.burst_fraction, 1.0);
+  OOBP_CHECK_GT(spec.mean_burst_dwell, 0);
+  const double f = spec.burst_fraction;
+  const double quiet_rate =
+      mean_rate / (1.0 - f + f * spec.burst_factor);
+  const double burst_rate = spec.burst_factor * quiet_rate;
+  // Phase-mass balance: f = burst_dwell / (burst_dwell + quiet_dwell).
+  const double burst_dwell = static_cast<double>(spec.mean_burst_dwell);
+  const double quiet_dwell = burst_dwell * (1.0 - f) / f;
+
+  bool in_burst = false;
+  TimeNs phase_end = NextExp(rng, 1.0 / quiet_dwell);
+  TimeNs t = 0;
+  while (true) {
+    const double rate = in_burst ? burst_rate : quiet_rate;
+    const TimeNs next = t + NextExp(rng, rate);
+    if (next < phase_end) {
+      if (next >= horizon) {
+        break;
+      }
+      t = next;
+      arrivals.push_back(t);
+      continue;
+    }
+    // Phase switch before the candidate arrival: discard it (memorylessness
+    // lets us resample from the switch point) and flip phases.
+    t = phase_end;
+    if (t >= horizon) {
+      break;
+    }
+    in_burst = !in_burst;
+    phase_end =
+        t + NextExp(rng, 1.0 / (in_burst ? burst_dwell : quiet_dwell));
+  }
+
+  // Strictly increasing timestamps: NextExp's ceil already returns >= 1 ns
+  // gaps for consecutive draws, but the phase-switch resampling path can in
+  // principle repeat a timestamp; normalize defensively.
+  for (size_t i = 1; i < arrivals.size(); ++i) {
+    if (arrivals[i] <= arrivals[i - 1]) {
+      arrivals[i] = arrivals[i - 1] + 1;
+    }
+  }
+  while (!arrivals.empty() && arrivals.back() >= horizon) {
+    arrivals.pop_back();
+  }
+  return arrivals;
+}
+
+}  // namespace oobp

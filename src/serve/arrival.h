@@ -1,0 +1,49 @@
+// Deterministic request-arrival generators for the inference-serving
+// subsystem.
+//
+// Serving experiments need arrival processes that are (a) statistically
+// representative — production inference traffic is Poisson at short time
+// scales with bursty rate modulation at longer ones (MMPP) — and (b)
+// bit-reproducible: a scenario must produce the same trace on every run and
+// under any --jobs parallelism. Both generators therefore draw from an
+// explicitly seeded splitmix64 Rng (src/common/rng.h) and materialize the
+// whole trace up front as integer-nanosecond timestamps; the serve engine
+// replays the list, so no randomness survives into the event loop.
+
+#ifndef OOBP_SRC_SERVE_ARRIVAL_H_
+#define OOBP_SRC_SERVE_ARRIVAL_H_
+
+#include <cstdint>
+#include <vector>
+
+#include "src/common/time.h"
+
+namespace oobp {
+
+enum class ArrivalKind {
+  kPoisson,  // homogeneous Poisson process at `rate_rps`
+  kBursty,   // 2-state MMPP: quiet/burst phases, overall mean `rate_rps`
+};
+
+struct ArrivalSpec {
+  ArrivalKind kind = ArrivalKind::kPoisson;
+  double rate_rps = 100.0;  // long-run mean arrival rate (requests/sec)
+  uint64_t seed = 1;
+
+  // Bursty (MMPP) shape knobs, ignored for kPoisson. The burst phase runs at
+  // `burst_factor` x the quiet rate and carries `burst_fraction` of all
+  // time-weighted phase mass; dwell times are exponential with the given
+  // mean for bursts (quiet dwell follows from the fraction).
+  double burst_factor = 6.0;
+  double burst_fraction = 0.2;
+  TimeNs mean_burst_dwell = Ms(4);
+};
+
+// Arrival timestamps in [0, horizon), strictly increasing (ties are bumped
+// by 1 ns so every request has a distinct arrival event). Identical inputs
+// yield byte-identical traces.
+std::vector<TimeNs> GenerateArrivals(const ArrivalSpec& spec, TimeNs horizon);
+
+}  // namespace oobp
+
+#endif  // OOBP_SRC_SERVE_ARRIVAL_H_

@@ -1,0 +1,75 @@
+// Dynamic request batcher for the inference-serving subsystem.
+//
+// Classic serving tradeoff: larger batches amortize per-kernel overheads and
+// raise goodput, but waiting to fill them adds queueing delay. The batcher
+// dispatches a batch when either the pending queue reaches `max_batch` or
+// the oldest pending request has waited `max_queue_delay` — whichever comes
+// first — and keeps at most `max_inflight` batches on the accelerator, which
+// is what creates queue pressure (and thus batching) under load.
+//
+// The batcher is pure control logic over the SimEngine clock: it owns one
+// cancellable deadline timer and calls a dispatch callback with the request
+// indices to run. The serve engine owns request bookkeeping and the GPU.
+
+#ifndef OOBP_SRC_SERVE_BATCHER_H_
+#define OOBP_SRC_SERVE_BATCHER_H_
+
+#include <cstdint>
+#include <deque>
+#include <functional>
+#include <vector>
+
+#include "src/common/time.h"
+#include "src/sim/engine.h"
+
+namespace oobp {
+
+struct BatcherConfig {
+  int max_batch = 8;                 // dispatch at this many pending requests
+  TimeNs max_queue_delay = Ms(2.0);  // or when the oldest waited this long
+  int max_inflight = 1;              // batches concurrently on the device
+};
+
+class DynamicBatcher {
+ public:
+  // `dispatch(requests)` is called at simulation time with the request ids
+  // (in arrival order) forming one batch; size in [1, max_batch].
+  using DispatchFn = std::function<void(const std::vector<int64_t>&)>;
+
+  DynamicBatcher(SimEngine* engine, BatcherConfig config, DispatchFn dispatch);
+  DynamicBatcher(const DynamicBatcher&) = delete;
+  DynamicBatcher& operator=(const DynamicBatcher&) = delete;
+
+  // A request arrived now (ids must be distinct; arrival order == call order).
+  void OnRequest(int64_t request_id);
+
+  // A previously dispatched batch finished; frees its inflight slot and
+  // immediately re-evaluates dispatch for queued requests.
+  void OnBatchDone();
+
+  int queue_depth() const { return static_cast<int>(queue_.size()); }
+  int inflight() const { return inflight_; }
+
+ private:
+  // Dispatches while a full batch or an expired deadline allows it, then
+  // re-arms the deadline timer for the new queue head (if any).
+  void MaybeDispatch();
+  void ArmTimer();
+
+  SimEngine* engine_;
+  BatcherConfig config_;
+  DispatchFn dispatch_;
+
+  struct Pending {
+    int64_t id;
+    TimeNs arrival;
+  };
+  std::deque<Pending> queue_;
+  int inflight_ = 0;
+  SimEngine::TimerHandle timer_;
+  std::vector<int64_t> scratch_batch_;
+};
+
+}  // namespace oobp
+
+#endif  // OOBP_SRC_SERVE_BATCHER_H_

@@ -83,6 +83,43 @@ TEST(StatsTest, MeanAndGeoMean) {
   EXPECT_NEAR(GeoMean({2.0, 2.0, 2.0}), 2.0, 1e-12);
 }
 
+TEST(StatsTest, PercentileSortedNearestRank) {
+  const std::vector<double> xs = {10, 20, 30, 40, 50, 60, 70, 80, 90, 100};
+  // rank = ceil(p/100 * n); the result is always a sample element.
+  EXPECT_DOUBLE_EQ(PercentileSorted(xs, 0.0), 10.0);
+  EXPECT_DOUBLE_EQ(PercentileSorted(xs, 10.0), 10.0);
+  EXPECT_DOUBLE_EQ(PercentileSorted(xs, 50.0), 50.0);
+  EXPECT_DOUBLE_EQ(PercentileSorted(xs, 51.0), 60.0);
+  EXPECT_DOUBLE_EQ(PercentileSorted(xs, 95.0), 100.0);
+  EXPECT_DOUBLE_EQ(PercentileSorted(xs, 99.0), 100.0);
+  EXPECT_DOUBLE_EQ(PercentileSorted(xs, 100.0), 100.0);
+}
+
+TEST(StatsTest, PercentileSingletonAndUnsorted) {
+  EXPECT_DOUBLE_EQ(PercentileSorted({7.0}, 0.0), 7.0);
+  EXPECT_DOUBLE_EQ(PercentileSorted({7.0}, 99.0), 7.0);
+  // Percentile() sorts a copy first.
+  EXPECT_DOUBLE_EQ(Percentile({3.0, 1.0, 2.0}, 50.0), 2.0);
+  EXPECT_DOUBLE_EQ(Percentile({3.0, 1.0, 2.0}, 100.0), 3.0);
+}
+
+TEST(StatsTest, IntHistogramCountsAndClamps) {
+  IntHistogram h(8);
+  h.Add(1);
+  h.Add(1);
+  h.Add(8);
+  h.Add(99);   // clamped into the top bucket
+  h.Add(-3);   // clamped into bucket 0
+  EXPECT_EQ(h.max_value(), 8);
+  EXPECT_EQ(h.count(0), 1);
+  EXPECT_EQ(h.count(1), 2);
+  EXPECT_EQ(h.count(8), 2);
+  EXPECT_EQ(h.count(5), 0);
+  EXPECT_EQ(h.total(), 5);
+  // Mean is over the clamped values: (0 + 1 + 1 + 8 + 8) / 5.
+  EXPECT_DOUBLE_EQ(h.mean(), 18.0 / 5.0);
+}
+
 TEST(StrUtilTest, StrFormat) {
   EXPECT_EQ(StrFormat("%d-%s", 7, "x"), "7-x");
   EXPECT_EQ(StrFormat("%.2f", 1.005), "1.00");

@@ -9,12 +9,15 @@
 #include <map>
 #include <string>
 
+#include "src/core/joint_scheduler.h"
 #include "src/core/reverse_k.h"
 #include "src/core/schedule.h"
+#include "src/nn/train_graph.h"
 #include "src/nn/model_zoo.h"
 #include "src/runtime/data_parallel_engine.h"
 #include "src/runtime/pipeline_engine.h"
 #include "src/runtime/single_gpu_engine.h"
+#include "src/serve/serve_engine.h"
 #include "src/trace/trace.h"
 
 namespace oobp {
@@ -85,6 +88,59 @@ TEST(DeterminismTest, PipelineEngine) {
     EXPECT_EQ(trace1.ToChromeJson(tracks), trace2.ToChromeJson(tracks))
         << PipelineStrategyName(s);
   }
+}
+
+// The serving subsystem draws all randomness from the seeded arrival
+// generator before the event loop starts, so serve-only and co-run
+// simulations are exactly repeatable (DESIGN.md §7).
+TEST(DeterminismTest, ServeEngine) {
+  ServeConfig config;
+  config.gpu = GpuSpec::V100();
+  config.profile = SystemProfile::TensorFlowXla();
+  config.arrivals.rate_rps = 2000.0;
+  config.arrivals.seed = 5;
+  config.horizon = Ms(50);
+  config.slo = Ms(20);
+  config.make_model = [](int b) { return MobileNetV3Large(1.0, b, 224); };
+  const ServeEngine engine(config);
+
+  const ServeMetrics m1 = engine.RunServeOnly();
+  const ServeMetrics m2 = engine.RunServeOnly();
+  EXPECT_GT(m1.num_completed, 0);
+  EXPECT_EQ(m1.num_requests, m2.num_requests);
+  EXPECT_EQ(m1.num_batches, m2.num_batches);
+  EXPECT_EQ(m1.p50_latency, m2.p50_latency);
+  EXPECT_EQ(m1.p99_latency, m2.p99_latency);
+  EXPECT_EQ(m1.max_latency, m2.max_latency);
+  EXPECT_DOUBLE_EQ(m1.mean_latency_ms, m2.mean_latency_ms);
+  EXPECT_DOUBLE_EQ(m1.goodput_rps, m2.goodput_rps);
+}
+
+TEST(DeterminismTest, ServeEngineCorun) {
+  ServeConfig config;
+  config.gpu = GpuSpec::V100();
+  config.profile = SystemProfile::TensorFlowXla();
+  config.arrivals.rate_rps = 50.0;
+  config.arrivals.seed = 5;
+  config.horizon = Ms(300);
+  config.slo = Ms(40);
+  config.batcher.max_queue_delay = Ms(1);
+  config.make_model = [](int b) { return ResNet(50, b, 224); };
+  const ServeEngine engine(config);
+
+  const NnModel train_model = DenseNet(121, 24, 32, 224);
+  const TrainGraph graph(&train_model);
+  const IterationSchedule schedule =
+      MakeOooSchedule(graph, config.gpu, config.profile).schedule;
+
+  const ServeCorunResult r1 = engine.RunCorun(train_model, schedule, 10);
+  const ServeCorunResult r2 = engine.RunCorun(train_model, schedule, 10);
+  EXPECT_GT(r1.serve.num_completed, 0);
+  EXPECT_EQ(r1.serve.num_requests, r2.serve.num_requests);
+  EXPECT_EQ(r1.serve.p50_latency, r2.serve.p50_latency);
+  EXPECT_EQ(r1.serve.p99_latency, r2.serve.p99_latency);
+  EXPECT_EQ(r1.train.iteration_time, r2.train.iteration_time);
+  EXPECT_EQ(r1.train.peak_memory_bytes, r2.train.peak_memory_bytes);
 }
 
 }  // namespace

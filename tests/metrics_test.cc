@@ -1,0 +1,61 @@
+// MetricsToKv (src/runtime/metrics.h): the flattened key set is stable API —
+// golden files and scenario post-processing reference the keys by name.
+
+#include "src/runtime/metrics.h"
+
+#include <gtest/gtest.h>
+
+#include <string>
+#include <vector>
+
+#include "src/common/time.h"
+
+namespace oobp {
+namespace {
+
+TEST(MetricsTest, KvKeysAreStable) {
+  const std::vector<MetricKv> kv = MetricsToKv(TrainMetrics{});
+  const std::vector<std::string> expected = {
+      "iteration_ms",   "throughput",     "gpu_utilization",
+      "comm_comp_ratio", "peak_memory_mb", "oom",
+  };
+  ASSERT_EQ(kv.size(), expected.size());
+  for (size_t i = 0; i < expected.size(); ++i) {
+    EXPECT_EQ(kv[i].key, expected[i]) << "at index " << i;
+  }
+}
+
+TEST(MetricsTest, KvAppliesPrefix) {
+  TrainMetrics m;
+  m.iteration_time = Ms(5);
+  const std::vector<MetricKv> kv = MetricsToKv(m, "rps50.train.");
+  ASSERT_FALSE(kv.empty());
+  for (const MetricKv& e : kv) {
+    EXPECT_EQ(e.key.rfind("rps50.train.", 0), 0u) << e.key;
+  }
+  EXPECT_EQ(kv[0].key, "rps50.train.iteration_ms");
+  EXPECT_DOUBLE_EQ(kv[0].value, 5.0);
+}
+
+TEST(MetricsTest, KvConvertsUnitsAndFlags) {
+  TrainMetrics m;
+  m.iteration_time = Ms(123);
+  m.throughput = 456.5;
+  m.gpu_utilization = 0.875;
+  m.comm_comp_ratio = 0.25;
+  m.peak_memory_bytes = 1500000000;
+  m.oom = true;
+  const std::vector<MetricKv> kv = MetricsToKv(m);
+  EXPECT_DOUBLE_EQ(kv[0].value, 123.0);     // ms
+  EXPECT_DOUBLE_EQ(kv[1].value, 456.5);
+  EXPECT_DOUBLE_EQ(kv[2].value, 0.875);
+  EXPECT_DOUBLE_EQ(kv[3].value, 0.25);
+  EXPECT_DOUBLE_EQ(kv[4].value, 1500.0);    // MB
+  EXPECT_DOUBLE_EQ(kv[5].value, 1.0);       // oom flag
+
+  m.oom = false;
+  EXPECT_DOUBLE_EQ(MetricsToKv(m)[5].value, 0.0);
+}
+
+}  // namespace
+}  // namespace oobp

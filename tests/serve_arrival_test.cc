@@ -1,0 +1,116 @@
+// Arrival-generator contract (src/serve/arrival.h): traces are
+// bit-deterministic in the spec, strictly increasing within the horizon,
+// hit the requested mean rate, and the MMPP generator is measurably
+// burstier than the Poisson one at the same mean rate.
+
+#include "src/serve/arrival.h"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <vector>
+
+#include "src/common/time.h"
+
+namespace oobp {
+namespace {
+
+double MeanRateRps(const std::vector<TimeNs>& ts, TimeNs horizon) {
+  return static_cast<double>(ts.size()) /
+         (static_cast<double>(horizon) / 1e9);
+}
+
+// Coefficient of variation of inter-arrival gaps; ~1 for Poisson, > 1 for
+// a bursty (over-dispersed) process.
+double InterArrivalCv(const std::vector<TimeNs>& ts) {
+  std::vector<double> gaps;
+  for (size_t i = 1; i < ts.size(); ++i) {
+    gaps.push_back(static_cast<double>(ts[i] - ts[i - 1]));
+  }
+  double mean = 0.0;
+  for (double g : gaps) {
+    mean += g;
+  }
+  mean /= static_cast<double>(gaps.size());
+  double var = 0.0;
+  for (double g : gaps) {
+    var += (g - mean) * (g - mean);
+  }
+  var /= static_cast<double>(gaps.size());
+  return std::sqrt(var) / mean;
+}
+
+TEST(ArrivalTest, DeterministicAcrossCalls) {
+  for (ArrivalKind kind : {ArrivalKind::kPoisson, ArrivalKind::kBursty}) {
+    ArrivalSpec spec;
+    spec.kind = kind;
+    spec.rate_rps = 500.0;
+    spec.seed = 42;
+    const std::vector<TimeNs> a = GenerateArrivals(spec, Ms(500));
+    const std::vector<TimeNs> b = GenerateArrivals(spec, Ms(500));
+    EXPECT_EQ(a, b);
+  }
+}
+
+TEST(ArrivalTest, SeedSelectsTrace) {
+  ArrivalSpec spec;
+  spec.rate_rps = 500.0;
+  spec.seed = 1;
+  const std::vector<TimeNs> a = GenerateArrivals(spec, Ms(500));
+  spec.seed = 2;
+  const std::vector<TimeNs> b = GenerateArrivals(spec, Ms(500));
+  EXPECT_NE(a, b);
+}
+
+TEST(ArrivalTest, StrictlyIncreasingWithinHorizon) {
+  for (ArrivalKind kind : {ArrivalKind::kPoisson, ArrivalKind::kBursty}) {
+    ArrivalSpec spec;
+    spec.kind = kind;
+    spec.rate_rps = 20000.0;  // high rate provokes 1 ns ties
+    spec.seed = 7;
+    const TimeNs horizon = Ms(100);
+    const std::vector<TimeNs> ts = GenerateArrivals(spec, horizon);
+    ASSERT_FALSE(ts.empty());
+    EXPECT_GE(ts.front(), 0);
+    EXPECT_LT(ts.back(), horizon);
+    for (size_t i = 1; i < ts.size(); ++i) {
+      EXPECT_LT(ts[i - 1], ts[i]) << "at index " << i;
+    }
+  }
+}
+
+TEST(ArrivalTest, PoissonMeanRate) {
+  ArrivalSpec spec;
+  spec.rate_rps = 1000.0;
+  spec.seed = 3;
+  const std::vector<TimeNs> ts = GenerateArrivals(spec, Ms(10000));
+  // ~10000 samples: the empirical rate should sit well within 5%.
+  EXPECT_NEAR(MeanRateRps(ts, Ms(10000)), 1000.0, 50.0);
+}
+
+TEST(ArrivalTest, BurstyMeanRateMatchesSpec) {
+  ArrivalSpec spec;
+  spec.kind = ArrivalKind::kBursty;
+  spec.rate_rps = 1000.0;
+  spec.seed = 3;
+  const std::vector<TimeNs> ts = GenerateArrivals(spec, Ms(10000));
+  // Phase modulation adds variance; 10% band over a 10 s window.
+  EXPECT_NEAR(MeanRateRps(ts, Ms(10000)), 1000.0, 100.0);
+}
+
+TEST(ArrivalTest, BurstyIsOverdispersed) {
+  ArrivalSpec poisson;
+  poisson.rate_rps = 2000.0;
+  poisson.seed = 11;
+  ArrivalSpec bursty = poisson;
+  bursty.kind = ArrivalKind::kBursty;
+  const std::vector<TimeNs> p = GenerateArrivals(poisson, Ms(5000));
+  const std::vector<TimeNs> b = GenerateArrivals(bursty, Ms(5000));
+  const double cv_p = InterArrivalCv(p);
+  const double cv_b = InterArrivalCv(b);
+  EXPECT_NEAR(cv_p, 1.0, 0.1);  // exponential gaps
+  EXPECT_GT(cv_b, cv_p * 1.2);  // MMPP clearly burstier
+}
+
+}  // namespace
+}  // namespace oobp

@@ -1,0 +1,142 @@
+// DynamicBatcher semantics (src/serve/batcher.h): dispatch on a full batch
+// or an expired deadline, whichever first; at most max_inflight batches on
+// the device; arrival order preserved across batches.
+
+#include "src/serve/batcher.h"
+
+#include <gtest/gtest.h>
+
+#include <cstdint>
+#include <vector>
+
+#include "src/common/time.h"
+#include "src/sim/engine.h"
+
+namespace oobp {
+namespace {
+
+struct Dispatched {
+  TimeNs when;
+  std::vector<int64_t> ids;
+};
+
+TEST(BatcherTest, FullBatchDispatchesImmediately) {
+  SimEngine engine;
+  BatcherConfig config;
+  config.max_batch = 2;
+  config.max_queue_delay = Ms(5);
+  config.max_inflight = 4;
+  std::vector<Dispatched> out;
+  DynamicBatcher batcher(&engine, config,
+                         [&](const std::vector<int64_t>& ids) {
+                           out.push_back({engine.now(), ids});
+                         });
+  engine.ScheduleAt(1000, [&] { batcher.OnRequest(0); });
+  engine.ScheduleAt(2000, [&] { batcher.OnRequest(1); });
+  engine.Run();
+
+  // The second arrival completes the batch — no deadline wait.
+  ASSERT_EQ(out.size(), 1u);
+  EXPECT_EQ(out[0].when, 2000);
+  EXPECT_EQ(out[0].ids, (std::vector<int64_t>{0, 1}));
+  EXPECT_EQ(batcher.queue_depth(), 0);
+}
+
+TEST(BatcherTest, DeadlineDispatchesPartialBatch) {
+  SimEngine engine;
+  BatcherConfig config;
+  config.max_batch = 8;
+  config.max_queue_delay = Ms(1);
+  config.max_inflight = 4;
+  std::vector<Dispatched> out;
+  DynamicBatcher batcher(&engine, config,
+                         [&](const std::vector<int64_t>& ids) {
+                           out.push_back({engine.now(), ids});
+                         });
+  engine.ScheduleAt(1000, [&] { batcher.OnRequest(0); });
+  engine.Run();
+
+  // Never fills: dispatched alone when the oldest request ages out.
+  ASSERT_EQ(out.size(), 1u);
+  EXPECT_EQ(out[0].when, 1000 + Ms(1));
+  EXPECT_EQ(out[0].ids, (std::vector<int64_t>{0}));
+}
+
+TEST(BatcherTest, DeadlineRunsOffOldestRequest) {
+  SimEngine engine;
+  BatcherConfig config;
+  config.max_batch = 8;
+  config.max_queue_delay = Ms(1);
+  config.max_inflight = 4;
+  std::vector<Dispatched> out;
+  DynamicBatcher batcher(&engine, config,
+                         [&](const std::vector<int64_t>& ids) {
+                           out.push_back({engine.now(), ids});
+                         });
+  engine.ScheduleAt(1000, [&] { batcher.OnRequest(0); });
+  engine.ScheduleAt(1000 + Ms(1) / 2, [&] { batcher.OnRequest(1); });
+  engine.Run();
+
+  // Both ride the deadline of request 0, not of the later arrival.
+  ASSERT_EQ(out.size(), 1u);
+  EXPECT_EQ(out[0].when, 1000 + Ms(1));
+  EXPECT_EQ(out[0].ids, (std::vector<int64_t>{0, 1}));
+}
+
+TEST(BatcherTest, InflightCapHoldsFullBatches) {
+  SimEngine engine;
+  BatcherConfig config;
+  config.max_batch = 1;
+  config.max_queue_delay = Ms(1);
+  config.max_inflight = 1;
+  std::vector<Dispatched> out;
+  DynamicBatcher batcher(&engine, config,
+                         [&](const std::vector<int64_t>& ids) {
+                           out.push_back({engine.now(), ids});
+                         });
+  engine.ScheduleAt(0, [&] { batcher.OnRequest(0); });
+  engine.ScheduleAt(10, [&] { batcher.OnRequest(1); });
+  engine.ScheduleAt(20, [&] { batcher.OnRequest(2); });
+  // Device frees a slot at 2 ms and 4 ms.
+  engine.ScheduleAt(Ms(2), [&] { batcher.OnBatchDone(); });
+  engine.ScheduleAt(Ms(4), [&] { batcher.OnBatchDone(); });
+  engine.Run();
+
+  // Batch {0} goes out immediately; {1} and {2} are full but must wait for
+  // an inflight slot, well past their 1 ms deadline.
+  ASSERT_EQ(out.size(), 3u);
+  EXPECT_EQ(out[0].when, 0);
+  EXPECT_EQ(out[1].when, Ms(2));
+  EXPECT_EQ(out[2].when, Ms(4));
+  EXPECT_EQ(out[1].ids, (std::vector<int64_t>{1}));
+  EXPECT_EQ(out[2].ids, (std::vector<int64_t>{2}));
+  EXPECT_EQ(batcher.inflight(), 1);  // third batch never reported done
+}
+
+TEST(BatcherTest, PreservesArrivalOrderAndSizeCap) {
+  SimEngine engine;
+  BatcherConfig config;
+  config.max_batch = 3;
+  config.max_queue_delay = Ms(1);
+  config.max_inflight = 4;
+  std::vector<Dispatched> out;
+  DynamicBatcher batcher(&engine, config,
+                         [&](const std::vector<int64_t>& ids) {
+                           out.push_back({engine.now(), ids});
+                         });
+  for (int64_t i = 0; i < 7; ++i) {
+    engine.ScheduleAt(100 * i, [&batcher, i] { batcher.OnRequest(i); });
+  }
+  engine.Run();
+
+  std::vector<int64_t> all;
+  for (const Dispatched& d : out) {
+    EXPECT_GE(static_cast<int>(d.ids.size()), 1);
+    EXPECT_LE(static_cast<int>(d.ids.size()), config.max_batch);
+    all.insert(all.end(), d.ids.begin(), d.ids.end());
+  }
+  EXPECT_EQ(all, (std::vector<int64_t>{0, 1, 2, 3, 4, 5, 6}));
+}
+
+}  // namespace
+}  // namespace oobp

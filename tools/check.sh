@@ -1,9 +1,12 @@
 #!/usr/bin/env bash
-# One-shot health check, three tiers:
+# One-shot health check, four tiers:
 #   1. Release build: unit-test tier + unit-time toy scenarios vs goldens.
 #   2. ASan+UBSan build (-DOOBP_SANITIZE=ON): unit-test tier under the
 #      sanitizers (catches lifetime bugs in the event slab / callback moves).
-#   3. Perf smoke: one `oobp bench --perf` pass over the fig07 scenarios with
+#   3. Serve: serve-labeled ctest tier + the serve_* scenarios against their
+#      goldens (BENCH_serve_*.json), which pin the headline serving claim —
+#      ooo-backprop co-run tightens inference p99 at <= 2% training cost.
+#   4. Perf smoke: one `oobp bench --perf` pass over the fig07 scenarios with
 #      the golden gate on — asserts the fast path still produces the exact
 #      golden values while exercising the wall-clock harness.
 #
@@ -30,7 +33,13 @@ cmake --build "${ASAN_DIR}" -j"$(nproc)"
 
 ctest --test-dir "${ASAN_DIR}" -L unit --output-on-failure
 
-# --- Tier 3: perf smoke with the golden gate on --------------------------
+# --- Tier 3: serving subsystem: serve tests + serve goldens ---------------
+ctest --test-dir "${BUILD_DIR}" -L serve --output-on-failure
+
+"${BUILD_DIR}/tools/oobp" bench --filter 'serve_*' --jobs 0 \
+    --out "${BUILD_DIR}" --golden "${REPO_ROOT}/bench/golden"
+
+# --- Tier 4: perf smoke with the golden gate on --------------------------
 "${BUILD_DIR}/tools/oobp" bench --perf --warmup 0 --repeats 1 --jobs 0 \
     --out "${BUILD_DIR}" --golden "${REPO_ROOT}/bench/golden"
 

@@ -186,14 +186,7 @@ int RunSingle(const Flags& flags) {
   TraceRecorder trace;
   TrainMetrics metrics;
   if (system == "ooo") {
-    const CostModel cost(gpu, config.profile);
-    const CorunProfiler profiler(graph, cost, BuildRegions(graph));
-    JointScheduleOptions opts;
-    const MemoryTimeline conv = EstimateBackpropMemory(
-        model, ConventionalIteration(graph).MergedOrder());
-    opts.memory_cap_bytes = static_cast<int64_t>(1.1 * conv.peak);
-    const JointScheduleResult sched =
-        MultiRegionJointSchedule(graph, profiler, opts);
+    const JointScheduleResult sched = MakeOooSchedule(graph, gpu, config.profile);
     const std::string export_path = flags.Get("export-schedule", "");
     if (!export_path.empty() &&
         WriteScheduleFile(export_path, sched.schedule, model.name,
