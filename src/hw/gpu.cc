@@ -3,6 +3,8 @@
 #include <algorithm>
 #include <utility>
 
+#include "src/hw/validation_hooks.h"
+
 namespace oobp {
 
 Gpu::Gpu(SimEngine* engine, GpuSpec spec, TraceRecorder* trace,
@@ -14,6 +16,15 @@ Gpu::Gpu(SimEngine* engine, GpuSpec spec, TraceRecorder* trace,
       slots_(engine, static_cast<double>(spec_.slot_capacity())) {
   OOBP_CHECK(engine != nullptr);
   OOBP_CHECK_GT(spec_.slot_capacity(), 0);
+  if (HwValidationHooks* hooks = ActiveHwValidationHooks()) {
+    hooks->OnGpuCreated(this);
+  }
+}
+
+Gpu::~Gpu() {
+  if (observer_ != nullptr) {
+    observer_->OnGpuDestroyed(*this);
+  }
 }
 
 StreamId Gpu::CreateStream(int priority) {
@@ -55,6 +66,9 @@ KernelId Gpu::Enqueue(StreamId stream, KernelDesc desc, const KernelId* deps,
   kernels_.push_back(std::move(k));
   streams_[stream].queue.push_back(id);
   MaybeDispatch(stream);
+  if (observer_ != nullptr) {
+    observer_->OnKernelEnqueued(*this, id, deps, num_deps);
+  }
   return id;
 }
 
@@ -74,6 +88,36 @@ TimeNs Gpu::StartTime(KernelId id) const {
   OOBP_CHECK_LT(id, static_cast<KernelId>(kernels_.size()));
   OOBP_CHECK(kernels_[id].started);
   return kernels_[id].start_time;
+}
+
+bool Gpu::Started(KernelId id) const {
+  OOBP_CHECK_GE(id, 0);
+  OOBP_CHECK_LT(id, static_cast<KernelId>(kernels_.size()));
+  return kernels_[id].started;
+}
+
+StreamId Gpu::KernelStream(KernelId id) const {
+  OOBP_CHECK_GE(id, 0);
+  OOBP_CHECK_LT(id, static_cast<KernelId>(kernels_.size()));
+  return kernels_[id].stream;
+}
+
+TimeNs Gpu::KernelEnqueueTime(KernelId id) const {
+  OOBP_CHECK_GE(id, 0);
+  OOBP_CHECK_LT(id, static_cast<KernelId>(kernels_.size()));
+  return kernels_[id].enqueue_time;
+}
+
+const KernelDesc& Gpu::KernelDescOf(KernelId id) const {
+  OOBP_CHECK_GE(id, 0);
+  OOBP_CHECK_LT(id, static_cast<KernelId>(kernels_.size()));
+  return kernels_[id].desc;
+}
+
+int Gpu::StreamPriority(StreamId stream) const {
+  OOBP_CHECK_GE(stream, 0);
+  OOBP_CHECK_LT(stream, static_cast<StreamId>(streams_.size()));
+  return streams_[stream].priority;
 }
 
 void Gpu::MaybeDispatch(StreamId stream) {
@@ -103,6 +147,9 @@ void Gpu::BeginExecution(KernelId id) {
   const double work = static_cast<double>(k.desc.solo_duration) * max_rate;
   const int priority = streams_[k.stream].priority;
   slots_.Add(work, max_rate, priority, [this, id] { FinishKernel(id); });
+  if (observer_ != nullptr) {
+    observer_->OnKernelStarted(*this, id);
+  }
 }
 
 void Gpu::FinishKernel(KernelId id) {
@@ -131,6 +178,9 @@ void Gpu::FinishKernel(KernelId id) {
       ev.duration = k.done_time - k.start_time;
       trace_->Add(ev);
     }
+  }
+  if (observer_ != nullptr) {
+    observer_->OnKernelFinished(*this, id);
   }
 
   Stream& s = streams_[stream];

@@ -51,11 +51,38 @@ struct KernelDesc {
   std::vector<KernelId> deps;  // cross-stream dependencies (must be enqueued)
 };
 
+class Gpu;
+
+// Passive per-event observer, attached by the validation layer (see
+// src/hw/validation_hooks.h and src/validate/). Callbacks fire after the
+// GPU's own bookkeeping for the event, so observers can query the public
+// accessors for consistent state. Observers must not mutate the GPU. An
+// attached observer must outlive the Gpu (the destructor notifies it).
+class GpuObserver {
+ public:
+  virtual ~GpuObserver() = default;
+  // `deps` is the resolved dependency span for this enqueue (valid only for
+  // the duration of the call; it may differ from KernelDescOf(id).deps when
+  // the span-based Enqueue overload was used).
+  virtual void OnKernelEnqueued(const Gpu& gpu, KernelId id,
+                                const KernelId* deps, size_t num_deps) {
+    (void)gpu, (void)id, (void)deps, (void)num_deps;
+  }
+  virtual void OnKernelStarted(const Gpu& gpu, KernelId id) {
+    (void)gpu, (void)id;
+  }
+  virtual void OnKernelFinished(const Gpu& gpu, KernelId id) {
+    (void)gpu, (void)id;
+  }
+  virtual void OnGpuDestroyed(const Gpu& gpu) { (void)gpu; }
+};
+
 class Gpu {
  public:
   // `trace` may be null. Stream `s` traces onto track `trace_track_base + s`.
   Gpu(SimEngine* engine, GpuSpec spec, TraceRecorder* trace = nullptr,
       int trace_track_base = 0);
+  ~Gpu();
   Gpu(const Gpu&) = delete;
   Gpu& operator=(const Gpu&) = delete;
 
@@ -99,6 +126,19 @@ class Gpu {
   // SM-slot busy integral (slot-ns); divide by capacity * elapsed for
   // utilization.
   double SmBusyIntegral() const { return slots_.busy_integral(); }
+
+  // Read-only accessors for validators and tests.
+  const SimEngine& engine() const { return *engine_; }
+  const FluidProcessor& slots() const { return slots_; }
+  bool Started(KernelId id) const;
+  StreamId KernelStream(KernelId id) const;
+  TimeNs KernelEnqueueTime(KernelId id) const;
+  const KernelDesc& KernelDescOf(KernelId id) const;
+  int StreamPriority(StreamId stream) const;
+
+  // At most one observer; pass nullptr to detach. Normally installed through
+  // the thread-local validation hooks, not called directly.
+  void SetObserver(GpuObserver* observer) { observer_ = observer; }
 
  private:
   struct Kernel {
@@ -144,6 +184,7 @@ class Gpu {
   std::vector<Kernel> kernels_;
   size_t completed_ = 0;
   std::vector<std::function<void(KernelId)>> done_listeners_;
+  GpuObserver* observer_ = nullptr;
 };
 
 }  // namespace oobp

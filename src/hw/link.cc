@@ -5,6 +5,7 @@
 #include <utility>
 
 #include "src/common/check.h"
+#include "src/hw/validation_hooks.h"
 
 namespace oobp {
 
@@ -26,6 +27,15 @@ Link::Link(SimEngine* engine, LinkSpec spec, int64_t chunk_bytes,
   OOBP_CHECK_GT(spec_.bandwidth_gbps, 0.0);
   OOBP_CHECK_GT(chunk_bytes, 0);
   OOBP_CHECK_GE(commit_window_bytes, 0);
+  if (HwValidationHooks* hooks = ActiveHwValidationHooks()) {
+    hooks->OnLinkCreated(this);
+  }
+}
+
+Link::~Link() {
+  if (observer_ != nullptr) {
+    observer_->OnLinkDestroyed(*this);
+  }
 }
 
 TimeNs Link::SerializationTime(int64_t bytes) const {
@@ -51,6 +61,9 @@ Link::TransferId Link::Transfer(int64_t bytes, int priority, std::string name,
   msg.on_complete = std::move(on_complete);
   pending_.emplace(std::make_pair(priority, id), std::move(msg));
   done_[id] = false;
+  if (observer_ != nullptr) {
+    observer_->OnTransferSubmitted(*this, id, bytes, priority);
+  }
   RefillAndStart();
   return id;
 }
@@ -116,6 +129,9 @@ void Link::StartNextChunk() {
       }
       done_[m.seq] = true;
       ++completed_count_;
+      if (observer_ != nullptr) {
+        observer_->OnTransferCompleted(*this, m.seq);
+      }
       auto cb = std::move(m.on_complete);
       committed_.pop_front();
       if (cb) {

@@ -38,6 +38,25 @@ struct LinkSpec {
   static LinkSpec Eth25G();   // 3.125 GB/s
 };
 
+class Link;
+
+// Passive per-transfer observer, attached by the validation layer (see
+// src/hw/validation_hooks.h and src/validate/). Same contract as GpuObserver:
+// callbacks fire after the link's own bookkeeping, observers must not mutate
+// the link and must outlive it.
+class LinkObserver {
+ public:
+  virtual ~LinkObserver() = default;
+  virtual void OnTransferSubmitted(const Link& link, int64_t id, int64_t bytes,
+                                   int priority) {
+    (void)link, (void)id, (void)bytes, (void)priority;
+  }
+  virtual void OnTransferCompleted(const Link& link, int64_t id) {
+    (void)link, (void)id;
+  }
+  virtual void OnLinkDestroyed(const Link& link) { (void)link; }
+};
+
 class Link {
  public:
   using TransferId = int64_t;
@@ -56,6 +75,7 @@ class Link {
   Link(SimEngine* engine, LinkSpec spec, int64_t chunk_bytes = 1 << 20,
        TraceRecorder* trace = nullptr, int track = 200,
        int64_t commit_window_bytes = 0);
+  ~Link();
   Link(const Link&) = delete;
   Link& operator=(const Link&) = delete;
 
@@ -69,6 +89,11 @@ class Link {
   size_t pending() const { return pending_.size(); }
   TimeNs busy_time() const { return busy_time_; }
   const LinkSpec& spec() const { return spec_; }
+  const SimEngine& engine() const { return *engine_; }
+
+  // At most one observer; pass nullptr to detach. Normally installed through
+  // the thread-local validation hooks, not called directly.
+  void SetObserver(LinkObserver* observer) { observer_ = observer; }
 
   // Nanoseconds to move `bytes` at link bandwidth (excluding latency).
   TimeNs SerializationTime(int64_t bytes) const;
@@ -107,6 +132,7 @@ class Link {
   int64_t committed_bytes_ = 0;
   int64_t completed_count_ = 0;
   std::map<TransferId, bool> done_;
+  LinkObserver* observer_ = nullptr;
 };
 
 }  // namespace oobp

@@ -1,0 +1,17 @@
+#include "src/hw/validation_hooks.h"
+
+namespace oobp {
+
+namespace {
+thread_local HwValidationHooks* t_active_hooks = nullptr;
+}  // namespace
+
+HwValidationHooks* ActiveHwValidationHooks() { return t_active_hooks; }
+
+HwValidationHooks* SetHwValidationHooks(HwValidationHooks* hooks) {
+  HwValidationHooks* prev = t_active_hooks;
+  t_active_hooks = hooks;
+  return prev;
+}
+
+}  // namespace oobp

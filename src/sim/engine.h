@@ -54,6 +54,10 @@ class SimEngine {
   bool empty() const { return heap_.empty(); }
   uint64_t processed_events() const { return processed_; }
   size_t pending_events() const { return heap_.size(); }
+  // Total slab slots ever allocated (live + free-listed); a sequence of
+  // schedule/fire/cancel cycles that keeps pending_events bounded must keep
+  // this bounded too, or slots are leaking.
+  size_t slab_slots() const { return slots_.size(); }
 
   // Process-wide count of events processed by engines that have been
   // destroyed (each engine flushes its tally in its destructor). The perf

@@ -91,6 +91,14 @@ double FluidProcessor::RateOf(FluidJobId id) const {
   return it == jobs_.end() ? 0.0 : it->rate;
 }
 
+double FluidProcessor::allocated_rate() const {
+  double total = 0.0;
+  for (const Job& job : jobs_) {
+    total += job.rate;
+  }
+  return total;
+}
+
 void FluidProcessor::Advance() {
   const TimeNs now = engine_->now();
   OOBP_CHECK_GE(now, last_update_);

@@ -64,6 +64,10 @@ class FluidProcessor {
   // Current allocated rate of a job (0 if starved); for tests and traces.
   double RateOf(FluidJobId id) const;
 
+  // Sum of all jobs' current rates; never exceeds capacity (validators
+  // assert this at every simulation event).
+  double allocated_rate() const;
+
  private:
   struct Job {
     double remaining;      // work left, in rate*ns

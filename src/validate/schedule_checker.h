@@ -1,0 +1,54 @@
+// Schedule equivalence and memory-timeline checking.
+//
+// The core correctness claim of out-of-order backprop (Algorithm 1) is that
+// a reordered schedule is a *dependency-preserving permutation* of the
+// conventional iteration: the same op multiset, with every true data
+// dependency of training still respected. CheckIterationSchedule proves this
+// for a concrete IterationSchedule, independently of the scheduler that
+// produced it.
+//
+// CheckMemoryTimeline recomputes the activation-memory timeline of a
+// backprop order from first principles (per-tensor liveness intervals) and
+// compares it against an EstimateBackpropMemory result, so the scheduler's
+// memory-cap decisions rest on an independently verified model.
+
+#ifndef OOBP_SRC_VALIDATE_SCHEDULE_CHECKER_H_
+#define OOBP_SRC_VALIDATE_SCHEDULE_CHECKER_H_
+
+#include <string>
+#include <vector>
+
+#include "src/core/memory_model.h"
+#include "src/core/schedule.h"
+#include "src/nn/train_graph.h"
+
+namespace oobp {
+
+struct ScheduleCheckReport {
+  std::vector<std::string> errors;
+  bool ok() const { return errors.empty(); }
+  std::string ToString() const;
+};
+
+// Verifies that `schedule` is a valid reordering of one training iteration
+// of `graph`:
+//   * its op multiset equals ConventionalIteration's (permutation);
+//   * dO ops appear in descending layer order, F ops in ascending order,
+//     and every dO precedes every F (backprop before the next forward);
+//   * dW_i appears after its producer dO_{i+1} (i < L-1);
+//   * U_i appears after dW_i and before F_i (the engine's F_i -> U_i
+//     dependency is positional, so issue order must respect it);
+//   * every wait_for_index points backwards at a main-stream op.
+ScheduleCheckReport CheckIterationSchedule(const TrainGraph& graph,
+                                           const IterationSchedule& schedule);
+
+// Recomputes the memory timeline of `order` (a full-iteration merged order;
+// non-backprop ops participate with their current live set) using interval
+// liveness and compares every field of `timeline` exactly.
+ScheduleCheckReport CheckMemoryTimeline(const NnModel& model,
+                                        const std::vector<TrainOp>& order,
+                                        const MemoryTimeline& timeline);
+
+}  // namespace oobp
+
+#endif  // OOBP_SRC_VALIDATE_SCHEDULE_CHECKER_H_

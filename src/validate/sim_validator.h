@@ -1,0 +1,154 @@
+// Simulation invariant validator.
+//
+// Attaches to every Gpu and Link a scenario constructs (through the
+// thread-local hooks in src/hw/validation_hooks.h) and checks, at each
+// simulation event, that the timeline the simulator produces is physically
+// and semantically possible on real hardware:
+//
+//   * time monotonicity       — observed event timestamps never decrease
+//                               per device;
+//   * stream FIFO             — kernels of one stream start and finish in
+//                               enqueue order (CUDA stream semantics);
+//   * happens-before          — a kernel starts only after every declared
+//                               dependency finished (cudaStreamWaitEvent),
+//                               and no earlier than its enqueue time plus
+//                               the per-kernel SM setup gap;
+//   * occupancy               — the fluid processor's total allocated SM
+//                               slot rate never exceeds device capacity, and
+//                               the busy integral never exceeds capacity x
+//                               elapsed time;
+//   * duration floor          — a kernel's span is never shorter than its
+//                               solo duration (contention only slows);
+//   * link conservation       — a transfer takes at least latency +
+//                               bytes/bandwidth, and the link never moves
+//                               more bytes than bandwidth x elapsed allows.
+//
+// The validator is an observer: it never mutates simulation state, so a
+// validated run produces byte-identical results to an unvalidated one.
+// Violations are collected (not fatal) so a fuzzer can report all failures
+// of a seed at once.
+
+#ifndef OOBP_SRC_VALIDATE_SIM_VALIDATOR_H_
+#define OOBP_SRC_VALIDATE_SIM_VALIDATOR_H_
+
+#include <cstdint>
+#include <map>
+#include <string>
+#include <vector>
+
+#include "src/common/time.h"
+#include "src/hw/gpu.h"
+#include "src/hw/link.h"
+#include "src/hw/validation_hooks.h"
+
+namespace oobp {
+
+class SimValidator : public HwValidationHooks,
+                     public GpuObserver,
+                     public LinkObserver {
+ public:
+  SimValidator() = default;
+  SimValidator(const SimValidator&) = delete;
+  SimValidator& operator=(const SimValidator&) = delete;
+
+  // HwValidationHooks — devices created while this validator is installed.
+  void OnGpuCreated(Gpu* gpu) override;
+  void OnLinkCreated(Link* link) override;
+
+  // GpuObserver.
+  void OnKernelEnqueued(const Gpu& gpu, KernelId id, const KernelId* deps,
+                        size_t num_deps) override;
+  void OnKernelStarted(const Gpu& gpu, KernelId id) override;
+  void OnKernelFinished(const Gpu& gpu, KernelId id) override;
+  void OnGpuDestroyed(const Gpu& gpu) override;
+
+  // LinkObserver.
+  void OnTransferSubmitted(const Link& link, int64_t id, int64_t bytes,
+                           int priority) override;
+  void OnTransferCompleted(const Link& link, int64_t id) override;
+  void OnLinkDestroyed(const Link& link) override;
+
+  bool ok() const { return total_violations_ == 0; }
+  // First violations, capped (see kMaxStoredViolations); total_violations()
+  // counts all of them.
+  const std::vector<std::string>& violations() const { return violations_; }
+  int64_t total_violations() const { return total_violations_; }
+  std::string Summary() const;
+
+  // Coverage counters: a passing validation run over zero events proves
+  // nothing, so tests assert these too.
+  int64_t gpus_observed() const { return gpus_observed_; }
+  int64_t links_observed() const { return links_observed_; }
+  int64_t kernels_finished() const { return kernels_finished_; }
+  int64_t transfers_completed() const { return transfers_completed_; }
+
+ private:
+  static constexpr int kMaxStoredViolations = 64;
+
+  struct KernelRecord {
+    TimeNs enqueue = -1;
+    TimeNs start = -1;
+    TimeNs done = -1;
+    StreamId stream = 0;
+    TimeNs solo_duration = 0;
+    std::vector<KernelId> deps;
+  };
+  struct StreamState {
+    std::vector<KernelId> order;  // enqueue order
+    size_t next_start = 0;        // frontier into `order`
+    size_t next_finish = 0;
+  };
+  struct GpuState {
+    std::vector<KernelRecord> kernels;
+    std::vector<StreamState> streams;
+    TimeNs last_event = 0;
+    double capacity = 0.0;
+    TimeNs exec_overhead = 0;
+  };
+  struct TransferRecord {
+    TimeNs submit = -1;
+    int64_t bytes = 0;
+    bool done = false;
+  };
+  struct LinkState {
+    std::map<int64_t, TransferRecord> transfers;
+    TimeNs first_submit = -1;
+    int64_t completed_bytes = 0;
+    TimeNs last_event = 0;
+  };
+
+  void AddViolation(std::string message);
+  // Shared per-event checks: device-local time monotonicity and the
+  // occupancy-at-this-instant bound.
+  GpuState* CommonGpuChecks(const Gpu& gpu, const char* event);
+  LinkState* CommonLinkChecks(const Link& link, const char* event);
+
+  std::map<const Gpu*, GpuState> gpus_;
+  std::map<const Link*, LinkState> links_;
+  std::vector<std::string> violations_;
+  int64_t total_violations_ = 0;
+  int64_t gpus_observed_ = 0;
+  int64_t links_observed_ = 0;
+  int64_t kernels_finished_ = 0;
+  int64_t transfers_completed_ = 0;
+};
+
+// RAII installation of a validator as the calling thread's active hooks;
+// restores the previous hooks on destruction. Devices constructed inside the
+// scope are validated; the scope must outlive them (engines destroy their
+// devices before returning, so wrapping an engine Run() call is safe).
+class ValidationScope {
+ public:
+  explicit ValidationScope(SimValidator* validator)
+      : prev_(SetHwValidationHooks(validator)) {}
+  ~ValidationScope() { SetHwValidationHooks(prev_); }
+  ValidationScope(const ValidationScope&) = delete;
+  ValidationScope& operator=(const ValidationScope&) = delete;
+
+ private:
+  HwValidationHooks* prev_;
+};
+
+}  // namespace oobp
+
+#endif  // OOBP_SRC_VALIDATE_SIM_VALIDATOR_H_

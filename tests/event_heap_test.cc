@@ -108,6 +108,62 @@ TEST(EventHeapTest, StaleHandleDoesNotCancelSlotReuser) {
   EXPECT_TRUE(second);
 }
 
+TEST(EventHeapTest, CancelThenRescheduleIsSafe) {
+  SimEngine engine;
+  int fired = -1;
+  SimEngine::TimerHandle h = engine.ScheduleAt(10, [&] { fired = 1; });
+  EXPECT_TRUE(engine.Cancel(h));
+  // The freed slot may be handed to the replacement; the stale handle must
+  // stay dead through both the reschedule and the run.
+  SimEngine::TimerHandle h2 = engine.ScheduleAt(10, [&] { fired = 2; });
+  EXPECT_FALSE(engine.Cancel(h));
+  engine.Run();
+  EXPECT_EQ(fired, 2);
+  EXPECT_FALSE(engine.Cancel(h2));  // fired already
+  EXPECT_FALSE(engine.Cancel(h));   // still dead after the slot cycled again
+}
+
+TEST(EventHeapTest, SlabSlotsAreRecycledNotLeaked) {
+  SimEngine engine;
+  constexpr int kBatch = 64;
+  for (int i = 0; i < kBatch; ++i) {
+    engine.ScheduleAt(i, [] {});
+  }
+  engine.Run();
+  const size_t high_water = engine.slab_slots();
+  // Repeated schedule/cancel and schedule/fire churn must reuse freed slots:
+  // the slab never grows past the high-water mark set by the first batch.
+  Lcg rng(3);
+  for (int round = 0; round < 200; ++round) {
+    std::vector<SimEngine::TimerHandle> handles;
+    for (int i = 0; i < kBatch; ++i) {
+      handles.push_back(
+          engine.ScheduleAfter(static_cast<TimeNs>(rng.Next() % 16), [] {}));
+    }
+    for (int i = 0; i < kBatch; i += 2) {
+      EXPECT_TRUE(engine.Cancel(handles[static_cast<size_t>(i)]));
+    }
+    engine.Run();
+    EXPECT_LE(engine.slab_slots(), high_water) << "round " << round;
+  }
+  EXPECT_EQ(engine.pending_events(), 0u);
+}
+
+TEST(EventHeapTest, CancelledSlotReuseKeepsHandlesIndependent) {
+  SimEngine engine;
+  int a_fired = 0, b_fired = 0;
+  SimEngine::TimerHandle a = engine.ScheduleAt(5, [&] { ++a_fired; });
+  EXPECT_TRUE(engine.Cancel(a));
+  SimEngine::TimerHandle b = engine.ScheduleAt(6, [&] { ++b_fired; });
+  // Cancelling the stale handle again must not kill the slot's new tenant.
+  EXPECT_FALSE(engine.Cancel(a));
+  EXPECT_EQ(engine.pending_events(), 1u);
+  engine.Run();
+  EXPECT_EQ(a_fired, 0);
+  EXPECT_EQ(b_fired, 1);
+  EXPECT_FALSE(engine.Cancel(b));
+}
+
 TEST(EventHeapTest, MoveOnlyCaptureSchedulesAndRuns) {
   SimEngine engine;
   int out = 0;

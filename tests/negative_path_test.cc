@@ -1,0 +1,103 @@
+// Negative-path coverage for the user-facing entry points: malformed
+// schedule files and bad runner CLI invocations must produce a clean error
+// (nullopt / nonzero exit + message on stderr), never a crash or a silently
+// half-parsed schedule.
+
+#include <gtest/gtest.h>
+
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "src/core/schedule.h"
+#include "src/core/schedule_io.h"
+#include "src/nn/layer_builder.h"
+#include "src/nn/train_graph.h"
+#include "src/runner/runner.h"
+
+namespace oobp {
+namespace {
+
+IterationSchedule TinySchedule(NnModel* model) {
+  model->name = "tiny";
+  model->batch = 8;
+  model->layers.push_back(MakeConv2d("c0", "b0", 8, 8, 8, 8, 8, 3, 1));
+  model->layers.push_back(MakeDense("fc", "b0", 8, 1, 32, 8));
+  return ConventionalIteration(TrainGraph(model));
+}
+
+TEST(ScheduleIoNegativeTest, MalformedTextsReturnNulloptNotCrash) {
+  const std::vector<std::string> malformed = {
+      "",                                    // empty
+      "garbage\n",                           // wrong header
+      "# oobp-schedule v2\n",                // wrong version
+      "# oobp-schedule v1\nnot-an-op 1\n",   // unknown line kind
+      "# oobp-schedule v1\nop bogus 0\n",    // unknown op token
+      "# oobp-schedule v1\nop fwd -1\n",     // negative layer
+      "# oobp-schedule v1\nop fwd\n",        // missing layer field
+      "# oobp-schedule v1\nop fwd 0 stream=0 wait=5\n",  // forward wait
+      "# oobp-schedule v1\nop fwd 0 color=red\n",        // unknown attr
+      "# oobp-schedule v1\nmodel x nlayers 3\n",         // bad model line
+  };
+  for (const std::string& text : malformed) {
+    EXPECT_FALSE(ScheduleFromText(text).has_value())
+        << "accepted: " << text;
+  }
+}
+
+TEST(ScheduleIoNegativeTest, LayerCountMismatchRejected) {
+  NnModel model;
+  const IterationSchedule sched = TinySchedule(&model);
+  const std::string text = ScheduleToText(sched, model.name, 2);
+  EXPECT_TRUE(ScheduleFromText(text, /*expect_layers=*/2).has_value());
+  EXPECT_FALSE(ScheduleFromText(text, /*expect_layers=*/3).has_value());
+}
+
+TEST(ScheduleIoNegativeTest, RoundTripPreservesOps) {
+  NnModel model;
+  const IterationSchedule sched = TinySchedule(&model);
+  const auto parsed = ScheduleFromText(ScheduleToText(sched, model.name, 2), 2);
+  ASSERT_TRUE(parsed.has_value());
+  ASSERT_EQ(parsed->ops.size(), sched.ops.size());
+  for (size_t i = 0; i < sched.ops.size(); ++i) {
+    EXPECT_EQ(parsed->ops[i].op.type, sched.ops[i].op.type) << i;
+    EXPECT_EQ(parsed->ops[i].op.layer, sched.ops[i].op.layer) << i;
+    EXPECT_EQ(parsed->ops[i].stream, sched.ops[i].stream) << i;
+    EXPECT_EQ(parsed->ops[i].wait_for_index, sched.ops[i].wait_for_index) << i;
+  }
+}
+
+TEST(ScheduleIoNegativeTest, MissingFileReturnsNullopt) {
+  EXPECT_FALSE(
+      ReadScheduleFile("/nonexistent/dir/schedule.txt").has_value());
+}
+
+int CallBenchMain(std::vector<std::string> args) {
+  std::vector<char*> argv;
+  argv.reserve(args.size());
+  for (std::string& a : args) {
+    argv.push_back(a.data());
+  }
+  return BenchMain(static_cast<int>(argv.size()), argv.data());
+}
+
+TEST(RunnerCliNegativeTest, UnknownScenarioNameExitsNonzeroWithMessage) {
+  testing::internal::CaptureStderr();
+  const int rc =
+      CallBenchMain({"oobp", "bench", "--filter=no_such_scenario_*"});
+  const std::string err = testing::internal::GetCapturedStderr();
+  EXPECT_EQ(rc, 2);
+  EXPECT_NE(err.find("no scenario matches filter"), std::string::npos) << err;
+}
+
+TEST(RunnerCliNegativeTest, UnknownFlagExitsNonzeroWithUsage) {
+  testing::internal::CaptureStderr();
+  const int rc = CallBenchMain({"oobp", "bench", "--frobnicate"});
+  const std::string err = testing::internal::GetCapturedStderr();
+  EXPECT_EQ(rc, 2);
+  EXPECT_NE(err.find("unknown flag --frobnicate"), std::string::npos) << err;
+  EXPECT_NE(err.find("usage:"), std::string::npos) << err;
+}
+
+}  // namespace
+}  // namespace oobp

@@ -1,0 +1,137 @@
+// Property tests for src/common/stats.h against naive reference
+// implementations on seeded random inputs. PercentileSorted backs the
+// serving tail-latency metrics, so its nearest-rank contract ("smallest
+// element whose rank >= ceil(p/100 * n), always a sample element") is pinned
+// here over a thousand random vectors plus the degenerate shapes.
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <cmath>
+#include <cstdint>
+#include <vector>
+
+#include "src/common/rng.h"
+#include "src/common/stats.h"
+
+namespace oobp {
+namespace {
+
+// Naive nearest-rank reference, written directly from the definition with
+// integer arithmetic for integer p (no float ceil involved).
+double NaivePercentile(const std::vector<double>& sorted, int p) {
+  const int64_t n = static_cast<int64_t>(sorted.size());
+  int64_t rank = (static_cast<int64_t>(p) * n + 99) / 100;  // ceil(p*n/100)
+  rank = std::max<int64_t>(rank, 1);
+  rank = std::min<int64_t>(rank, n);
+  return sorted[static_cast<size_t>(rank - 1)];
+}
+
+TEST(StatsPropertyTest, PercentileMatchesNaiveOnRandomVectors) {
+  Rng rng(2024);
+  for (int round = 0; round < 1000; ++round) {
+    const size_t n = 1 + rng.NextBelow(200);
+    std::vector<double> xs(n);
+    for (double& x : xs) {
+      // Mix magnitudes and ties: small integer grid half the time.
+      x = rng.NextBelow(2) == 0 ? static_cast<double>(rng.NextBelow(16))
+                                : rng.Uniform(-1e6, 1e6);
+    }
+    std::sort(xs.begin(), xs.end());
+    for (int p : {0, 1, 25, 50, 75, 90, 95, 99, 100}) {
+      const double got = PercentileSorted(xs, static_cast<double>(p));
+      const double want = NaivePercentile(xs, p);
+      ASSERT_EQ(got, want) << "n=" << n << " p=" << p << " round=" << round;
+      // The result must be an actual sample, never an interpolation.
+      ASSERT_TRUE(std::binary_search(xs.begin(), xs.end(), got));
+    }
+    // Unsorted entry point agrees with the sorted one.
+    std::vector<double> shuffled = xs;
+    for (size_t i = shuffled.size(); i > 1; --i) {
+      std::swap(shuffled[i - 1], shuffled[rng.NextBelow(i)]);
+    }
+    ASSERT_EQ(Percentile(shuffled, 95.0), PercentileSorted(xs, 95.0));
+  }
+}
+
+TEST(StatsPropertyTest, PercentileDegenerateShapes) {
+  const std::vector<double> one = {42.0};
+  for (int p : {0, 1, 50, 99, 100}) {
+    EXPECT_EQ(PercentileSorted(one, static_cast<double>(p)), 42.0);
+  }
+  const std::vector<double> two = {1.0, 2.0};
+  EXPECT_EQ(PercentileSorted(two, 0.0), 1.0);
+  EXPECT_EQ(PercentileSorted(two, 50.0), 1.0);  // ceil(0.5*2)=1
+  EXPECT_EQ(PercentileSorted(two, 51.0), 2.0);  // ceil(0.51*2)=2
+  EXPECT_EQ(PercentileSorted(two, 100.0), 2.0);
+}
+
+TEST(StatsPropertyTest, PercentileRejectsEmptyAndBadP) {
+  const std::vector<double> empty;
+  const std::vector<double> xs = {1.0};
+  EXPECT_DEATH(PercentileSorted(empty, 50.0), "");
+  EXPECT_DEATH(PercentileSorted(xs, -1.0), "");
+  EXPECT_DEATH(PercentileSorted(xs, 100.5), "");
+}
+
+TEST(StatsPropertyTest, IntHistogramMatchesNaiveCountsUnderClamping) {
+  Rng rng(7);
+  for (int round = 0; round < 50; ++round) {
+    const int max_value = static_cast<int>(rng.NextBelow(20));
+    IntHistogram h(max_value);
+    std::vector<int64_t> naive(static_cast<size_t>(max_value) + 1, 0);
+    int64_t naive_sum = 0, naive_total = 0;
+    const int adds = static_cast<int>(rng.NextBelow(1000));
+    for (int i = 0; i < adds; ++i) {
+      // Include out-of-range values on both sides to exercise clamping.
+      const int v = static_cast<int>(rng.NextBelow(40)) - 8;
+      h.Add(v);
+      const int clamped = std::clamp(v, 0, max_value);
+      ++naive[static_cast<size_t>(clamped)];
+      naive_sum += clamped;
+      ++naive_total;
+    }
+    ASSERT_EQ(h.total(), naive_total);
+    for (int v = 0; v <= max_value; ++v) {
+      ASSERT_EQ(h.count(v), naive[static_cast<size_t>(v)])
+          << "bucket " << v << " round " << round;
+    }
+    if (naive_total > 0) {
+      ASSERT_DOUBLE_EQ(
+          h.mean(),
+          static_cast<double>(naive_sum) / static_cast<double>(naive_total));
+    } else {
+      ASSERT_EQ(h.mean(), 0.0);
+    }
+  }
+}
+
+TEST(StatsPropertyTest, RunningStatMatchesNaiveMoments) {
+  Rng rng(99);
+  for (int round = 0; round < 50; ++round) {
+    RunningStat stat;
+    std::vector<double> xs(1 + rng.NextBelow(300));
+    for (double& x : xs) {
+      x = rng.Uniform(-50.0, 50.0);
+      stat.Add(x);
+    }
+    double mean = 0.0;
+    for (double x : xs) {
+      mean += x;
+    }
+    mean /= static_cast<double>(xs.size());
+    double m2 = 0.0;
+    for (double x : xs) {
+      m2 += (x - mean) * (x - mean);
+    }
+    const double var =
+        xs.size() > 1 ? m2 / static_cast<double>(xs.size() - 1) : 0.0;
+    ASSERT_NEAR(stat.mean(), mean, 1e-9);
+    ASSERT_NEAR(stat.variance(), var, 1e-7);
+    ASSERT_EQ(stat.min(), *std::min_element(xs.begin(), xs.end()));
+    ASSERT_EQ(stat.max(), *std::max_element(xs.begin(), xs.end()));
+  }
+}
+
+}  // namespace
+}  // namespace oobp

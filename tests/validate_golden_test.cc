@@ -1,0 +1,68 @@
+// Replays every registered golden scenario — the 12 paper-figure training
+// scenarios and the 6 inference-serving scenarios — with the SimValidator
+// installed, asserting zero invariant violations (ctest label: validate).
+//
+// The validator attaches through thread-local hooks, so scenarios run
+// directly on this thread rather than through RunScenarios' thread pool.
+// Each scenario gets a fresh validator, keeping a violation attributable to
+// the scenario that produced it.
+
+#include <gtest/gtest.h>
+
+#include <string>
+#include <vector>
+
+#include "src/runner/paper_scenarios.h"
+#include "src/runner/registry.h"
+#include "src/runner/serve_scenarios.h"
+#include "src/validate/sim_validator.h"
+
+namespace oobp {
+namespace {
+
+TEST(ValidateGoldenTest, AllScenariosRunCleanUnderValidator) {
+  RegisterPaperScenarios();
+  RegisterServeScenarios();
+  const ScenarioRegistry& reg = ScenarioRegistry::Global();
+
+  int train = 0, serve = 0;
+  int64_t total_gpus = 0, total_links = 0;
+  int64_t total_kernels = 0, total_transfers = 0;
+  for (const Scenario& scenario : reg.scenarios()) {
+    (scenario.label == "serve" ? serve : train)++;
+    SimValidator validator;
+    {
+      ValidationScope scope(&validator);
+      const ScenarioResult result = scenario.run(ScenarioParams());
+      EXPECT_FALSE(result.values.empty()) << scenario.name;
+    }
+    EXPECT_TRUE(validator.ok())
+        << scenario.name << ": " << validator.Summary();
+    // A clean validator that saw no devices proves nothing; every scenario
+    // simulates at least one validated device (the pipeline toys model
+    // stage compute analytically and only build Links) to completion.
+    EXPECT_GT(validator.gpus_observed() + validator.links_observed(), 0)
+        << scenario.name;
+    EXPECT_GT(validator.kernels_finished() + validator.transfers_completed(),
+              0)
+        << scenario.name;
+    total_gpus += validator.gpus_observed();
+    total_links += validator.links_observed();
+    total_kernels += validator.kernels_finished();
+    total_transfers += validator.transfers_completed();
+  }
+
+  // The registry must hold the full golden suite (12 train + 6 serve); a
+  // silently missing scenario would hollow out this test.
+  EXPECT_EQ(train, 12);
+  EXPECT_EQ(serve, 6);
+  // The suite exercises the communication path too (data-parallel and
+  // pipeline scenarios move gradients over Links).
+  EXPECT_GT(total_links, 0);
+  EXPECT_GT(total_transfers, 0);
+  EXPECT_GT(total_gpus, 0);
+  EXPECT_GT(total_kernels, 0);
+}
+
+}  // namespace
+}  // namespace oobp

@@ -1,5 +1,5 @@
 #!/usr/bin/env bash
-# One-shot health check, four tiers:
+# One-shot health check, five tiers:
 #   1. Release build: unit-test tier + unit-time toy scenarios vs goldens.
 #   2. ASan+UBSan build (-DOOBP_SANITIZE=ON): unit-test tier under the
 #      sanitizers (catches lifetime bugs in the event slab / callback moves).
@@ -9,6 +9,14 @@
 #   4. Perf smoke: one `oobp bench --perf` pass over the fig07 scenarios with
 #      the golden gate on — asserts the fast path still produces the exact
 #      golden values while exercising the wall-clock harness.
+#   5. Fuzz smoke: validate-labeled ctest tier (all 18 golden scenarios
+#      replayed under the SimValidator) plus 200 seeds of the differential
+#      fuzzer under ASan/UBSan at a fixed base seed, so failures reproduce
+#      with `oobp fuzz --seeds 1 --base-seed <seed>` (see DESIGN.md §8).
+#
+# Tier matrix (tier x build):
+#   tier 1, 3, 4 -> Release build      (speed; golden gates are exact)
+#   tier 2, 5    -> ASan+UBSan build   (memory-safety of slab/fluid/fuzz paths)
 #
 # Usage: tools/check.sh [build-dir [asan-build-dir]]
 set -euo pipefail
@@ -42,5 +50,10 @@ ctest --test-dir "${BUILD_DIR}" -L serve --output-on-failure
 # --- Tier 4: perf smoke with the golden gate on --------------------------
 "${BUILD_DIR}/tools/oobp" bench --perf --warmup 0 --repeats 1 --jobs 0 \
     --out "${BUILD_DIR}" --golden "${REPO_ROOT}/bench/golden"
+
+# --- Tier 5: fuzz smoke: validator replay + 200 seeds under ASan ----------
+ctest --test-dir "${BUILD_DIR}" -L validate --output-on-failure
+
+"${ASAN_DIR}/tools/oobp" fuzz --seeds 200 --base-seed 1
 
 echo "check.sh: all green"

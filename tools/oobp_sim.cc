@@ -14,6 +14,8 @@
 //   oobp_sim replay   --model=densenet121 --schedule=<file>
 //   oobp_sim bench    [--list] [--filter=<glob>] [--jobs=N] [--out=<dir>]
 //                     [--golden[=<dir>]] [--param k=v]  (see src/runner)
+//   oobp_sim fuzz     [--seeds=N] [--base-seed=N] [--no-serve] [--verbose]
+//                     (seeded differential fuzzer, see src/validate)
 //
 // Common flags: --trace=<path.json> exports the execution timeline;
 // `single --system=ooo --export-schedule=<file>` saves the computed
@@ -37,6 +39,7 @@
 #include "src/runtime/hybrid_engine.h"
 #include "src/runtime/pipeline_engine.h"
 #include "src/runtime/single_gpu_engine.h"
+#include "src/validate/fuzzer.h"
 
 namespace oobp {
 namespace {
@@ -338,7 +341,7 @@ int RunHybrid(const Flags& flags) {
 
 int Usage() {
   std::fprintf(stderr,
-               "usage: oobp_sim <single|dp|pipeline|hybrid|replay|bench> "
+               "usage: oobp_sim <single|dp|pipeline|hybrid|replay|bench|fuzz> "
                "[--flags]\n"
                "see the header comment of tools/oobp_sim.cc for details\n");
   return 2;
@@ -370,6 +373,9 @@ int main(int argc, char** argv) {
   }
   if (mode == "bench") {
     return oobp::BenchMain(argc, argv);
+  }
+  if (mode == "fuzz") {
+    return oobp::FuzzMain(argc, argv);
   }
   return oobp::Usage();
 }
