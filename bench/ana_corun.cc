@@ -1,77 +1,7 @@
-// Section 8.2 discussion: why multi-stream co-scheduling helps — per-region
-// analysis of DenseNet-121 on the V100. The paper contrasts a region whose
-// main-stream kernels saturate the SMs (R2: the sub-stream can only absorb
-// the kernel execution overhead, ~6% speedup) with one whose kernels leave
-// slots free (R5: DenseBlock-4 dW kernels at 448 of 1,520 blocks, ~10%).
+// Section 8.2: per-region co-run capacity analysis for DenseNet-121. The
+// experiment lives in src/runner/sweep_scenarios.cc as the "ana_corun"
+// scenario; this binary runs it serially.
 
-#include "bench/bench_common.h"
-#include "src/core/corun_profiler.h"
-#include "src/core/region.h"
-#include "src/hw/gpu.h"
-#include "src/nn/model_zoo.h"
+#include "src/runner/runner.h"
 
-int main() {
-  using namespace oobp;
-  BenchHeader("Analysis (Sec 8.2)", "per-region co-run capacity, DenseNet-121");
-
-  const NnModel model = DenseNet(121, 32, 32, /*image=*/224);
-  const TrainGraph graph(&model);
-  const GpuSpec gpu = GpuSpec::V100();
-  const CostModel cost(gpu, SystemProfile::TensorFlowXla());
-  const CorunProfiler profiler(graph, cost, BuildRegions(graph));
-  const double capacity = gpu.slot_capacity();
-
-  Table table({"region", "T_main(ms)", "avg occ%", "best dW", "speedup"});
-  double best_low_occ_speedup = 0.0;   // regions with free slots
-  double best_high_occ_speedup = 0.0;  // saturated regions
-  for (int r = 0; r < profiler.num_regions(); ++r) {
-    const Region& region = profiler.region(r);
-    // Average effective occupancy of the region's main kernels.
-    double occ_sum = 0.0;
-    for (const TrainOp& op : region.main_ops) {
-      const KernelCost kc = cost.Cost(model.layers[op.layer], op.type);
-      occ_sum += EffectiveOccupancy(kc.thread_blocks, capacity) / capacity;
-    }
-    const double avg_occ = occ_sum / region.main_ops.size();
-
-    double best = 1.0;
-    int best_layer = -1;
-    for (int l = 0; l < model.num_layers(); ++l) {
-      if (!graph.HasWgrad(l)) {
-        continue;
-      }
-      const double p =
-          profiler.SpeedupAt(r, {TrainOpType::kWeightGrad, l}, 0);
-      if (p > best) {
-        best = p;
-        best_layer = l;
-      }
-    }
-    table.Row({region.name, StrFormat("%.2f", ToMs(profiler.MainDuration(r))),
-               StrFormat("%.0f%%", 100 * avg_occ),
-               best_layer >= 0 ? model.layers[best_layer].name : "-",
-               StrFormat("%.2fx", best)});
-    if (avg_occ > 0.9) {
-      best_high_occ_speedup = std::max(best_high_occ_speedup, best);
-    } else {
-      best_low_occ_speedup = std::max(best_low_occ_speedup, best);
-    }
-  }
-
-  // Paper's thread-block anecdote: DenseBlock-4 3x3 dW kernels run a few
-  // hundred blocks against the 1,520-slot capacity.
-  for (const Layer& l : model.layers) {
-    if (l.block == "denseblock4" && l.name.ends_with("conv3x3")) {
-      std::printf("\n%s: dW kernel %.0f thread blocks (capacity %d)\n",
-                  l.name.c_str(), l.wgrad_blocks, gpu.slot_capacity());
-      break;
-    }
-  }
-
-  ShapeCheck("best speedup in an underutilized region (paper ~1.10)", 1.10,
-             best_low_occ_speedup);
-  std::printf("  (saturated regions: best co-run speedup %.2fx — overhead-"
-              "only, paper ~1.06)\n",
-              best_high_occ_speedup);
-  return 0;
-}
+int main() { return oobp::RunStandaloneBench("ana_corun"); }

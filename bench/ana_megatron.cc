@@ -1,69 +1,8 @@
-// Section 8.4.2 / Section 9: comparison against Megatron-2's interleaved
-// pipeline schedule for BERT-48 pre-training.
-//
-// Paper: OOO-Pipe2 is 13.6-29.2% faster than Megatron 2 on 8/16/24 GPUs;
-// grafting gradient fast-forwarding alone onto Megatron improves it by
-// 20.4% on average (max 27.5%) — evidence that interleaved placement
-// without ooo backprop "has very limited performance impact because of the
-// increased communication overhead". Megatron also cannot run BERT-48 on
-// 32 GPUs (48 transformers not divisible), which our chunked assignment
-// reproduces as an imbalanced schedule.
+// Section 8.4.2: Megatron-2 interleaved schedules vs OOO-Pipe2 on BERT-48
+// pre-training. The sweep lives in src/runner/sweep_scenarios.cc as the
+// "ana_megatron" scenario (models shared via src/nn/model_cache.h); this
+// binary runs it serially.
 
-#include "bench/bench_common.h"
-#include "src/nn/model_zoo.h"
-#include "src/runtime/pipeline_engine.h"
+#include "src/runner/runner.h"
 
-int main() {
-  using namespace oobp;
-  BenchHeader("Analysis (Sec 8.4.2)", "Megatron-2 interleaved vs OOO-Pipe2");
-
-  Table table({"GPUs", "GPipe", "Megatron2", "Megatron+FF", "OOO-Pipe2",
-               "OOO/Mega", "FF gain"});
-  std::vector<double> ff_gains, ooo_vs_mega;
-  for (const int gpus : {8, 16, 24}) {
-    const int micro_batches = gpus;
-    NnModel micro = Bert(48, std::max(1, 512 / micro_batches));
-    // Pre-training: embedding/LM-head GEMMs are tensor-parallel (see
-    // fig13); quarter the head cost for every system equally.
-    Layer& head = micro.layers.back();
-    head.fwd_flops /= 4;
-    head.dgrad_flops /= 4;
-    head.wgrad_flops /= 4;
-    head.fwd_bytes /= 4;
-    head.dgrad_bytes /= 4;
-    head.wgrad_bytes /= 4;
-    head.stash_bytes /= 4;
-
-    PipelineConfig config;
-    config.cluster = ClusterSpec::PubB(5);
-    config.num_gpus = gpus;
-    config.num_micro_batches = micro_batches;
-    const PipelineEngine engine(config);
-
-    const double gpipe =
-        engine.Run(micro, PipelineStrategy::kGPipe).metrics.throughput;
-    const double mega =
-        engine.Run(micro, PipelineStrategy::kMegatron).metrics.throughput;
-    const double mega_ff =
-        engine.Run(micro, PipelineStrategy::kMegatronFF).metrics.throughput;
-    const double ooo =
-        engine.Run(micro, PipelineStrategy::kOooPipe2).metrics.throughput;
-    table.Row({StrFormat("%d", gpus), StrFormat("%.0f", gpipe),
-               StrFormat("%.0f", mega), StrFormat("%.0f", mega_ff),
-               StrFormat("%.0f", ooo), StrFormat("%.2fx", ooo / mega),
-               StrFormat("%.2fx", mega_ff / mega)});
-    ff_gains.push_back(mega_ff / mega);
-    ooo_vs_mega.push_back(ooo / mega);
-  }
-
-  double ff_avg = 0, ooo_max = 0;
-  for (size_t i = 0; i < ff_gains.size(); ++i) {
-    ff_avg += ff_gains[i] / ff_gains.size();
-    ooo_max = std::max(ooo_max, ooo_vs_mega[i]);
-  }
-  std::printf("\n");
-  ShapeCheck("fast-forwarding on Megatron, avg gain (paper 1.204)", 1.204,
-             ff_avg);
-  ShapeCheck("OOO-Pipe2 vs Megatron, max (paper 1.292)", 1.292, ooo_max);
-  return 0;
-}
+int main() { return oobp::RunStandaloneBench("ana_megatron"); }

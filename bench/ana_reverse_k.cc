@@ -1,80 +1,7 @@
-// Section 8.3 discussion: why reverse first-k wins — ResNet-50 on 16x V100
-// (Pub-A). The paper's accounting: computation 380 ms vs first-layer sync
-// 350 ms; reversing the first 45 layers overlaps dW_1's synchronization with
-// dW_2..dW_45's computation (85 ms) and moves more synchronizations early,
-// cutting the exposed communication from 350 ms to ~200 ms — a 27% total
-// speedup.
+// Section 8.3: data-parallel reverse first-k response curve and the concave
+// search over k. The experiment lives in src/runner/sweep_scenarios.cc as
+// the "ana_reverse_k" scenario; this binary runs it serially.
 
-#include "bench/bench_common.h"
-#include "src/core/k_search.h"
-#include "src/core/reverse_k.h"
-#include "src/nn/model_zoo.h"
-#include "src/runtime/data_parallel_engine.h"
+#include "src/runner/runner.h"
 
-int main() {
-  using namespace oobp;
-  BenchHeader("Analysis (Sec 8.3)", "reverse first-k on ResNet-50, 16x V100");
-
-  const NnModel model = ResNet(50, 128);
-  const TrainGraph graph(&model);
-
-  DataParallelConfig config;
-  config.cluster = ClusterSpec::PubA();
-  config.num_gpus = 16;
-  const DataParallelEngine engine(config);
-
-  // Total synchronization volume and the per-GPU channel it crosses.
-  int64_t total_volume = 0;
-  for (int l = 0; l < model.num_layers(); ++l) {
-    total_volume += engine.SyncVolume(model, l);
-  }
-  std::printf("channel bandwidth: %.3f GB/s per worker\n",
-              engine.ChannelBandwidthGbps());
-  std::printf("total sync volume: %.0f MB -> %.0f ms serialized\n",
-              total_volume / 1e6,
-              total_volume / engine.ChannelBandwidthGbps() / 1e6);
-
-  const TrainMetrics base = engine.Run(model, graph.ConventionalBackprop());
-  std::printf("BytePS baseline: iter %.0f ms, comm/comp %.2f\n",
-              ToMs(base.iteration_time), base.comm_comp_ratio);
-
-  // Sweep k and report the response curve.
-  Table table({"k", "iter(ms)", "gain"});
-  for (int k : {0, 10, 20, 30, 45, 53}) {
-    const ReverseFirstKResult rk = ReverseFirstK(graph, k);
-    const TrainMetrics m = engine.Run(model, rk.order);
-    table.Row({StrFormat("%d", rk.effective_k),
-               StrFormat("%.0f", ToMs(m.iteration_time)),
-               StrFormat("%.2fx", m.throughput / base.throughput)});
-  }
-
-  const KSearchResult search = SearchBestK(model.num_layers(), [&](int k) {
-    return engine.Run(model, ReverseFirstK(graph, k).order).throughput;
-  });
-  const TrainMetrics best =
-      engine.Run(model, ReverseFirstK(graph, search.best_k).order);
-  std::printf("\nbest k = %d (paper: 45) in %zu probes\n", search.best_k,
-              search.evaluations.size());
-  std::printf("16 GPUs: %.2fx over BytePS (paper 1.27; our comm model's\n"
-              "  sync/compute crossover sits at a slightly larger cluster)\n",
-              best.throughput / base.throughput);
-
-  // At 32 GPUs the same mechanism shows the paper-scale effect.
-  DataParallelConfig config32 = config;
-  config32.num_gpus = 32;
-  const DataParallelEngine engine32(config32);
-  const TrainMetrics base32 = engine32.Run(model, graph.ConventionalBackprop());
-  const KSearchResult search32 = SearchBestK(model.num_layers(), [&](int k) {
-    return engine32.Run(model, ReverseFirstK(graph, k).order).throughput;
-  });
-  std::printf("32 GPUs: best k = %d, %.2fx over BytePS\n", search32.best_k,
-              search32.best_throughput / base32.throughput);
-
-  ShapeCheck("speedup at best k, 16-32 GPUs (paper 1.27 at 16)", 1.27,
-             std::max(best.throughput / base.throughput,
-                      search32.best_throughput / base32.throughput));
-  ShapeCheck("best k as fraction of layers (paper 45/54 = 0.83)", 0.83,
-             static_cast<double>(std::max(search.best_k, search32.best_k)) /
-                 model.num_layers());
-  return 0;
-}
+int main() { return oobp::RunStandaloneBench("ana_reverse_k"); }

@@ -1,135 +1,10 @@
-// Figure 13: scalability of pipeline-parallel pre-training on the Pub-B
-// cluster (8x V100 per node, NVLink + 25GbE).
-//
-// (a) Weak scaling: BERT-12 on 8 GPUs, BERT-24 on 16, BERT-48 on 32 —
-//     GPipe vs PipeDream vs OOO-Pipe2. Paper: OOO-Pipe2 is 1.73x GPipe at
-//     8 GPUs and 41-45% faster at 16-32; 14-25% over PipeDream, whose best
-//     configuration stashes up to 32 weight versions.
-// (b) Strong scaling: BERT-24/48 from 8 to 32 GPUs (throughput ~2.5x for
-//     4x GPUs); GPT-3 Medium on 12-36 GPUs, where 4 extra GPUs serve the
-//     output-embedding layer (modeled by scaling that layer's cost by 1/4)
-//     and scaling is limited because 24 decoders do not divide evenly.
+// Figure 13: pipeline-parallel scaling. The weak-scaling sweep (13a,
+// GPipe vs PipeDream vs OOO-Pipe2 on BERT-{12,24,48}) and the strong-scaling
+// sweeps (13b, BERT and GPT-3 Medium) live in src/runner/sweep_scenarios.cc
+// as the "fig13_*" scenarios; this binary runs them all serially. Use
+// `oobp bench --filter='fig13_*' --jobs=N` to spread the scaling points over
+// a thread pool, or add --golden for the regression gate.
 
-#include <functional>
-#include <map>
+#include "src/runner/runner.h"
 
-#include "bench/bench_common.h"
-#include "src/nn/model_zoo.h"
-#include "src/runtime/pipeline_engine.h"
-
-namespace {
-
-using namespace oobp;
-
-PipelineEngine MakeEngine(int gpus, int micro_batches) {
-  PipelineConfig config;
-  config.cluster = ClusterSpec::PubB(5);
-  config.num_gpus = gpus;
-  config.num_micro_batches = micro_batches;
-  return PipelineEngine(config);
-}
-
-// Pre-training runs shard the input/output embedding GEMMs across a
-// tensor-parallel group (Megatron-style; the paper dedicates 4 GPUs to
-// GPT-3's embedding). Model that by quartering the head layer's cost —
-// applied to every system equally.
-NnModel WithShardedHead(NnModel model) {
-  Layer& head = model.layers.back();
-  head.fwd_flops /= 4;
-  head.dgrad_flops /= 4;
-  head.wgrad_flops /= 4;
-  head.fwd_bytes /= 4;
-  head.dgrad_bytes /= 4;
-  head.wgrad_bytes /= 4;
-  head.fwd_blocks /= 4;
-  head.stash_bytes /= 4;
-  return model;
-}
-
-}  // namespace
-
-int main() {
-  using namespace oobp;
-  BenchHeader("Figure 13(a)", "weak scaling: BERT-{12,24,48} on 8/16/32 V100");
-
-  struct WeakPoint {
-    int gpus;
-    int bert;
-    int global_batch;
-  };
-  const std::vector<WeakPoint> weak = {{8, 12, 512}, {16, 24, 768},
-                                       {32, 48, 1024}};
-  std::vector<double> ooo_vs_gpipe, ooo_vs_pd;
-  Table table_a({"GPUs", "model", "GPipe", "PipeDream", "OOO-Pipe2",
-                 "vs GPipe", "vs PD"});
-  for (const WeakPoint& p : weak) {
-    const int micro_batches = p.gpus;
-    const NnModel micro = WithShardedHead(
-        Bert(p.bert, std::max(1, p.global_batch / micro_batches)));
-    const PipelineEngine engine = MakeEngine(p.gpus, micro_batches);
-    const double gpipe =
-        engine.Run(micro, PipelineStrategy::kGPipe).metrics.throughput;
-    const PipelineResult pd = engine.Run(micro, PipelineStrategy::kPipeDream);
-    const double ooo =
-        engine.Run(micro, PipelineStrategy::kOooPipe2).metrics.throughput;
-    table_a.Row({StrFormat("%d", p.gpus), StrFormat("BERT-%d", p.bert),
-                 StrFormat("%.0f", gpipe),
-                 StrFormat("%.0f(v%d)", pd.metrics.throughput,
-                           pd.weight_versions),
-                 StrFormat("%.0f", ooo), StrFormat("%.2fx", ooo / gpipe),
-                 StrFormat("%.2fx", ooo / pd.metrics.throughput)});
-    ooo_vs_gpipe.push_back(ooo / gpipe);
-    ooo_vs_pd.push_back(ooo / pd.metrics.throughput);
-  }
-
-  BenchHeader("Figure 13(b)", "strong scaling: BERT-24/48 and GPT-3 Medium");
-  std::map<std::pair<int, int>, double> strong;  // (bert, gpus) -> tp
-  for (const int bert : {24, 48}) {
-    Table table({"GPUs", "model", "OOO-Pipe2 seqs/s"});
-    for (const int gpus : {8, 16, 32}) {
-      if (gpus > bert) {
-        continue;  // more GPUs than transformer layers
-      }
-      const int micro_batches = 2 * gpus;
-      const NnModel micro =
-          WithShardedHead(Bert(bert, std::max(1, 512 / micro_batches)));
-      const double tp = MakeEngine(gpus, micro_batches)
-                            .Run(micro, PipelineStrategy::kOooPipe2)
-                            .metrics.throughput;
-      strong[{bert, gpus}] = tp;
-      table.Row({StrFormat("%d", gpus), StrFormat("BERT-%d", bert),
-                 StrFormat("%.0f", tp)});
-    }
-  }
-
-  // GPT-3 Medium: the big output embedding runs on a dedicated 4-GPU
-  // tensor-parallel group, modeled by quartering its compute cost.
-  {
-    Table table({"GPUs(+4)", "model", "OOO-Pipe2 seqs/s"});
-    // 26 pipeline layers (embed + 24 decoders + head) bound the stage count.
-    for (const int gpus : {8, 12, 16, 24}) {
-      const int micro_batches = 2 * gpus;
-      const NnModel micro =
-          WithShardedHead(Gpt3Medium(std::max(1, 96 / micro_batches)));
-      const double tp = MakeEngine(gpus, micro_batches)
-                            .Run(micro, PipelineStrategy::kOooPipe2)
-                            .metrics.throughput;
-      table.Row({StrFormat("%d+4", gpus), "GPT-3(M)", StrFormat("%.1f", tp)});
-    }
-  }
-
-  std::printf("\n");
-  ShapeCheck("weak scaling, 8 GPUs: OOO vs GPipe (paper 1.73)", 1.73,
-             ooo_vs_gpipe[0]);
-  ShapeCheck("weak scaling, 16 GPUs: OOO vs GPipe (paper ~1.43)", 1.43,
-             ooo_vs_gpipe[1]);
-  ShapeCheck("weak scaling, 32 GPUs: OOO vs GPipe (paper ~1.43)", 1.43,
-             ooo_vs_gpipe[2]);
-  ShapeCheck("OOO vs PipeDream at 16-32 GPUs (paper 1.14-1.25)", 1.2,
-             (ooo_vs_pd[1] + ooo_vs_pd[2]) / 2);
-  ShapeCheck("BERT-24 strong scaling 8->16 GPUs (~1.6x of the 2.5x/4x curve)",
-             1.6, strong[{24, 16}] / strong[{24, 8}]);
-  ShapeCheck("BERT-48 strong scaling 8->32 GPUs (paper ~2.5x)", 2.5,
-             strong[{48, 32}] / strong[{48, 8}]);
-  return 0;
-}
+int main() { return oobp::RunStandaloneBench("fig13_*"); }

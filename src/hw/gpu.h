@@ -127,6 +127,13 @@ class Gpu {
   // utilization.
   double SmBusyIntegral() const { return slots_.busy_integral(); }
 
+  // Records every SM busy-integral increment (see FluidProcessor::
+  // set_busy_recorder); used by the steady-state replay optimization to
+  // re-fold the exact utilization of an extrapolated run.
+  void SetBusyRecorder(std::vector<BusyIncrement>* recorder) {
+    slots_.set_busy_recorder(recorder);
+  }
+
   // Read-only accessors for validators and tests.
   const SimEngine& engine() const { return *engine_; }
   const FluidProcessor& slots() const { return slots_; }

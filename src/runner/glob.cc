@@ -1,0 +1,36 @@
+#include "src/runner/glob.h"
+
+#include <fnmatch.h>
+
+namespace oobp {
+
+bool GlobMatch(const std::string& pattern, const std::string& text) {
+  return fnmatch(pattern.c_str(), text.c_str(), 0) == 0;
+}
+
+std::vector<std::string> SplitGlobList(const std::string& patterns) {
+  std::vector<std::string> out;
+  size_t start = 0;
+  while (start <= patterns.size()) {
+    size_t comma = patterns.find(',', start);
+    if (comma == std::string::npos) {
+      comma = patterns.size();
+    }
+    if (comma > start) {
+      out.push_back(patterns.substr(start, comma - start));
+    }
+    start = comma + 1;
+  }
+  return out;
+}
+
+bool MatchAnyGlob(const std::string& patterns, const std::string& text) {
+  for (const std::string& pattern : SplitGlobList(patterns)) {
+    if (GlobMatch(pattern, text)) {
+      return true;
+    }
+  }
+  return false;
+}
+
+}  // namespace oobp

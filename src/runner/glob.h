@@ -1,0 +1,30 @@
+// Glob matching shared by every name filter in the harness: `oobp bench
+// --filter`, the `--perf` scenario selection, and `oobp fuzz --checks`.
+//
+// Patterns are fnmatch(3)-style globs — `*`, `?`, and `[...]` classes — and
+// a filter may be a comma-separated list of them ("fig07_*,fig10_*"), which
+// matches when any element matches. Keeping the one implementation here
+// guarantees the CLI surfaces agree on filter semantics.
+
+#ifndef OOBP_SRC_RUNNER_GLOB_H_
+#define OOBP_SRC_RUNNER_GLOB_H_
+
+#include <string>
+#include <vector>
+
+namespace oobp {
+
+// fnmatch-style glob: `*`, `?`, and `[...]` classes (e.g. "fig0[456]*").
+bool GlobMatch(const std::string& pattern, const std::string& text);
+
+// Splits a comma-separated filter into its glob elements; empty elements
+// (",," or a trailing comma) are dropped.
+std::vector<std::string> SplitGlobList(const std::string& patterns);
+
+// True when any comma-separated element of `patterns` glob-matches `text`.
+// An empty or all-empty pattern list matches nothing.
+bool MatchAnyGlob(const std::string& patterns, const std::string& text);
+
+}  // namespace oobp
+
+#endif  // OOBP_SRC_RUNNER_GLOB_H_

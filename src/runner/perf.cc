@@ -3,11 +3,21 @@
 #include <chrono>
 #include <cstdio>
 #include <fstream>
+#include <map>
+#include <sstream>
+#include <thread>
 #include <vector>
 
+#include "src/common/str_util.h"
 #include "src/runner/json.h"
 #include "src/runner/registry.h"
 #include "src/sim/engine.h"
+
+// Baked in by the root CMakeLists so the gate knows whether wall-clock
+// bands are meaningful (Release) or noise (sanitizer / debug builds).
+#ifndef OOBP_BUILD_TYPE
+#define OOBP_BUILD_TYPE ""
+#endif
 
 namespace oobp {
 
@@ -62,6 +72,84 @@ bool MeasureScenario(const Scenario& scenario, const PerfOptions& opts,
 }
 
 }  // namespace
+
+PerfCheckReport CheckPerfBaseline(const std::string& baseline_json,
+                                  const std::vector<PerfSample>& measured,
+                                  bool wall_bands) {
+  PerfCheckReport report;
+  std::string error;
+  const std::optional<JsonValue> doc = JsonValue::Parse(baseline_json, &error);
+  if (!doc.has_value() || !doc->is_object()) {
+    report.failures.push_back("perf baseline unparsable: " +
+                              (error.empty() ? "not an object" : error));
+    return report;
+  }
+  double band = 0.5;
+  if (const JsonValue* b = doc->Find("wall_band_frac");
+      b != nullptr && b->is_number()) {
+    band = b->number_value();
+  }
+  const JsonValue* scenarios = doc->Find("scenarios");
+  if (scenarios == nullptr || !scenarios->is_object()) {
+    report.failures.push_back("perf baseline has no 'scenarios' object");
+    return report;
+  }
+
+  std::map<std::string, bool> seen;
+  for (const auto& [name, entry] : scenarios->object_items()) {
+    seen[name] = false;
+  }
+  for (const PerfSample& m : measured) {
+    const JsonValue* entry = scenarios->Find(m.scenario);
+    if (entry == nullptr || !entry->is_object()) {
+      report.notices.push_back(StrFormat(
+          "%s: not in baseline (%llu events) — re-seed perf_baseline.json",
+          m.scenario.c_str(), static_cast<unsigned long long>(m.events)));
+      continue;
+    }
+    seen[m.scenario] = true;
+    const JsonValue* events = entry->Find("events");
+    if (events == nullptr || !events->is_number()) {
+      report.failures.push_back(m.scenario + ": baseline entry has no event "
+                                "count");
+      continue;
+    }
+    const uint64_t expect = static_cast<uint64_t>(events->number_value());
+    if (m.events > expect) {
+      // Event counts are deterministic; growth means every simulation of
+      // this scenario now does strictly more work.
+      report.failures.push_back(StrFormat(
+          "%s: event count inflated %llu -> %llu (+%.1f%%)",
+          m.scenario.c_str(), static_cast<unsigned long long>(expect),
+          static_cast<unsigned long long>(m.events),
+          100.0 * (static_cast<double>(m.events) - static_cast<double>(expect)) /
+              static_cast<double>(expect)));
+    } else if (m.events < expect) {
+      report.notices.push_back(StrFormat(
+          "%s: event count improved %llu -> %llu — re-seed "
+          "perf_baseline.json to lock it in",
+          m.scenario.c_str(), static_cast<unsigned long long>(expect),
+          static_cast<unsigned long long>(m.events)));
+    }
+    const JsonValue* wall = entry->Find("wall_ms_best");
+    if (wall_bands && wall != nullptr && wall->is_number() &&
+        wall->number_value() > 0.0 &&
+        m.wall_ms_best > wall->number_value() * (1.0 + band)) {
+      report.notices.push_back(StrFormat(
+          "%s: wall %.2f ms vs baseline %.2f ms (band +%.0f%%) — "
+          "informational",
+          m.scenario.c_str(), m.wall_ms_best, wall->number_value(),
+          100.0 * band));
+    }
+  }
+  for (const auto& [name, was_measured] : seen) {
+    if (!was_measured) {
+      report.notices.push_back(name +
+                               ": in baseline but not measured by this run");
+    }
+  }
+  return report;
+}
 
 int RunPerf(const PerfOptions& opts) {
   if (opts.warmup < 0 || opts.repeats < 1) {
@@ -126,6 +214,15 @@ int RunPerf(const PerfOptions& opts) {
                                         (total_best_ms / 1e3)
                                   : 0.0));
   doc.Set("total", std::move(total));
+  // Host metadata so archived perf JSONs are comparable: wall-clock numbers
+  // only mean something relative to the machine and build that produced them.
+  JsonValue host = JsonValue::Object();
+  host.Set("hardware_concurrency",
+           JsonValue::Number(static_cast<double>(
+               std::thread::hardware_concurrency())));
+  host.Set("compiler", JsonValue::Str(__VERSION__));
+  host.Set("build_type", JsonValue::Str(OOBP_BUILD_TYPE));
+  doc.Set("host", std::move(host));
 
   const std::string path = opts.output_dir + "/BENCH_sim_perf.json";
   std::ofstream out(path, std::ios::binary);
@@ -144,6 +241,39 @@ int RunPerf(const PerfOptions& opts) {
                     ? static_cast<double>(total_events) / (total_best_ms / 1e3)
                     : 0.0,
                 path.c_str());
+  }
+
+  if (opts.check) {
+    std::ifstream in(opts.baseline_path, std::ios::binary);
+    if (!in) {
+      std::fprintf(stderr, "perf: cannot read baseline %s\n",
+                   opts.baseline_path.c_str());
+      return 1;
+    }
+    std::ostringstream baseline;
+    baseline << in.rdbuf();
+    std::vector<PerfSample> samples;
+    for (const PerfRow& r : rows) {
+      if (r.ok) {
+        samples.push_back({r.scenario->name, r.events, r.wall_best_ms});
+      }
+    }
+    const bool wall_bands = std::string(OOBP_BUILD_TYPE) == "Release";
+    const PerfCheckReport report =
+        CheckPerfBaseline(baseline.str(), samples, wall_bands);
+    for (const std::string& n : report.notices) {
+      std::printf("perf-check NOTICE  %s\n", n.c_str());
+    }
+    for (const std::string& f : report.failures) {
+      std::printf("perf-check FAIL    %s\n", f.c_str());
+    }
+    std::printf("perf-check: %zu failure(s), %zu notice(s) vs %s "
+                "(wall bands %s)\n",
+                report.failures.size(), report.notices.size(),
+                opts.baseline_path.c_str(), wall_bands ? "on" : "off");
+    if (!report.ok()) {
+      return 1;
+    }
   }
   return failures == 0 ? 0 : 1;
 }

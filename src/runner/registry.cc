@@ -1,10 +1,9 @@
 #include "src/runner/registry.h"
 
-#include <fnmatch.h>
-
 #include <cstdlib>
 
 #include "src/common/check.h"
+#include "src/runner/glob.h"
 
 namespace oobp {
 
@@ -22,10 +21,6 @@ int ScenarioParams::GetInt(const std::string& key, int def) const {
 double ScenarioParams::GetDouble(const std::string& key, double def) const {
   auto it = values_.find(key);
   return it == values_.end() ? def : std::atof(it->second.c_str());
-}
-
-bool GlobMatch(const std::string& pattern, const std::string& text) {
-  return fnmatch(pattern.c_str(), text.c_str(), 0) == 0;
 }
 
 ScenarioRegistry& ScenarioRegistry::Global() {
@@ -54,7 +49,7 @@ std::vector<const Scenario*> ScenarioRegistry::Match(
     const std::string& glob) const {
   std::vector<const Scenario*> out;
   for (const Scenario& s : scenarios_) {
-    if (GlobMatch(glob, s.name)) {
+    if (MatchAnyGlob(glob, s.name)) {
       out.push_back(&s);
     }
   }

@@ -15,6 +15,7 @@
 #include <string>
 #include <vector>
 
+#include "src/runner/glob.h"
 #include "src/runner/result.h"
 
 namespace oobp {
@@ -48,10 +49,6 @@ struct Scenario {
   std::string label = "train";
 };
 
-// fnmatch-style glob: `*`, `?`, and `[...]` classes (used by --filter, e.g.
-// "fig0[456]*").
-bool GlobMatch(const std::string& pattern, const std::string& text);
-
 class ScenarioRegistry {
  public:
   // Process-wide registry used by the runner and `oobp bench`.
@@ -62,7 +59,8 @@ class ScenarioRegistry {
   void Register(Scenario scenario);
 
   const Scenario* Find(const std::string& name) const;
-  // All scenarios whose name matches `glob`, in registration order.
+  // All scenarios whose name matches `glob` (a comma-separated glob list;
+  // see src/runner/glob.h), in registration order.
   std::vector<const Scenario*> Match(const std::string& glob) const;
   const std::vector<Scenario>& scenarios() const { return scenarios_; }
   size_t size() const { return scenarios_.size(); }

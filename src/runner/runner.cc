@@ -13,6 +13,7 @@
 #include "src/runner/paper_scenarios.h"
 #include "src/runner/perf.h"
 #include "src/runner/serve_scenarios.h"
+#include "src/runner/sweep_scenarios.h"
 
 namespace oobp {
 
@@ -222,9 +223,11 @@ int BenchUsage() {
                "                  [--perf] [--warmup=N] [--repeats=N]\n"
                "  --list         print scenarios grouped by label\n"
                "                 (train = paper figures, serve = inference\n"
-               "                 serving; e.g. --filter='serve_*')\n"
+               "                 serving, sweep = scaling/analysis sweeps,\n"
+               "                 steady = long-horizon replay scenarios)\n"
                "  --filter=GLOB  run scenarios matching GLOB (default '*';\n"
-               "                 with --perf: 'fig07_*')\n"
+               "                 with --perf: "
+               "'fig07_*,fig10_*,fig13_*,serve_*,steady_*')\n"
                "  --jobs=N       thread-pool size; 0 = all cores (default 1)\n"
                "  --out=DIR      write BENCH_<scenario>.json files (default .)\n"
                "  --golden[=DIR] compare against golden files "
@@ -234,7 +237,12 @@ int BenchUsage() {
                "                 emits BENCH_sim_perf.json (see src/runner/"
                "perf.h)\n"
                "  --warmup=N     untimed runs per scenario (default 1)\n"
-               "  --repeats=N    timed runs per scenario (default 3)\n");
+               "  --repeats=N    timed runs per scenario (default 3)\n"
+               "  --check[=PATH] with --perf: gate event counts against the\n"
+               "                 committed baseline (default "
+               "bench/perf_baseline.json);\n"
+               "                 inflation fails, wall-clock bands are\n"
+               "                 informational (Release builds only)\n");
   return 2;
 }
 
@@ -243,6 +251,7 @@ int BenchUsage() {
 int BenchMain(int argc, char** argv) {
   RegisterPaperScenarios();
   RegisterServeScenarios();
+  RegisterSweepScenarios();
 
   RunnerOptions opts;
   opts.output_dir = ".";
@@ -281,6 +290,11 @@ int BenchMain(int argc, char** argv) {
       perf_opts.warmup = std::atoi(next_value().c_str());
     } else if (arg == "repeats") {
       perf_opts.repeats = std::atoi(next_value().c_str());
+    } else if (arg == "check") {
+      perf_opts.check = true;
+      if (has_value && !value.empty()) {
+        perf_opts.baseline_path = value;
+      }
     } else if (arg == "filter") {
       opts.filter = next_value();
       filter_given = true;
@@ -330,6 +344,7 @@ int BenchMain(int argc, char** argv) {
 int RunStandaloneBench(const std::string& filter) {
   RegisterPaperScenarios();
   RegisterServeScenarios();
+  RegisterSweepScenarios();
   RunnerOptions opts;
   opts.filter = filter;
   opts.jobs = 1;

@@ -20,6 +20,22 @@ struct TrainMetrics {
   bool oom = false;                       // peak exceeded device memory
 };
 
+// Telemetry of the steady-state replay fast path (DESIGN.md §9), shared by
+// the single-GPU and pipeline engines: whether the run was extrapolated, how
+// many iterations were event-simulated, and why the engine fell back when it
+// did not replay.
+struct ReplayStats {
+  bool attempted = false;  // run was long enough and replay was enabled
+  bool replayed = false;   // periodicity proven; tail extrapolated
+  int simulated_iterations = 0;  // iterations actually event-simulated
+  int total_iterations = 0;      // warm-up + measured
+  // Empty when replayed: "disabled", "traced", "short-run",
+  // "empty-schedule", "synchronous" (pipeline flush strategies complete in
+  // one simulated iteration — nothing to extrapolate), or "aperiodic"
+  // (detection failed; full rerun).
+  std::string fallback_reason;
+};
+
 // One serializable metric entry; ordered lists of these are what the
 // scenario runner writes into BENCH_<scenario>.json and compares against
 // golden values.

@@ -127,6 +127,61 @@ class PipeSim {
   const std::vector<TimeNs>& fwd_start() const { return fwd_start_; }
   const std::vector<TimeNs>& wgrad_done() const { return wgrad_done_; }
 
+  // Steady-state deltas per iteration, valid only after DetectSteadyPeriod
+  // returned true for `base`: what one steady iteration adds to each
+  // cumulative counter.
+  TimeNs SteadyComputeDelta(int base) const {
+    return cb_at_iter_[base + 2] - cb_at_iter_[base + 1];
+  }
+  TimeNs SteadyCommDelta(int base) const {
+    return comm_at_iter_[base + 2] - comm_at_iter_[base + 1];
+  }
+
+  // Proves the (continuous-mode) truncated run is iteration-periodic over
+  // iterations base..base+2: every existing op's completion time advances by
+  // exactly the same integer period P, iteration boundaries advance by P,
+  // the cumulative compute/communication busy counters advance by a constant
+  // per-iteration delta, and per-GPU live/peak memory at the boundaries is
+  // unchanged (the memory trajectory repeats and the peak stopped growing).
+  // `base` must sit past the pipeline-fill transient (the caller uses
+  // num_gpus + lookahead iterations of warm-up).
+  bool DetectSteadyPeriod(int base, TimeNs* period) const {
+    OOBP_CHECK_GE(base, 1);
+    OOBP_CHECK_GE(iterations_, base + 3);
+    const size_t b = static_cast<size_t>(base);
+    const TimeNs p = iter_end_[b + 2] - iter_end_[b + 1];
+    if (p <= 0 || iter_end_[b + 1] - iter_end_[b] != p) {
+      return false;
+    }
+    const size_t per_iter = static_cast<size_t>(M_) * L_ * 3;
+    for (size_t q = 0; q < per_iter; ++q) {
+      const Op& o1 = ops_[b * per_iter + q];
+      const Op& o2 = ops_[(b + 1) * per_iter + q];
+      const Op& o3 = ops_[(b + 2) * per_iter + q];
+      if (!o1.exists) {
+        continue;
+      }
+      if (o2.done_time - o1.done_time != p ||
+          o3.done_time - o2.done_time != p) {
+        return false;
+      }
+    }
+    if (cb_at_iter_[b + 1] - cb_at_iter_[b] !=
+            cb_at_iter_[b + 2] - cb_at_iter_[b + 1] ||
+        comm_at_iter_[b + 1] - comm_at_iter_[b] !=
+            comm_at_iter_[b + 2] - comm_at_iter_[b + 1]) {
+      return false;
+    }
+    for (int g = 0; g < config_.num_gpus; ++g) {
+      if (live_at_iter_[b + 2][g] != live_at_iter_[b + 1][g] ||
+          peak_at_iter_[b + 2][g] != peak_at_iter_[b + 1][g]) {
+        return false;
+      }
+    }
+    *period = p;
+    return true;
+  }
+
  private:
   struct Op {
     PipeOpKind kind;
@@ -134,6 +189,7 @@ class PipeSim {
     int deps = 0;
     int64_t priority = 0;
     TimeNs duration = 0;
+    TimeNs done_time = -1;  // completion timestamp (replay detection)
     bool done = false;
     bool exists = true;
   };
@@ -168,6 +224,10 @@ class PipeSim {
   void Build() {
     ops_.assign(static_cast<size_t>(iterations_) * M_ * L_ * 3, Op{});
     iter_end_.assign(iterations_, 0);
+    cb_at_iter_.assign(iterations_, 0);
+    comm_at_iter_.assign(iterations_, 0);
+    live_at_iter_.assign(iterations_, {});
+    peak_at_iter_.assign(iterations_, {});
     fwd_start_.assign(L_, -1);
     wgrad_done_.assign(L_, -1);
     iter_ops_left_.assign(iterations_, 0);
@@ -463,6 +523,7 @@ class PipeSim {
   void OnOpDone(int idx) {
     Op& op = ops_[idx];
     op.done = true;
+    op.done_time = engine_->now();
     GpuState& gs = gpus_[op.gpu];
     gs.busy = false;
 
@@ -517,6 +578,13 @@ class PipeSim {
       const int done_iter = t;
       engine_->ScheduleAfter(flush_ ? update_time_ : 0, [this, done_iter] {
         iter_end_[done_iter] = engine_->now();
+        // Iteration-boundary snapshots of every cumulative counter the
+        // result reads; replay detection compares consecutive deltas and
+        // extrapolation adds the steady delta once per skipped iteration.
+        cb_at_iter_[done_iter] = compute_busy_;
+        comm_at_iter_[done_iter] = comm_busy();
+        live_at_iter_[done_iter] = live_mem_;
+        peak_at_iter_[done_iter] = peak_mem_;
         if (flush_) {
           ReleaseIteration(done_iter + 1);
         }
@@ -548,6 +616,10 @@ class PipeSim {
   std::vector<GpuState> gpus_;
   std::vector<int> iter_ops_left_;
   std::vector<TimeNs> iter_end_;
+  std::vector<TimeNs> cb_at_iter_;   // compute_busy_ at each iteration end
+  std::vector<TimeNs> comm_at_iter_; // comm_busy() at each iteration end
+  std::vector<std::vector<int64_t>> live_at_iter_;
+  std::vector<std::vector<int64_t>> peak_at_iter_;
   std::map<std::pair<int, int>, std::unique_ptr<Link>> links_;
   std::vector<int> act_consumers_;   // keyed by (t, m, producer layer)
   std::vector<int> grad_consumers_;  // keyed by (t, m, target layer)
@@ -562,7 +634,8 @@ class PipeSim {
 
 PipelineResult PipelineEngine::Run(const NnModel& micro_model,
                                    PipelineStrategy strategy,
-                                   TraceRecorder* trace) const {
+                                   TraceRecorder* trace,
+                                   ReplayStats* replay_stats) const {
   const TrainGraph graph(&micro_model);
   const CostModel cost(config_.cluster.gpu, config_.profile);
   const LayerAssignment assignment = AssignmentFor(micro_model, strategy);
@@ -572,24 +645,105 @@ PipelineResult PipelineEngine::Run(const NnModel& micro_model,
   const bool continuous = strategy == PipelineStrategy::kPipeDream;
   const int iterations = continuous ? 1 + config_.measured_iterations : 1;
 
-  SimEngine engine;
-  PipeSim sim(&engine, config_, micro_model, graph, cost, assignment, strategy,
-              iterations, trace);
-  sim.Start();
-  engine.Run();
+  ReplayStats local_stats;
+  ReplayStats& stats = replay_stats != nullptr ? *replay_stats : local_stats;
+  stats = ReplayStats();
+  stats.total_iterations = iterations;
+
+  // Replay window: pipeline-fill warm-up + 3 detection iterations + guard
+  // tail. The pipe takes about num_gpus iterations to fill, and the
+  // in-flight cap (AdmitForward) bounds how far ahead of the backward
+  // frontier the scheduler can issue forwards — num_gpus * owned_layers ops
+  // per GPU, about num_gpus * max_owned / M iterations of lookahead. The
+  // detection block therefore starts after max(num_gpus, lookahead) + 1
+  // warm-up iterations (past every fill/admission transient) and is followed
+  // by lookahead + 2 guard iterations, so its iterations behave exactly like
+  // full-run middle iterations (end effects cannot reach back into them).
+  int window_iters = 0;
+  int detect_base = 0;
+  if (continuous) {
+    int max_owned = 1;
+    for (int g = 0; g < config_.num_gpus; ++g) {
+      max_owned = std::max(
+          max_owned, static_cast<int>(LayersOf(assignment, g).size()));
+    }
+    const int lookahead =
+        (config_.num_gpus * max_owned + config_.num_micro_batches - 1) /
+        config_.num_micro_batches;
+    detect_base = std::max(config_.num_gpus, lookahead) + 1;
+    window_iters = detect_base + 3 + 2 + lookahead;
+  }
+
+  if (!continuous) {
+    stats.fallback_reason = "synchronous";
+  } else if (!config_.steady_replay) {
+    stats.fallback_reason = "disabled";
+  } else if (trace != nullptr) {
+    stats.fallback_reason = "traced";
+  } else if (iterations <= window_iters) {
+    stats.fallback_reason = "short-run";
+  } else {
+    stats.attempted = true;
+  }
 
   PipelineResult result;
   result.assignment = assignment;
   result.weight_versions = continuous ? config_.num_gpus : 1;
 
+  TimeNs first_end = 0;
+  TimeNs final_end = 0;
+  TimeNs compute_busy = 0;
+  TimeNs comm_total = 0;
+
+  // Simulates `iters` iterations; with `extrapolate`, returns false unless
+  // the run is provably periodic, in which case the remaining iterations are
+  // folded in arithmetically (all pipeline counters are integers, so the
+  // extrapolated totals are exact). fwd_start/wgrad_done describe iteration
+  // 0, which a truncated run reproduces exactly.
+  const auto run_once = [&](int iters, bool extrapolate) {
+    SimEngine engine;
+    PipeSim sim(&engine, config_, micro_model, graph, cost, assignment,
+                strategy, iters, trace);
+    sim.Start();
+    engine.Run();
+    TimeNs period = 0;
+    TimeNs compute_delta = 0;
+    TimeNs comm_delta = 0;
+    if (extrapolate) {
+      if (!sim.DetectSteadyPeriod(detect_base, &period)) {
+        return false;
+      }
+      compute_delta = sim.SteadyComputeDelta(detect_base);
+      comm_delta = sim.SteadyCommDelta(detect_base);
+    }
+    const int64_t extra = iterations - iters;
+    first_end = sim.IterEnd(0);
+    final_end = sim.IterEnd(iters - 1) + extra * period;
+    compute_busy = sim.compute_busy() + extra * compute_delta;
+    comm_total = sim.comm_busy() + extra * comm_delta;
+    result.per_gpu_peak_memory = sim.peak_memory();
+    result.fwd_start = sim.fwd_start();
+    result.wgrad_done = sim.wgrad_done();
+    return true;
+  };
+
+  if (stats.attempted && run_once(window_iters, /*extrapolate=*/true)) {
+    stats.replayed = true;
+    stats.simulated_iterations = window_iters;
+  } else {
+    if (stats.attempted) {
+      stats.fallback_reason = "aperiodic";
+    }
+    run_once(iterations, /*extrapolate=*/false);
+    stats.simulated_iterations = iterations;
+  }
+
   TimeNs iter_time;
   if (continuous) {
-    const TimeNs t0 = sim.IterEnd(0);
-    const TimeNs tn = sim.IterEnd(iterations - 1);
-    OOBP_CHECK_GT(tn, t0);
-    iter_time = (tn - t0) / config_.measured_iterations;
+    OOBP_CHECK_GT(final_end, first_end);
+    iter_time = (final_end - first_end) / config_.measured_iterations;
   } else {
-    iter_time = sim.IterEnd(0);
+    iter_time = final_end;
     OOBP_CHECK_GT(iter_time, 0) << "pipeline did not complete";
   }
   result.metrics.iteration_time = iter_time;
@@ -597,20 +751,17 @@ PipelineResult PipelineEngine::Run(const NnModel& micro_model,
       static_cast<double>(micro_model.batch) * config_.num_micro_batches /
       ToSec(iter_time);
   result.metrics.gpu_utilization =
-      static_cast<double>(sim.compute_busy()) /
+      static_cast<double>(compute_busy) /
       (static_cast<double>(iter_time) * config_.num_gpus * iterations);
-  result.per_gpu_peak_memory = sim.peak_memory();
-  result.fwd_start = sim.fwd_start();
-  result.wgrad_done = sim.wgrad_done();
   for (int64_t peak : result.per_gpu_peak_memory) {
     result.metrics.peak_memory_bytes =
         std::max(result.metrics.peak_memory_bytes, peak);
   }
   result.metrics.oom =
       result.metrics.peak_memory_bytes > config_.cluster.gpu.mem_bytes;
-  if (sim.compute_busy() > 0) {
-    result.comm_comp_ratio = static_cast<double>(sim.comm_busy()) /
-                             static_cast<double>(sim.compute_busy());
+  if (compute_busy > 0) {
+    result.comm_comp_ratio = static_cast<double>(comm_total) /
+                             static_cast<double>(compute_busy);
     result.metrics.comm_comp_ratio = result.comm_comp_ratio;
   }
   return result;

@@ -82,6 +82,11 @@ struct PipelineConfig {
   // 8-layer/2-GPU makespan 23 units rather than 24. Combine with an ideal
   // link override so transfers stay negligible against the unit.
   TimeNs unit_time = 0;
+  // Steady-state iteration replay for continuous (kPipeDream) runs — see
+  // DESIGN.md §9 and SingleGpuConfig::steady_replay. Every pipeline metric
+  // is integer-valued (compute busy, link busy, iteration ends, peak bytes),
+  // so the extrapolation is exact by integer arithmetic.
+  bool steady_replay = true;
 };
 
 struct PipelineResult {
@@ -102,8 +107,11 @@ class PipelineEngine {
  public:
   explicit PipelineEngine(PipelineConfig config);
 
+  // `replay_stats` (optional) reports whether the continuous-mode run was
+  // extrapolated from a truncated steady-state window.
   PipelineResult Run(const NnModel& micro_model, PipelineStrategy strategy,
-                     TraceRecorder* trace = nullptr) const;
+                     TraceRecorder* trace = nullptr,
+                     ReplayStats* replay_stats = nullptr) const;
 
   // The layer assignment the strategy would use (contiguous balanced by
   // forward cost, or modulo).

@@ -163,21 +163,37 @@ SingleGpuEngine::SingleGpuEngine(SingleGpuConfig config)
   OOBP_CHECK_GT(config_.measured_iterations, 0);
 }
 
-TrainMetrics SingleGpuEngine::Run(const NnModel& model,
-                                  const IterationSchedule& schedule,
-                                  TraceRecorder* trace) const {
-  const CostModel cost(config_.gpu, config_.profile);
-  const int iterations = 1 + config_.measured_iterations;  // 1 warm-up
+namespace {
 
+// Outcome of one event simulation of `iterations` training iterations.
+// `item_start` / `item_done` / `increments` are filled only for recorded
+// (replay-candidate) runs; item index = iteration * ops_per_iter + position.
+struct TrainSimOutcome {
+  std::vector<TimeNs> iter_end;
+  double busy_integral = 0.0;
+  std::vector<TimeNs> item_start;
+  std::vector<TimeNs> item_done;
+  std::vector<BusyIncrement> increments;
+};
+
+TrainSimOutcome SimulateTraining(const SingleGpuConfig& config,
+                                 const CostModel& cost, const NnModel& model,
+                                 const IterationSchedule& schedule,
+                                 int iterations, TraceRecorder* trace,
+                                 bool record) {
+  TrainSimOutcome out;
   SimEngine engine;
-  Gpu gpu(&engine, config_.gpu, trace, /*trace_track_base=*/0);
+  Gpu gpu(&engine, config.gpu, trace, /*trace_track_base=*/0);
+  if (record) {
+    gpu.SetBusyRecorder(&out.increments);
+  }
   const StreamId main_stream = gpu.CreateStream(/*priority=*/0);
   const StreamId sub_stream = gpu.CreateStream(/*priority=*/1);
   CpuLauncher launcher(&engine, &gpu,
-                       config_.precompiled_issue ? CpuLauncher::Mode::kPrecompiled
-                                                 : CpuLauncher::Mode::kPerOp,
-                       config_.profile.graph_launch_latency, trace,
-                       /*issue_track=*/100, config_.profile.issue_queue_depth);
+                       config.precompiled_issue ? CpuLauncher::Mode::kPrecompiled
+                                                : CpuLauncher::Mode::kPerOp,
+                       config.profile.graph_launch_latency, trace,
+                       /*issue_track=*/100, config.profile.issue_queue_depth);
 
   TrainIssuePlan plan =
       BuildTrainIssuePlan(model, schedule, cost, iterations, main_stream,
@@ -191,18 +207,177 @@ TrainMetrics SingleGpuEngine::Run(const NnModel& model,
   engine.Run();
   OOBP_CHECK_EQ(gpu.kernels_completed(), item_kernel.size());
 
-  const std::vector<TimeNs> iter_end =
-      TrainIterationEndTimes(gpu, item_kernel, plan.iter_last_item);
+  out.iter_end = TrainIterationEndTimes(gpu, item_kernel, plan.iter_last_item);
+  out.busy_integral = gpu.SmBusyIntegral();
+  if (record) {
+    out.item_start.reserve(item_kernel.size());
+    out.item_done.reserve(item_kernel.size());
+    for (KernelId id : item_kernel) {
+      out.item_start.push_back(gpu.StartTime(id));
+      out.item_done.push_back(gpu.CompletionTime(id));
+    }
+  }
+  return out;
+}
+
+// Truncated-window length: warm-up (iteration 0) + the detection window
+// (iterations 1..3) + a guard tail. The guard covers end effects that make
+// the *last* iterations of any run differ from steady state: with no
+// successor kernels fluid contention drops, and the launcher's bounded issue
+// queue stops exerting back-pressure once fewer than `issue_queue_depth`
+// items remain un-issued — about ceil(depth / ops_per_iter) iterations of
+// lookahead, plus slack. Detection therefore only inspects iterations that
+// sit at least 2 + lookahead iterations before the truncated stream's end.
+int ReplayWindowIterations(int issue_queue_depth, size_t ops_per_iter) {
+  const size_t depth =
+      issue_queue_depth > 0 ? static_cast<size_t>(issue_queue_depth) : 0;
+  const size_t lookahead = (depth + ops_per_iter - 1) / ops_per_iter;
+  return static_cast<int>(4 + 2 + lookahead);
+}
+
+// Proves the truncated run is iteration-periodic over iterations 1..3: every
+// per-position kernel start and completion time advances by exactly the same
+// integer period P, the iteration boundaries advance by P, and the
+// busy-integral increment blocks of iterations 2 and 3 — (E[1], E[2]] and
+// (E[2], E[3]] — are identical term by term (time shifted by P, values
+// bitwise equal; for finite nonzero doubles == is bitwise).
+bool DetectSteadyPeriod(const TrainSimOutcome& out, size_t ops,
+                        TimeNs* period) {
+  const std::vector<TimeNs>& E = out.iter_end;
+  const TimeNs p = E[3] - E[2];
+  if (p <= 0 || E[2] - E[1] != p) {
+    return false;
+  }
+  for (size_t q = 0; q < ops; ++q) {
+    const size_t i1 = 1 * ops + q, i2 = 2 * ops + q, i3 = 3 * ops + q;
+    if (out.item_done[i2] - out.item_done[i1] != p ||
+        out.item_done[i3] - out.item_done[i2] != p ||
+        out.item_start[i2] - out.item_start[i1] != p ||
+        out.item_start[i3] - out.item_start[i2] != p) {
+      return false;
+    }
+  }
+  // Increment times are non-decreasing (recorded in event order), so the
+  // three block boundaries are prefix scans.
+  const std::vector<BusyIncrement>& inc = out.increments;
+  size_t a = 0;
+  while (a < inc.size() && inc[a].time <= E[1]) ++a;
+  size_t b = a;
+  while (b < inc.size() && inc[b].time <= E[2]) ++b;
+  size_t c = b;
+  while (c < inc.size() && inc[c].time <= E[3]) ++c;
+  if (b - a != c - b) {
+    return false;
+  }
+  for (size_t k = 0; k < b - a; ++k) {
+    if (inc[b + k].time - inc[a + k].time != p ||
+        inc[b + k].value != inc[a + k].value) {
+      return false;
+    }
+  }
+  *period = p;
+  return true;
+}
+
+// Rebuilds the busy integral the full simulation would have computed, in its
+// exact addition order: every increment up to E[3], then the steady block
+// (E[2], E[3]] once per extrapolated iteration, then the truncated run's
+// tail. A left fold in this order matches the full run's accumulation
+// sequence because its extra iterations insert exactly that block (time
+// shifted) between the detection window and the stream's final iterations —
+// order-preserving insertion keeps the floating-point sum bit-identical.
+double RefoldBusyIntegral(const std::vector<BusyIncrement>& inc, TimeNs e2,
+                          TimeNs e3, int64_t extra_iterations) {
+  double total = 0.0;
+  size_t i = 0;
+  size_t block_begin = 0;
+  for (; i < inc.size() && inc[i].time <= e3; ++i) {
+    if (inc[i].time <= e2) {
+      ++block_begin;
+    }
+    total += inc[i].value;
+  }
+  const size_t block_end = i;
+  for (int64_t r = 0; r < extra_iterations; ++r) {
+    for (size_t k = block_begin; k < block_end; ++k) {
+      total += inc[k].value;
+    }
+  }
+  for (; i < inc.size(); ++i) {
+    total += inc[i].value;
+  }
+  return total;
+}
+
+}  // namespace
+
+TrainMetrics SingleGpuEngine::Run(const NnModel& model,
+                                  const IterationSchedule& schedule,
+                                  TraceRecorder* trace,
+                                  ReplayStats* replay_stats) const {
+  const CostModel cost(config_.gpu, config_.profile);
+  const int iterations = 1 + config_.measured_iterations;  // 1 warm-up
+  const size_t ops = schedule.ops.size();
+
+  ReplayStats local_stats;
+  ReplayStats& stats = replay_stats != nullptr ? *replay_stats : local_stats;
+  stats = ReplayStats();
+  stats.total_iterations = iterations;
+
+  TrainSimOutcome out;
+  TimeNs first_end = 0;
+  TimeNs final_end = 0;
+  double busy = 0.0;
+  bool extrapolated = false;
+
+  if (!config_.steady_replay) {
+    stats.fallback_reason = "disabled";
+  } else if (trace != nullptr) {
+    stats.fallback_reason = "traced";
+  } else if (ops == 0) {
+    stats.fallback_reason = "empty-schedule";
+  } else {
+    const int window_iters =
+        ReplayWindowIterations(config_.profile.issue_queue_depth, ops);
+    if (iterations <= window_iters) {
+      stats.fallback_reason = "short-run";
+    } else {
+      stats.attempted = true;
+      out = SimulateTraining(config_, cost, model, schedule, window_iters,
+                             /*trace=*/nullptr, /*record=*/true);
+      TimeNs period = 0;
+      if (DetectSteadyPeriod(out, ops, &period)) {
+        const int64_t extra = iterations - window_iters;
+        stats.replayed = true;
+        stats.simulated_iterations = window_iters;
+        first_end = out.iter_end[0];
+        final_end = out.iter_end[window_iters - 1] + extra * period;
+        busy = RefoldBusyIntegral(out.increments, out.iter_end[2],
+                                  out.iter_end[3], extra);
+        extrapolated = true;
+      } else {
+        stats.fallback_reason = "aperiodic";
+      }
+    }
+  }
+  if (!extrapolated) {
+    out = SimulateTraining(config_, cost, model, schedule, iterations, trace,
+                           /*record=*/false);
+    stats.simulated_iterations = iterations;
+    first_end = out.iter_end.front();
+    final_end = out.iter_end.back();
+    busy = out.busy_integral;
+  }
 
   TrainMetrics metrics;
-  const TimeNs window = iter_end[iterations - 1] - iter_end[0];
+  const TimeNs window = final_end - first_end;
   metrics.iteration_time = window / config_.measured_iterations;
   metrics.throughput =
       static_cast<double>(model.batch) / ToSec(metrics.iteration_time);
   const double capacity = static_cast<double>(config_.gpu.slot_capacity());
   if (window > 0) {
     metrics.gpu_utilization =
-        gpu.SmBusyIntegral() / (capacity * static_cast<double>(iter_end[iterations - 1]));
+        busy / (capacity * static_cast<double>(final_end));
   }
 
   // Memory: schedule-dependent activation peak plus the static base, under

@@ -34,6 +34,12 @@ struct SingleGpuConfig {
   SystemProfile profile;
   bool precompiled_issue = false;  // Opt1
   int measured_iterations = 3;     // steady-state window after 1 warm-up
+  // Steady-state iteration replay (DESIGN.md §9): for long runs, simulate a
+  // short window, prove the event timeline is iteration-periodic, and
+  // extrapolate the remaining iterations arithmetically — bit-identical to
+  // the full simulation by construction, with automatic fallback to full
+  // simulation whenever periodicity does not hold.
+  bool steady_replay = true;
 };
 
 // The "simple" multi-stream variant: weight gradients and updates moved to
@@ -74,9 +80,12 @@ class SingleGpuEngine {
 
   // Simulates warm-up + measured iterations of `schedule` over `model` and
   // returns steady-state metrics. `trace` (optional) receives kernel/issue
-  // events: track 0 = main stream, 1 = sub stream, 100 = CPU issue thread.
+  // events: track 0 = main stream, 1 = sub stream, 100 = CPU issue thread;
+  // tracing disables steady-state replay (the trace must hold every event).
+  // `replay_stats` (optional) reports whether the run was extrapolated.
   TrainMetrics Run(const NnModel& model, const IterationSchedule& schedule,
-                   TraceRecorder* trace = nullptr) const;
+                   TraceRecorder* trace = nullptr,
+                   ReplayStats* replay_stats = nullptr) const;
 
   const SingleGpuConfig& config() const { return config_; }
 

@@ -120,6 +120,9 @@ void FluidProcessor::Advance() {
     SortBySeq(&contrib);
     for (const auto& [seq, c] : contrib) {
       busy_integral_ += c;
+      if (busy_recorder_ != nullptr && c != 0.0) {
+        busy_recorder_->push_back({now, c});
+      }
     }
   }
 

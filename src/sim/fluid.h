@@ -37,6 +37,17 @@ namespace oobp {
 
 using FluidJobId = uint64_t;
 
+// One term of the busy-integral accumulation: at simulation time `time`,
+// `value` (rate*ns of work progressed by one job since the previous update)
+// was added to the running integral. The steady-state replay optimization
+// (src/runtime) records these to re-fold the exact floating-point sum a
+// longer simulation would have produced — summation order is what makes the
+// double bit-reproducible, so increments are replayed, never re-associated.
+struct BusyIncrement {
+  TimeNs time;
+  double value;
+};
+
 class FluidProcessor {
  public:
   // `capacity` is the total rate the processor can hand out; must be > 0.
@@ -68,6 +79,14 @@ class FluidProcessor {
   // assert this at every simulation event).
   double allocated_rate() const;
 
+  // Streams every nonzero busy-integral increment into `recorder` in
+  // accumulation order (zero increments are exact no-ops of the fold and are
+  // skipped). Pass nullptr to detach; when detached the hot path pays one
+  // predicted-not-taken branch.
+  void set_busy_recorder(std::vector<BusyIncrement>* recorder) {
+    busy_recorder_ = recorder;
+  }
+
  private:
   struct Job {
     double remaining;      // work left, in rate*ns
@@ -93,6 +112,7 @@ class FluidProcessor {
   // small (concurrent kernels on a device), so inserts are cheap and every
   // Reallocate() pass is branch-predictable sequential access.
   std::vector<Job> jobs_;
+  std::vector<BusyIncrement>* busy_recorder_ = nullptr;
   SimEngine::TimerHandle wake_;  // pending completion wake-up, if any
   // Scratch for Advance()/busy_integral(): reused across calls so the per-
   // event hot path performs no allocation. Only touched while no user code

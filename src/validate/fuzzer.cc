@@ -1,11 +1,13 @@
 #include "src/validate/fuzzer.h"
 
 #include <algorithm>
+#include <atomic>
 #include <cstdio>
 #include <cstdlib>
 #include <cstring>
 #include <optional>
 #include <string>
+#include <thread>
 #include <utility>
 #include <vector>
 
@@ -20,6 +22,7 @@
 #include "src/hw/link.h"
 #include "src/nn/layer_builder.h"
 #include "src/nn/train_graph.h"
+#include "src/runner/glob.h"
 #include "src/runtime/single_gpu_engine.h"
 #include "src/serve/serve_engine.h"
 #include "src/sim/engine.h"
@@ -403,115 +406,186 @@ void ServeFuzz(Rng& rng, uint64_t seed, std::vector<std::string>* errors) {
 
 }  // namespace
 
-void FuzzOneSeed(uint64_t seed, bool include_serve,
+void FuzzOneSeed(uint64_t seed, bool include_serve, const std::string& checks,
                  std::vector<std::string>* errors) {
   Rng rng(seed);
+  auto on = [&checks](const char* family) {
+    return MatchAnyGlob(checks, family);
+  };
   auto fail = [errors, seed](std::string msg) {
     errors->push_back(
         StrFormat("seed %llu: ", static_cast<unsigned long long>(seed)) +
         std::move(msg));
   };
 
-  const GpuSpec gpu = RandomGpuSpec(rng);
-  const SystemProfile profile = RandomProfile(rng);
-  const NnModel model = RandomModel(rng);
-  const TrainGraph graph(&model);
+  // The model/schedule stack feeds the schedule, memory, and train families;
+  // generate it only when one of them is selected so a pure dag/link/serve
+  // run stays cheap.
+  if (on("schedule") || on("memory") || on("train")) {
+    const GpuSpec gpu = RandomGpuSpec(rng);
+    const SystemProfile profile = RandomProfile(rng);
+    const NnModel model = RandomModel(rng);
+    const TrainGraph graph(&model);
 
-  const IterationSchedule conventional = ConventionalIteration(graph);
-  const JointScheduleResult ooo = MakeOooSchedule(graph, gpu, profile);
+    const IterationSchedule conventional = ConventionalIteration(graph);
+    const JointScheduleResult ooo = MakeOooSchedule(graph, gpu, profile);
 
-  // Schedule equivalence: both orders are dependency-preserving permutations
-  // of the same iteration op set.
-  ScheduleCheckReport conv_check =
-      CheckIterationSchedule(graph, conventional);
-  if (!conv_check.ok()) {
-    fail("conventional schedule: " + conv_check.ToString());
-  }
-  ScheduleCheckReport ooo_check = CheckIterationSchedule(graph, ooo.schedule);
-  if (!ooo_check.ok()) {
-    fail("ooo schedule: " + ooo_check.ToString());
-  }
+    if (on("schedule")) {
+      // Schedule equivalence: both orders are dependency-preserving
+      // permutations of the same iteration op set.
+      ScheduleCheckReport conv_check =
+          CheckIterationSchedule(graph, conventional);
+      if (!conv_check.ok()) {
+        fail("conventional schedule: " + conv_check.ToString());
+      }
+      ScheduleCheckReport ooo_check =
+          CheckIterationSchedule(graph, ooo.schedule);
+      if (!ooo_check.ok()) {
+        fail("ooo schedule: " + ooo_check.ToString());
+      }
+    }
 
-  // Memory model vs the independent interval-liveness reference, for both
-  // orders, plus the scheduler's cap contract.
-  const std::vector<TrainOp> conv_order = conventional.MergedOrder();
-  const std::vector<TrainOp> ooo_order = ooo.schedule.MergedOrder();
-  const MemoryTimeline conv_mem = EstimateBackpropMemory(model, conv_order);
-  const MemoryTimeline ooo_mem = EstimateBackpropMemory(model, ooo_order);
-  ScheduleCheckReport conv_mem_check =
-      CheckMemoryTimeline(model, conv_order, conv_mem);
-  if (!conv_mem_check.ok()) {
-    fail("conventional memory timeline: " + conv_mem_check.ToString());
-  }
-  ScheduleCheckReport ooo_mem_check =
-      CheckMemoryTimeline(model, ooo_order, ooo_mem);
-  if (!ooo_mem_check.ok()) {
-    fail("ooo memory timeline: " + ooo_mem_check.ToString());
-  }
-  if (ooo.peak_memory != ooo_mem.peak) {
-    fail(StrFormat("scheduler reported peak %lld, memory model says %lld",
-                   static_cast<long long>(ooo.peak_memory),
-                   static_cast<long long>(ooo_mem.peak)));
-  }
-  // Cap contract: within 1.1x of the conventional peak, unless the fallback
-  // exhausted every backward region (then the cap is best-effort).
-  const int64_t cap = static_cast<int64_t>(1.1 * conv_mem.peak);
-  int bwd_regions = 0;
-  for (const Region& region : BuildRegions(graph)) {
-    if (region.kind == Region::Kind::kBackward) {
-      ++bwd_regions;
+    if (on("memory")) {
+      // Memory model vs the independent interval-liveness reference, for
+      // both orders, plus the scheduler's cap contract.
+      const std::vector<TrainOp> conv_order = conventional.MergedOrder();
+      const std::vector<TrainOp> ooo_order = ooo.schedule.MergedOrder();
+      const MemoryTimeline conv_mem =
+          EstimateBackpropMemory(model, conv_order);
+      const MemoryTimeline ooo_mem = EstimateBackpropMemory(model, ooo_order);
+      ScheduleCheckReport conv_mem_check =
+          CheckMemoryTimeline(model, conv_order, conv_mem);
+      if (!conv_mem_check.ok()) {
+        fail("conventional memory timeline: " + conv_mem_check.ToString());
+      }
+      ScheduleCheckReport ooo_mem_check =
+          CheckMemoryTimeline(model, ooo_order, ooo_mem);
+      if (!ooo_mem_check.ok()) {
+        fail("ooo memory timeline: " + ooo_mem_check.ToString());
+      }
+      if (ooo.peak_memory != ooo_mem.peak) {
+        fail(StrFormat("scheduler reported peak %lld, memory model says %lld",
+                       static_cast<long long>(ooo.peak_memory),
+                       static_cast<long long>(ooo_mem.peak)));
+      }
+      // Cap contract: within 1.1x of the conventional peak, unless the
+      // fallback exhausted every backward region (then the cap is
+      // best-effort).
+      const int64_t cap = static_cast<int64_t>(1.1 * conv_mem.peak);
+      int bwd_regions = 0;
+      for (const Region& region : BuildRegions(graph)) {
+        if (region.kind == Region::Kind::kBackward) {
+          ++bwd_regions;
+        }
+      }
+      if (ooo.peak_memory > cap && ooo.pre_scheduled_regions != bwd_regions) {
+        fail(StrFormat("peak %lld over cap %lld with only %d of %d backward "
+                       "regions pre-scheduled",
+                       static_cast<long long>(ooo.peak_memory),
+                       static_cast<long long>(cap), ooo.pre_scheduled_regions,
+                       bwd_regions));
+      }
+    }
+
+    if (on("train")) {
+      // Differential execution: conventional vs ooo, both end to end under
+      // the invariant validator.
+      SimValidator validator;
+      TrainMetrics conv_metrics;
+      TrainMetrics ooo_metrics;
+      {
+        ValidationScope scope(&validator);
+        SingleGpuConfig cfg;
+        cfg.gpu = gpu;
+        cfg.profile = profile;
+        cfg.precompiled_issue = rng.NextBelow(2) == 0;
+        cfg.measured_iterations = 2;
+        const SingleGpuEngine engine(cfg);
+        conv_metrics = engine.Run(model, conventional);
+        ooo_metrics = engine.Run(model, ooo.schedule);
+      }
+      if (!validator.ok()) {
+        fail("train run: " + validator.Summary());
+      }
+      if (validator.kernels_finished() == 0) {
+        fail("train run: validator observed no kernel completions");
+      }
+      if (conv_metrics.iteration_time <= 0 ||
+          ooo_metrics.iteration_time <= 0) {
+        fail(StrFormat("non-positive iteration time (conventional %lld, ooo "
+                       "%lld)",
+                       static_cast<long long>(conv_metrics.iteration_time),
+                       static_cast<long long>(ooo_metrics.iteration_time)));
+      }
     }
   }
-  if (ooo.peak_memory > cap && ooo.pre_scheduled_regions != bwd_regions) {
-    fail(StrFormat("peak %lld over cap %lld with only %d of %d backward "
-                   "regions pre-scheduled",
-                   static_cast<long long>(ooo.peak_memory),
-                   static_cast<long long>(cap), ooo.pre_scheduled_regions,
-                   bwd_regions));
-  }
 
-  // Differential execution: conventional vs ooo, both end to end under the
-  // invariant validator.
-  SimValidator validator;
-  TrainMetrics conv_metrics;
-  TrainMetrics ooo_metrics;
-  {
-    ValidationScope scope(&validator);
-    SingleGpuConfig cfg;
-    cfg.gpu = gpu;
-    cfg.profile = profile;
-    cfg.precompiled_issue = rng.NextBelow(2) == 0;
-    cfg.measured_iterations = 2;
-    const SingleGpuEngine engine(cfg);
-    conv_metrics = engine.Run(model, conventional);
-    ooo_metrics = engine.Run(model, ooo.schedule);
+  if (on("dag")) {
+    MetamorphicDagChecks(rng, seed, errors);
   }
-  if (!validator.ok()) {
-    fail("train run: " + validator.Summary());
+  if (on("link")) {
+    LinkFuzz(rng, seed, errors);
   }
-  if (validator.kernels_finished() == 0) {
-    fail("train run: validator observed no kernel completions");
-  }
-  if (conv_metrics.iteration_time <= 0 || ooo_metrics.iteration_time <= 0) {
-    fail(StrFormat("non-positive iteration time (conventional %lld, ooo "
-                   "%lld)",
-                   static_cast<long long>(conv_metrics.iteration_time),
-                   static_cast<long long>(ooo_metrics.iteration_time)));
-  }
-
-  MetamorphicDagChecks(rng, seed, errors);
-  LinkFuzz(rng, seed, errors);
-  if (include_serve && seed % 4 == 0) {
+  if (on("serve") && include_serve && seed % 4 == 0) {
     ServeFuzz(rng, seed, errors);
   }
 }
 
+void FuzzOneSeed(uint64_t seed, bool include_serve,
+                 std::vector<std::string>* errors) {
+  FuzzOneSeed(seed, include_serve, "*", errors);
+}
+
 FuzzResult RunFuzz(const FuzzOptions& options) {
   FuzzResult result;
-  for (int s = 0; s < options.num_seeds; ++s) {
-    const uint64_t seed = options.base_seed + static_cast<uint64_t>(s);
-    std::vector<std::string> errors;
-    FuzzOneSeed(seed, options.include_serve, &errors);
+  const size_t n =
+      options.num_seeds > 0 ? static_cast<size_t>(options.num_seeds) : 0;
+  // One error-list slot per seed: workers never share state, and the merge
+  // below walks slots in seed order, so the report is byte-identical for
+  // every jobs value (the tier-5 fuzz_parallel_test pins this).
+  std::vector<std::vector<std::string>> per_seed(n);
+
+  int jobs = options.jobs;
+  if (jobs <= 0) {
+    jobs = static_cast<int>(std::thread::hardware_concurrency());
+  }
+  if (jobs < 1) {
+    jobs = 1;
+  }
+  if (static_cast<size_t>(jobs) > n) {
+    jobs = static_cast<int>(n);
+  }
+
+  auto run_seed = [&options, &per_seed](size_t i) {
+    const uint64_t seed = options.base_seed + static_cast<uint64_t>(i);
+    FuzzOneSeed(seed, options.include_serve, options.checks, &per_seed[i]);
+  };
+  if (jobs <= 1) {
+    for (size_t i = 0; i < n; ++i) {
+      run_seed(i);
+    }
+  } else {
+    std::atomic<size_t> next{0};
+    std::vector<std::thread> pool;
+    pool.reserve(static_cast<size_t>(jobs));
+    for (int t = 0; t < jobs; ++t) {
+      pool.emplace_back([&run_seed, &next, n] {
+        while (true) {
+          const size_t i = next.fetch_add(1);
+          if (i >= n) {
+            return;
+          }
+          run_seed(i);
+        }
+      });
+    }
+    for (std::thread& t : pool) {
+      t.join();
+    }
+  }
+
+  for (size_t i = 0; i < n; ++i) {
+    std::vector<std::string>& errors = per_seed[i];
     ++result.seeds_run;
     if (!errors.empty()) {
       ++result.failed_seeds;
@@ -523,7 +597,8 @@ FuzzResult RunFuzz(const FuzzOptions& options) {
     }
     if (options.verbose) {
       std::fprintf(stderr, "seed %llu: %s\n",
-                   static_cast<unsigned long long>(seed),
+                   static_cast<unsigned long long>(
+                       options.base_seed + static_cast<uint64_t>(i)),
                    errors.empty() ? "ok" : "FAILED");
     }
   }
@@ -548,14 +623,26 @@ int FuzzMain(int argc, char** argv) {
       opts.base_seed = static_cast<uint64_t>(std::atoll(v2));
     } else if (arg == "--base-seed" && i + 1 < argc) {
       opts.base_seed = static_cast<uint64_t>(std::atoll(argv[++i]));
+    } else if (const char* v3 = value_of("--jobs=")) {
+      opts.jobs = std::atoi(v3);
+    } else if (arg == "--jobs" && i + 1 < argc) {
+      opts.jobs = std::atoi(argv[++i]);
+    } else if (const char* v4 = value_of("--checks=")) {
+      opts.checks = v4;
+    } else if (arg == "--checks" && i + 1 < argc) {
+      opts.checks = argv[++i];
     } else if (arg == "--no-serve") {
       opts.include_serve = false;
     } else if (arg == "--verbose") {
       opts.verbose = true;
     } else {
       std::fprintf(stderr,
-                   "usage: oobp fuzz [--seeds=N] [--base-seed=N] "
-                   "[--no-serve] [--verbose]\n");
+                   "usage: oobp fuzz [--seeds=N] [--base-seed=N] [--jobs=N]\n"
+                   "                 [--checks=GLOBS] [--no-serve] "
+                   "[--verbose]\n"
+                   "  --jobs=N       seeds per thread pool; 0 = all cores\n"
+                   "  --checks=GLOBS comma-separated globs over families\n"
+                   "                 schedule,memory,train,dag,link,serve\n");
       return 2;
     }
   }

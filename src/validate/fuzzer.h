@@ -35,6 +35,14 @@ struct FuzzOptions {
   int num_seeds = 20;
   bool include_serve = true;  // serve-subsystem fuzz on every 4th seed
   bool verbose = false;       // per-seed progress on stderr
+  // Thread-pool size; 0 = one worker per core. Every seed owns its entire
+  // simulation stack (SimEngine, Gpu, Link, Rng), so seeds are independent
+  // and the merged report is byte-identical for any jobs value.
+  int jobs = 1;
+  // Comma-separated glob list over check families: "schedule", "memory",
+  // "train", "dag", "link", "serve". A skipped family also skips its random
+  // draws, so repros must pass the same --checks value as the failing run.
+  std::string checks = "*";
 };
 
 struct FuzzResult {
@@ -47,13 +55,18 @@ struct FuzzResult {
 
 FuzzResult RunFuzz(const FuzzOptions& options);
 
-// Runs every check for one seed, appending failure messages to `errors`.
-// Exposed for tests that pin specific seeds.
+// Runs the check families matching `checks` for one seed, appending failure
+// messages to `errors`. Exposed for tests that pin specific seeds.
+void FuzzOneSeed(uint64_t seed, bool include_serve, const std::string& checks,
+                 std::vector<std::string>* errors);
+
+// Back-compat overload: every check family.
 void FuzzOneSeed(uint64_t seed, bool include_serve,
                  std::vector<std::string>* errors);
 
-// `oobp fuzz` entry point: parses --seeds=N, --base-seed=N, --no-serve,
-// --verbose. Returns 0 on a clean run, 1 on check failures, 2 on bad usage.
+// `oobp fuzz` entry point: parses --seeds=N, --base-seed=N, --jobs=N,
+// --checks=GLOBS, --no-serve, --verbose. Returns 0 on a clean run, 1 on
+// check failures, 2 on bad usage.
 int FuzzMain(int argc, char** argv);
 
 }  // namespace oobp

@@ -1,0 +1,67 @@
+// Unit tests for the shared glob helper (src/runner/glob.h) — the one
+// filter implementation behind `oobp bench --filter`, the --perf scenario
+// selection, and `oobp fuzz --checks`.
+
+#include "src/runner/glob.h"
+
+#include <gtest/gtest.h>
+
+namespace oobp {
+namespace {
+
+TEST(GlobTest, Literals) {
+  EXPECT_TRUE(GlobMatch("exact", "exact"));
+  EXPECT_FALSE(GlobMatch("exact", "exac"));
+  EXPECT_FALSE(GlobMatch("exact", "exactly"));
+  EXPECT_FALSE(GlobMatch("", "x"));
+  EXPECT_TRUE(GlobMatch("", ""));
+}
+
+TEST(GlobTest, Star) {
+  EXPECT_TRUE(GlobMatch("*", ""));
+  EXPECT_TRUE(GlobMatch("*", "anything"));
+  EXPECT_TRUE(GlobMatch("fig07_*", "fig07_resnet50"));
+  EXPECT_FALSE(GlobMatch("fig07_*", "fig10_puba"));
+  EXPECT_TRUE(GlobMatch("*_resnet50", "fig07_resnet50"));
+  EXPECT_TRUE(GlobMatch("f*t*", "fig07_resnet50"));
+}
+
+TEST(GlobTest, QuestionMarkAndClasses) {
+  EXPECT_TRUE(GlobMatch("fig0?_mp_unit", "fig05_mp_unit"));
+  EXPECT_FALSE(GlobMatch("fig0?_mp_unit", "fig05x_mp_unit"));
+  EXPECT_TRUE(GlobMatch("fig0[456]*", "fig04_dp_unit"));
+  EXPECT_FALSE(GlobMatch("fig0[456]*", "fig07_resnet50"));
+}
+
+TEST(GlobTest, SplitGlobList) {
+  EXPECT_TRUE(SplitGlobList("").empty());
+  EXPECT_TRUE(SplitGlobList(",,").empty());
+  const auto one = SplitGlobList("fig07_*");
+  ASSERT_EQ(one.size(), 1u);
+  EXPECT_EQ(one[0], "fig07_*");
+  const auto many = SplitGlobList("fig07_*,fig10_*,serve_*,");
+  ASSERT_EQ(many.size(), 3u);
+  EXPECT_EQ(many[0], "fig07_*");
+  EXPECT_EQ(many[1], "fig10_*");
+  EXPECT_EQ(many[2], "serve_*");
+}
+
+TEST(GlobTest, MatchAnyGlob) {
+  // The default perf filter: any element may match.
+  const std::string perf = "fig07_*,fig10_*,fig13_*,serve_*,steady_*";
+  EXPECT_TRUE(MatchAnyGlob(perf, "fig07_resnet50"));
+  EXPECT_TRUE(MatchAnyGlob(perf, "fig13_weak_scaling"));
+  EXPECT_TRUE(MatchAnyGlob(perf, "steady_densenet121"));
+  EXPECT_FALSE(MatchAnyGlob(perf, "fig04_dp_unit"));
+  EXPECT_FALSE(MatchAnyGlob(perf, "ana_corun"));
+  // The fuzz check-family filter.
+  EXPECT_TRUE(MatchAnyGlob("dag,link", "dag"));
+  EXPECT_FALSE(MatchAnyGlob("dag,link", "serve"));
+  EXPECT_TRUE(MatchAnyGlob("*", "train"));
+  // An empty filter matches nothing (not everything).
+  EXPECT_FALSE(MatchAnyGlob("", "train"));
+  EXPECT_FALSE(MatchAnyGlob(",,", "train"));
+}
+
+}  // namespace
+}  // namespace oobp

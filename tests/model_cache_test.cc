@@ -1,0 +1,96 @@
+// Unit tests for the process-wide immutable model / cost-model cache
+// (src/nn/model_cache.h) that backs the registry-hosted sweeps.
+
+#include "src/nn/model_cache.h"
+
+#include <gtest/gtest.h>
+
+#include <memory>
+
+#include "src/nn/layer_builder.h"
+#include "src/nn/model_zoo.h"
+
+namespace oobp {
+namespace {
+
+NnModel TinyModel(int channels) {
+  NnModel m;
+  m.name = "tiny";
+  m.batch = 8;
+  m.layers.push_back(MakeConv2d("c0", "b0", m.batch, channels, 8, 8, 16, 3, 1));
+  return m;
+}
+
+class ModelCacheTest : public ::testing::Test {
+ protected:
+  void SetUp() override { ClearModelCaches(); }
+  void TearDown() override { ClearModelCaches(); }
+};
+
+TEST_F(ModelCacheTest, BuildsOncePerKey) {
+  int builds = 0;
+  auto builder = [&builds] {
+    ++builds;
+    return TinyModel(8);
+  };
+  const auto a = CachedModel("tiny:8", builder);
+  const auto b = CachedModel("tiny:8", builder);
+  ASSERT_NE(a, nullptr);
+  EXPECT_EQ(a.get(), b.get());  // shared immutable instance
+  EXPECT_EQ(builds, 1);
+  EXPECT_EQ(ModelCacheSize(), 1u);
+}
+
+TEST_F(ModelCacheTest, DistinctKeysDistinctModels) {
+  const auto a = CachedModel("tiny:8", [] { return TinyModel(8); });
+  const auto b = CachedModel("tiny:16", [] { return TinyModel(16); });
+  EXPECT_NE(a.get(), b.get());
+  EXPECT_EQ(a->layers[0].fwd_flops < b->layers[0].fwd_flops, true);
+  EXPECT_EQ(ModelCacheSize(), 2u);
+}
+
+TEST_F(ModelCacheTest, SharedPtrSurvivesClear) {
+  const auto a = CachedModel("tiny:8", [] { return TinyModel(8); });
+  ClearModelCaches();
+  EXPECT_EQ(ModelCacheSize(), 0u);
+  // The caller's reference stays valid; a re-request rebuilds.
+  EXPECT_EQ(a->name, "tiny");
+  const auto b = CachedModel("tiny:8", [] { return TinyModel(8); });
+  EXPECT_NE(a.get(), b.get());
+}
+
+TEST_F(ModelCacheTest, CostModelKeyedOnEveryField) {
+  const GpuSpec v100 = GpuSpec::V100();
+  const SystemProfile xla = SystemProfile::TensorFlowXla();
+  const auto a = CachedCostModel(v100, xla);
+  const auto b = CachedCostModel(v100, xla);
+  ASSERT_NE(a, nullptr);
+  EXPECT_EQ(a.get(), b.get());
+  EXPECT_EQ(CostModelCacheSize(), 1u);
+
+  GpuSpec tweaked = v100;
+  tweaked.fp32_tflops *= 1.5;
+  EXPECT_NE(CachedCostModel(tweaked, xla).get(), a.get());
+
+  SystemProfile fused = xla;
+  fused.issue_queue_depth += 1;
+  EXPECT_NE(CachedCostModel(v100, fused).get(), a.get());
+  EXPECT_EQ(CostModelCacheSize(), 3u);
+}
+
+TEST_F(ModelCacheTest, CachedModelMatchesDirectBuild) {
+  // The cache must be a pure memoization: byte-for-byte the same model as a
+  // direct zoo call.
+  const auto cached = CachedModel("resnet:L50:B32", [] { return ResNet(50, 32); });
+  const NnModel direct = ResNet(50, 32);
+  ASSERT_EQ(cached->layers.size(), direct.layers.size());
+  EXPECT_EQ(cached->batch, direct.batch);
+  for (size_t i = 0; i < direct.layers.size(); ++i) {
+    EXPECT_EQ(cached->layers[i].fwd_flops, direct.layers[i].fwd_flops) << i;
+    EXPECT_EQ(cached->layers[i].wgrad_bytes, direct.layers[i].wgrad_bytes)
+        << i;
+  }
+}
+
+}  // namespace
+}  // namespace oobp

@@ -1,0 +1,101 @@
+// Unit tests for the perf regression gate's comparison policy
+// (CheckPerfBaseline in src/runner/perf.h): event-count inflation is a hard
+// failure, deflation and coverage drift are notices, wall-clock bands are
+// informational and only evaluated when requested.
+
+#include "src/runner/perf.h"
+
+#include <gtest/gtest.h>
+
+#include <string>
+#include <vector>
+
+namespace oobp {
+namespace {
+
+const char* kBaseline = R"({
+  "wall_band_frac": 0.5,
+  "scenarios": {
+    "fig07_resnet50": {"events": 1000, "wall_ms_best": 10.0},
+    "serve_only_resnet50": {"events": 500, "wall_ms_best": 4.0}
+  }
+})";
+
+TEST(PerfGateTest, ExactMatchPasses) {
+  const std::vector<PerfSample> measured = {
+      {"fig07_resnet50", 1000, 10.0}, {"serve_only_resnet50", 500, 4.0}};
+  const PerfCheckReport report = CheckPerfBaseline(kBaseline, measured, true);
+  EXPECT_TRUE(report.ok());
+  EXPECT_TRUE(report.failures.empty());
+  EXPECT_TRUE(report.notices.empty());
+}
+
+TEST(PerfGateTest, EventInflationFails) {
+  const std::vector<PerfSample> measured = {
+      {"fig07_resnet50", 1001, 10.0}, {"serve_only_resnet50", 500, 4.0}};
+  const PerfCheckReport report = CheckPerfBaseline(kBaseline, measured, false);
+  EXPECT_FALSE(report.ok());
+  ASSERT_EQ(report.failures.size(), 1u);
+  EXPECT_NE(report.failures[0].find("fig07_resnet50"), std::string::npos);
+  EXPECT_NE(report.failures[0].find("inflated"), std::string::npos);
+}
+
+TEST(PerfGateTest, EventDeflationIsANotice) {
+  const std::vector<PerfSample> measured = {
+      {"fig07_resnet50", 900, 10.0}, {"serve_only_resnet50", 500, 4.0}};
+  const PerfCheckReport report = CheckPerfBaseline(kBaseline, measured, false);
+  EXPECT_TRUE(report.ok());  // improvements never fail the gate
+  ASSERT_EQ(report.notices.size(), 1u);
+  EXPECT_NE(report.notices[0].find("improved"), std::string::npos);
+}
+
+TEST(PerfGateTest, CoverageDriftIsANotice) {
+  // A scenario only in the baseline AND one only in the run: both noticed,
+  // neither fails — renames should be deliberate, not silent.
+  const std::vector<PerfSample> measured = {{"fig07_resnet50", 1000, 10.0},
+                                            {"brand_new", 7, 1.0}};
+  const PerfCheckReport report = CheckPerfBaseline(kBaseline, measured, false);
+  EXPECT_TRUE(report.ok());
+  ASSERT_EQ(report.notices.size(), 2u);
+  EXPECT_NE(report.notices[0].find("brand_new"), std::string::npos);
+  EXPECT_NE(report.notices[1].find("serve_only_resnet50"), std::string::npos);
+}
+
+TEST(PerfGateTest, WallBandOnlyWhenEnabled) {
+  const std::vector<PerfSample> slow = {{"fig07_resnet50", 1000, 15.1},
+                                        {"serve_only_resnet50", 500, 4.0}};
+  // 15.1 > 10 * (1 + 0.5): over the band, but still only a notice...
+  const PerfCheckReport banded = CheckPerfBaseline(kBaseline, slow, true);
+  EXPECT_TRUE(banded.ok());
+  ASSERT_EQ(banded.notices.size(), 1u);
+  EXPECT_NE(banded.notices[0].find("wall"), std::string::npos);
+  // ...and not evaluated at all on sanitizer/debug builds.
+  const PerfCheckReport unbanded = CheckPerfBaseline(kBaseline, slow, false);
+  EXPECT_TRUE(unbanded.notices.empty());
+  // Within the band: silent.
+  const std::vector<PerfSample> ok = {{"fig07_resnet50", 1000, 14.9},
+                                      {"serve_only_resnet50", 500, 4.0}};
+  EXPECT_TRUE(CheckPerfBaseline(kBaseline, ok, true).notices.empty());
+}
+
+TEST(PerfGateTest, MalformedBaselineFails) {
+  EXPECT_FALSE(CheckPerfBaseline("not json", {}, false).ok());
+  EXPECT_FALSE(CheckPerfBaseline("[1,2]", {}, false).ok());
+  EXPECT_FALSE(CheckPerfBaseline("{\"no_scenarios\": 1}", {}, false).ok());
+  // An entry without an event count cannot gate anything: hard failure.
+  const char* no_events = R"({"scenarios": {"x": {"wall_ms_best": 1.0}}})";
+  const PerfCheckReport report =
+      CheckPerfBaseline(no_events, {{"x", 5, 1.0}}, false);
+  EXPECT_FALSE(report.ok());
+}
+
+TEST(PerfGateTest, DefaultBandIsHalf) {
+  // No wall_band_frac in the document: the band defaults to +50%.
+  const char* base = R"({"scenarios": {"x": {"events": 10, "wall_ms_best": 10.0}}})";
+  EXPECT_TRUE(CheckPerfBaseline(base, {{"x", 10, 14.9}}, true).notices.empty());
+  EXPECT_EQ(CheckPerfBaseline(base, {{"x", 10, 15.1}}, true).notices.size(),
+            1u);
+}
+
+}  // namespace
+}  // namespace oobp

@@ -1,0 +1,197 @@
+// Differential tests for steady-state iteration replay (DESIGN.md §9).
+//
+// The replay fast path truncates a multi-iteration training run to a short
+// steady-state window and extrapolates the remaining iterations. Its
+// contract is EXACTNESS, not approximation: every reported metric —
+// including the floating-point utilization, whose busy integral is a
+// sequence of double additions — must be bitwise identical to the full
+// event-driven simulation. These tests run both paths over fixed and
+// randomized models and compare with EXPECT_EQ (no tolerance anywhere).
+
+#include <gtest/gtest.h>
+
+#include <string>
+#include <vector>
+
+#include "src/common/rng.h"
+#include "src/common/str_util.h"
+#include "src/core/joint_scheduler.h"
+#include "src/core/schedule.h"
+#include "src/nn/layer_builder.h"
+#include "src/nn/model_zoo.h"
+#include "src/nn/train_graph.h"
+#include "src/runtime/pipeline_engine.h"
+#include "src/runtime/single_gpu_engine.h"
+#include "src/trace/trace.h"
+
+namespace oobp {
+namespace {
+
+void ExpectBitwiseEqual(const TrainMetrics& a, const TrainMetrics& b,
+                        const std::string& what) {
+  EXPECT_EQ(a.iteration_time, b.iteration_time) << what;
+  EXPECT_EQ(a.throughput, b.throughput) << what;
+  EXPECT_EQ(a.gpu_utilization, b.gpu_utilization) << what;  // FP-exact
+  EXPECT_EQ(a.comm_comp_ratio, b.comm_comp_ratio) << what;
+  EXPECT_EQ(a.peak_memory_bytes, b.peak_memory_bytes) << what;
+  EXPECT_EQ(a.oom, b.oom) << what;
+}
+
+// A small random model in the fuzzer's style: independent layer dimensions,
+// block names in short groups (what region splitting keys on).
+NnModel RandomModel(Rng& rng) {
+  NnModel model;
+  model.name = "replay-fuzz";
+  model.batch = 8 << rng.NextBelow(3);
+  const int L = 3 + static_cast<int>(rng.NextBelow(7));
+  for (int i = 0; i < L; ++i) {
+    const std::string name = StrFormat("l%d", i);
+    const std::string blk = StrFormat("block%d", i / 2);
+    const int c = 8 << rng.NextBelow(3);
+    const int hw = 8 << rng.NextBelow(2);
+    if (rng.NextBelow(3) != 0) {
+      model.layers.push_back(MakeConv2d(name, blk, model.batch, c, hw, hw,
+                                        8 + static_cast<int>(rng.NextBelow(25)),
+                                        3, 1));
+    } else {
+      model.layers.push_back(MakeDense(name, blk, model.batch, 1,
+                                       64 << rng.NextBelow(2),
+                                       64 << rng.NextBelow(2)));
+    }
+  }
+  return model;
+}
+
+SingleGpuConfig SingleGpuCfg(int measured, bool replay) {
+  SingleGpuConfig cfg;
+  cfg.gpu = GpuSpec::V100();
+  cfg.profile = SystemProfile::TensorFlowXla();
+  cfg.precompiled_issue = true;
+  cfg.measured_iterations = measured;
+  cfg.steady_replay = replay;
+  return cfg;
+}
+
+TEST(SteadyReplayTest, SingleGpuReplayIsBitwiseExact) {
+  Rng rng(2024);
+  int replays = 0;
+  for (int trial = 0; trial < 8; ++trial) {
+    const NnModel model = RandomModel(rng);
+    const TrainGraph graph(&model);
+    const IterationSchedule conv = ConventionalIteration(graph);
+    const JointScheduleResult ooo =
+        MakeOooSchedule(graph, GpuSpec::V100(), SystemProfile::TensorFlowXla());
+    for (const IterationSchedule* schedule : {&conv, &ooo.schedule}) {
+      // 20 measured iterations exceeds every replay window for these models
+      // (window = 6 + ceil(issue_queue_depth / ops_per_iter)).
+      ReplayStats on_stats, off_stats;
+      const TrainMetrics with_replay =
+          SingleGpuEngine(SingleGpuCfg(20, true))
+              .Run(model, *schedule, nullptr, &on_stats);
+      const TrainMetrics without_replay =
+          SingleGpuEngine(SingleGpuCfg(20, false))
+              .Run(model, *schedule, nullptr, &off_stats);
+      ExpectBitwiseEqual(with_replay, without_replay,
+                         StrFormat("trial %d", trial));
+      EXPECT_FALSE(off_stats.attempted);
+      EXPECT_EQ(off_stats.fallback_reason, "disabled");
+      EXPECT_TRUE(on_stats.attempted);
+      if (on_stats.replayed) {
+        ++replays;
+        EXPECT_LT(on_stats.simulated_iterations, on_stats.total_iterations);
+        EXPECT_TRUE(on_stats.fallback_reason.empty());
+      }
+    }
+  }
+  // The point of the fast path: steady training timelines ARE periodic, so
+  // replay must engage on (at least most of) these runs.
+  EXPECT_GE(replays, 12);
+}
+
+TEST(SteadyReplayTest, SingleGpuZooModelsReplayExactly) {
+  for (const NnModel& model : {ResNet(50, 32), DenseNet(121, 24, 32, 32)}) {
+    const TrainGraph graph(&model);
+    const JointScheduleResult ooo =
+        MakeOooSchedule(graph, GpuSpec::V100(), SystemProfile::TensorFlowXla());
+    ReplayStats stats;
+    const TrainMetrics with_replay =
+        SingleGpuEngine(SingleGpuCfg(24, true))
+            .Run(model, ooo.schedule, nullptr, &stats);
+    const TrainMetrics without_replay =
+        SingleGpuEngine(SingleGpuCfg(24, false)).Run(model, ooo.schedule);
+    ExpectBitwiseEqual(with_replay, without_replay, model.name);
+    EXPECT_TRUE(stats.replayed) << model.name;
+    EXPECT_LT(stats.simulated_iterations, stats.total_iterations);
+  }
+}
+
+TEST(SteadyReplayTest, SingleGpuFallbacks) {
+  const NnModel model = ResNet(50, 32);
+  const TrainGraph graph(&model);
+  const IterationSchedule schedule = ConventionalIteration(graph);
+
+  // Short runs (the default 3 measured iterations of every fig07 scenario)
+  // never attempt replay — this is what keeps the existing goldens frozen.
+  ReplayStats short_stats;
+  SingleGpuEngine(SingleGpuCfg(3, true))
+      .Run(model, schedule, nullptr, &short_stats);
+  EXPECT_FALSE(short_stats.attempted);
+  EXPECT_EQ(short_stats.fallback_reason, "short-run");
+
+  // Traced runs need every event, so replay is bypassed.
+  ReplayStats trace_stats;
+  TraceRecorder trace;
+  SingleGpuEngine(SingleGpuCfg(24, true))
+      .Run(model, schedule, &trace, &trace_stats);
+  EXPECT_FALSE(trace_stats.attempted);
+  EXPECT_EQ(trace_stats.fallback_reason, "traced");
+}
+
+PipelineConfig PipeCfg(int measured, bool replay) {
+  PipelineConfig cfg;
+  cfg.cluster = ClusterSpec::PubB(5);
+  cfg.num_gpus = 4;
+  cfg.num_micro_batches = 4;
+  cfg.measured_iterations = measured;
+  cfg.steady_replay = replay;
+  return cfg;
+}
+
+TEST(SteadyReplayTest, PipelineContinuousReplayIsExact) {
+  const NnModel micro = Bert(12, 8);
+  ReplayStats on_stats;
+  const PipelineResult with_replay =
+      PipelineEngine(PipeCfg(16, true))
+          .Run(micro, PipelineStrategy::kPipeDream, nullptr, &on_stats);
+  const PipelineResult without_replay =
+      PipelineEngine(PipeCfg(16, false))
+          .Run(micro, PipelineStrategy::kPipeDream);
+  ExpectBitwiseEqual(with_replay.metrics, without_replay.metrics, "pipedream");
+  EXPECT_EQ(with_replay.weight_versions, without_replay.weight_versions);
+  EXPECT_EQ(with_replay.per_gpu_peak_memory,
+            without_replay.per_gpu_peak_memory);
+  EXPECT_EQ(with_replay.fwd_start, without_replay.fwd_start);
+  EXPECT_EQ(with_replay.wgrad_done, without_replay.wgrad_done);
+  EXPECT_TRUE(on_stats.replayed);
+  EXPECT_LT(on_stats.simulated_iterations, on_stats.total_iterations);
+}
+
+TEST(SteadyReplayTest, PipelineSynchronousStrategiesFallBack) {
+  const NnModel micro = Bert(12, 8);
+  // Flush-per-iteration strategies simulate exactly one iteration — there is
+  // no steady stream to extrapolate.
+  ReplayStats stats;
+  PipelineEngine(PipeCfg(16, true))
+      .Run(micro, PipelineStrategy::kGPipe, nullptr, &stats);
+  EXPECT_FALSE(stats.attempted);
+  EXPECT_EQ(stats.fallback_reason, "synchronous");
+
+  ReplayStats short_stats;
+  PipelineEngine(PipeCfg(3, true))
+      .Run(micro, PipelineStrategy::kPipeDream, nullptr, &short_stats);
+  EXPECT_FALSE(short_stats.attempted);
+  EXPECT_EQ(short_stats.fallback_reason, "short-run");
+}
+
+}  // namespace
+}  // namespace oobp

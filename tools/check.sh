@@ -6,13 +6,17 @@
 #   3. Serve: serve-labeled ctest tier + the serve_* scenarios against their
 #      goldens (BENCH_serve_*.json), which pin the headline serving claim —
 #      ooo-backprop co-run tightens inference p99 at <= 2% training cost.
-#   4. Perf smoke: one `oobp bench --perf` pass over the fig07 scenarios with
-#      the golden gate on — asserts the fast path still produces the exact
-#      golden values while exercising the wall-clock harness.
-#   5. Fuzz smoke: validate-labeled ctest tier (all 18 golden scenarios
+#   4. Perf smoke + regression gate: one `oobp bench --perf --check` pass
+#      over the default perf set with the golden gate on — asserts the fast
+#      path still produces the exact golden values AND that per-scenario
+#      event counts match bench/perf_baseline.json (inflation hard-fails;
+#      wall-clock bands are informational, Release builds only).
+#   5. Fuzz smoke: validate-labeled ctest tier (all golden scenarios
 #      replayed under the SimValidator) plus 200 seeds of the differential
-#      fuzzer under ASan/UBSan at a fixed base seed, so failures reproduce
-#      with `oobp fuzz --seeds 1 --base-seed <seed>` (see DESIGN.md §8).
+#      fuzzer under ASan/UBSan at a fixed base seed, parallelised across
+#      cores with --jobs 0 (the merged report is byte-identical to a serial
+#      run, so failures still reproduce with
+#      `oobp fuzz --seeds 1 --base-seed <seed>`; see DESIGN.md §8-9).
 #
 # Tier matrix (tier x build):
 #   tier 1, 3, 4 -> Release build      (speed; golden gates are exact)
@@ -47,13 +51,14 @@ ctest --test-dir "${BUILD_DIR}" -L serve --output-on-failure
 "${BUILD_DIR}/tools/oobp" bench --filter 'serve_*' --jobs 0 \
     --out "${BUILD_DIR}" --golden "${REPO_ROOT}/bench/golden"
 
-# --- Tier 4: perf smoke with the golden gate on --------------------------
+# --- Tier 4: perf smoke with golden gate + event-count regression gate ----
 "${BUILD_DIR}/tools/oobp" bench --perf --warmup 0 --repeats 1 --jobs 0 \
+    --check="${REPO_ROOT}/bench/perf_baseline.json" \
     --out "${BUILD_DIR}" --golden "${REPO_ROOT}/bench/golden"
 
 # --- Tier 5: fuzz smoke: validator replay + 200 seeds under ASan ----------
 ctest --test-dir "${BUILD_DIR}" -L validate --output-on-failure
 
-"${ASAN_DIR}/tools/oobp" fuzz --seeds 200 --base-seed 1
+"${ASAN_DIR}/tools/oobp" fuzz --seeds 200 --base-seed 1 --jobs 0
 
 echo "check.sh: all green"

@@ -13,9 +13,13 @@
 //   oobp_sim hybrid   --model=bert24 --gpus=8 --replicas=2 [--k=0]
 //   oobp_sim replay   --model=densenet121 --schedule=<file>
 //   oobp_sim bench    [--list] [--filter=<glob>] [--jobs=N] [--out=<dir>]
-//                     [--golden[=<dir>]] [--param k=v]  (see src/runner)
-//   oobp_sim fuzz     [--seeds=N] [--base-seed=N] [--no-serve] [--verbose]
-//                     (seeded differential fuzzer, see src/validate)
+//                     [--golden[=<dir>]] [--perf] [--check[=<baseline>]]
+//                     [--param k=v]  (see src/runner; --check gates perf
+//                     event counts against bench/perf_baseline.json)
+//   oobp_sim fuzz     [--seeds=N] [--base-seed=N] [--jobs=N] [--checks=<glob>]
+//                     [--no-serve] [--verbose]
+//                     (seeded differential fuzzer, see src/validate; --jobs=0
+//                     uses all cores, report is byte-identical to --jobs=1)
 //
 // Common flags: --trace=<path.json> exports the execution timeline;
 // `single --system=ooo --export-schedule=<file>` saves the computed

@@ -1,12 +1,17 @@
 #!/usr/bin/env bash
 # Wall-clock perf harness for the simulator core: Release build, then
-# `oobp bench --perf` over the fig07 scenarios (override with --filter).
-# Emits <build-dir>/BENCH_sim_perf.json; see src/runner/perf.h for the
-# schema and DESIGN.md §6 for how to read the numbers.
+# `oobp bench --perf` over the default perf set — fig07/fig10 training,
+# serve_*, the fig13/ana_* sweeps, and the steady_* replay scenarios
+# (override with --filter). Emits <build-dir>/BENCH_sim_perf.json; the
+# report's "host" object records hardware_concurrency, compiler, and build
+# type so numbers from different machines aren't compared blindly. See
+# src/runner/perf.h for the schema and DESIGN.md §6/§9 for how to read the
+# numbers. Pass --check to gate event counts against bench/perf_baseline.json.
 #
 # Usage: tools/perf.sh [build-dir] [extra `oobp bench` flags...]
-#   tools/perf.sh                        # fig07 scenarios, 1 warmup, 3 repeats
+#   tools/perf.sh                        # default perf set, 1 warmup, 3 repeats
 #   tools/perf.sh build-perf --filter='fig10_*' --repeats=5
+#   tools/perf.sh build-perf --check     # also run the perf regression gate
 set -euo pipefail
 
 REPO_ROOT="$(cd "$(dirname "$0")/.." && pwd)"
