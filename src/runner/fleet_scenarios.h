@@ -1,0 +1,25 @@
+// Registration of the fleet-scale serving scenarios.
+//
+// Two scenario families over the fleet engine (src/serve/fleet_engine.h):
+//   fleet_{rr,ll,p2c}_{4,16,64} — serve-only autoscaled fleets under a
+//       diurnal load envelope, one scenario per routing policy x fleet size
+//   fleet_corun_{baseline,ooo}_64 — a pinned 64-replica fleet where every
+//       GPU co-runs ResNet-50 training, measured at a load point and at
+//       double that load. The pair shares arrival traces, so comparing the
+//       two golden files isolates the paper's serving-side claim at cluster
+//       scale: with ooo-backprop demoting weight-gradient kernels, the
+//       fleet-wide p99 stays flat as load doubles while the in-order
+//       baseline's tail degrades.
+
+#ifndef OOBP_SRC_RUNNER_FLEET_SCENARIOS_H_
+#define OOBP_SRC_RUNNER_FLEET_SCENARIOS_H_
+
+namespace oobp {
+
+// Registers all fleet scenarios (label "fleet") into
+// ScenarioRegistry::Global(); idempotent.
+void RegisterFleetScenarios();
+
+}  // namespace oobp
+
+#endif  // OOBP_SRC_RUNNER_FLEET_SCENARIOS_H_

@@ -9,6 +9,7 @@
 #include <thread>
 
 #include "src/common/str_util.h"
+#include "src/runner/fleet_scenarios.h"
 #include "src/runner/json.h"
 #include "src/runner/paper_scenarios.h"
 #include "src/runner/perf.h"
@@ -224,7 +225,8 @@ int BenchUsage() {
                "  --list         print scenarios grouped by label\n"
                "                 (train = paper figures, serve = inference\n"
                "                 serving, sweep = scaling/analysis sweeps,\n"
-               "                 steady = long-horizon replay scenarios)\n"
+               "                 steady = long-horizon replay scenarios,\n"
+               "                 fleet = multi-replica serving fleets)\n"
                "  --filter=GLOB  run scenarios matching GLOB (default '*';\n"
                "                 with --perf: "
                "'fig07_*,fig10_*,fig13_*,serve_*,steady_*')\n"
@@ -252,6 +254,7 @@ int BenchMain(int argc, char** argv) {
   RegisterPaperScenarios();
   RegisterServeScenarios();
   RegisterSweepScenarios();
+  RegisterFleetScenarios();
 
   RunnerOptions opts;
   opts.output_dir = ".";
@@ -345,6 +348,7 @@ int RunStandaloneBench(const std::string& filter) {
   RegisterPaperScenarios();
   RegisterServeScenarios();
   RegisterSweepScenarios();
+  RegisterFleetScenarios();
   RunnerOptions opts;
   opts.filter = filter;
   opts.jobs = 1;

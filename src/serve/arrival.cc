@@ -95,4 +95,82 @@ std::vector<TimeNs> GenerateArrivals(const ArrivalSpec& spec, TimeNs horizon) {
   return arrivals;
 }
 
+double EnvelopeFactorAt(const std::vector<RateSegment>& envelope, TimeNs t) {
+  OOBP_CHECK(!envelope.empty());
+  TimeNs period = 0;
+  for (const RateSegment& seg : envelope) {
+    OOBP_CHECK_GT(seg.duration, 0);
+    OOBP_CHECK_GE(seg.rate_factor, 0.0);
+    period += seg.duration;
+  }
+  TimeNs phase = t % period;
+  if (phase < 0) {
+    phase += period;
+  }
+  for (const RateSegment& seg : envelope) {
+    if (phase < seg.duration) {
+      return seg.rate_factor;
+    }
+    phase -= seg.duration;
+  }
+  return envelope.back().rate_factor;
+}
+
+std::vector<RateSegment> MakeDiurnalEnvelope(TimeNs period, double trough,
+                                             double peak, int steps) {
+  OOBP_CHECK_GT(period, 0);
+  OOBP_CHECK_GE(trough, 0.0);
+  OOBP_CHECK_GE(peak, trough);
+  OOBP_CHECK_GE(steps, 1);
+  std::vector<RateSegment> envelope;
+  envelope.reserve(static_cast<size_t>(steps));
+  const double mid = 0.5 * (trough + peak);
+  const double amp = 0.5 * (peak - trough);
+  TimeNs used = 0;
+  for (int i = 0; i < steps; ++i) {
+    RateSegment seg;
+    // Last segment absorbs integer-division remainder so segments tile the
+    // period exactly.
+    seg.duration = i + 1 == steps ? period - used : period / steps;
+    used += seg.duration;
+    // Sample the sine at the segment midpoint; trough at phase 0.
+    const double phase =
+        2.0 * 3.14159265358979323846 * (static_cast<double>(i) + 0.5) /
+        static_cast<double>(steps);
+    seg.rate_factor = mid - amp * std::cos(phase);
+    envelope.push_back(seg);
+  }
+  return envelope;
+}
+
+std::vector<TimeNs> GenerateTracedArrivals(
+    const ArrivalSpec& spec, const std::vector<RateSegment>& envelope,
+    TimeNs horizon) {
+  if (envelope.empty()) {
+    return GenerateArrivals(spec, horizon);
+  }
+  double peak_factor = 0.0;
+  for (const RateSegment& seg : envelope) {
+    peak_factor = std::max(peak_factor, seg.rate_factor);
+  }
+  OOBP_CHECK_GT(peak_factor, 0.0);
+
+  ArrivalSpec base = spec;
+  base.rate_rps *= peak_factor;
+  const std::vector<TimeNs> candidates = GenerateArrivals(base, horizon);
+
+  // Accept draws come from their own stream so the base trace is unchanged
+  // when only the envelope differs.
+  Rng accept(spec.seed ^ 0xD1B54A32D192ED03ull);
+  std::vector<TimeNs> arrivals;
+  arrivals.reserve(candidates.size());
+  for (TimeNs t : candidates) {
+    const double keep = EnvelopeFactorAt(envelope, t) / peak_factor;
+    if (accept.NextDouble() < keep) {
+      arrivals.push_back(t);
+    }
+  }
+  return arrivals;
+}
+
 }  // namespace oobp

@@ -44,6 +44,37 @@ struct ArrivalSpec {
 // yield byte-identical traces.
 std::vector<TimeNs> GenerateArrivals(const ArrivalSpec& spec, TimeNs horizon);
 
+// One step of a piecewise-constant rate envelope. Fleet scenarios layer a
+// diurnal or trace-replayed load shape on top of the base Poisson/MMPP
+// process: during a segment the instantaneous rate is `rate_factor` x the
+// spec's mean rate. Segments tile time in order and the envelope repeats
+// past its total duration (a 24-segment "hour" profile cycles per day).
+struct RateSegment {
+  TimeNs duration = 0;
+  double rate_factor = 1.0;
+};
+
+// The envelope factor in effect at time `t` (cycling past the total
+// duration). The envelope must be non-empty with positive durations and
+// non-negative factors.
+double EnvelopeFactorAt(const std::vector<RateSegment>& envelope, TimeNs t);
+
+// A staircase approximation of a diurnal sine: `steps` equal segments over
+// `period`, with factors sweeping trough -> peak -> trough. Mean factor is
+// ~(trough + peak) / 2.
+std::vector<RateSegment> MakeDiurnalEnvelope(TimeNs period, double trough,
+                                             double peak, int steps);
+
+// GenerateArrivals with the rate modulated by `envelope`, via thinning: the
+// base process runs at the envelope's peak factor and each arrival at time t
+// survives with probability factor(t) / peak_factor. Thinning preserves both
+// Poisson and MMPP structure, keeps timestamps strictly increasing, and
+// stays byte-deterministic (the accept draws come from an Rng derived from
+// spec.seed, consumed in arrival order). An empty envelope is the identity.
+std::vector<TimeNs> GenerateTracedArrivals(
+    const ArrivalSpec& spec, const std::vector<RateSegment>& envelope,
+    TimeNs horizon);
+
 }  // namespace oobp
 
 #endif  // OOBP_SRC_SERVE_ARRIVAL_H_

@@ -1,0 +1,109 @@
+// Queue-depth-driven fleet autoscaler.
+//
+// Owns the replica-state machine of the fleet: each replica in
+// [0, max_replicas) is down, warming, or up, and only up replicas are
+// routable. Every `evaluate_every` the autoscaler samples the fleet's total
+// queued-request count (a callback supplied by the fleet engine), divides by
+// the routable count, and compares against thresholds:
+//
+//   queued / routable > scale_up_depth   -> bring one down replica up
+//   queued / routable < scale_down_depth -> take the highest routable down
+//
+// One step per evaluation, separated by `cooldown`, keeps the control loop
+// deterministic and free of oscillation. A scale-up pays `warmup` (model
+// load + CUDA graph capture on the new GPU) before the replica becomes
+// routable — the router cannot dispatch to it earlier. A scale-down removes
+// the replica from the routable set immediately; batches already queued on
+// it keep draining (connection draining), and in the co-run fleet the GPU
+// simply returns to full-rate ooo training. The routable count never drops
+// below `min_replicas`.
+//
+// Like the router, this is pure control logic over the SimEngine clock, so
+// it unit-tests against scripted and fuzzed depth sequences without a GPU.
+
+#ifndef OOBP_SRC_SERVE_AUTOSCALER_H_
+#define OOBP_SRC_SERVE_AUTOSCALER_H_
+
+#include <cstdint>
+#include <functional>
+#include <utility>
+#include <vector>
+
+#include "src/common/time.h"
+#include "src/sim/engine.h"
+
+namespace oobp {
+
+struct AutoscalerConfig {
+  int min_replicas = 1;  // routable floor; scale-down never goes below
+  int max_replicas = 1;  // fleet size ceiling
+  // 0 = start at min_replicas; otherwise clamped into [min, max]. Initial
+  // replicas are warm at t = 0 (the fleet exists before the horizon opens).
+  int initial_replicas = 0;
+  double scale_up_depth = 16.0;   // queued per routable replica, exclusive
+  double scale_down_depth = 2.0;  // queued per routable replica, exclusive
+  TimeNs evaluate_every = Ms(5);
+  TimeNs cooldown = Ms(25);  // between consecutive scaling actions
+  TimeNs warmup = Ms(10);    // spin-up cost before a new replica is routable
+};
+
+class Autoscaler {
+ public:
+  // `queued` returns the total queued-request count across routable
+  // replicas at the current simulation time.
+  using QueuedFn = std::function<int64_t()>;
+
+  Autoscaler(SimEngine* engine, AutoscalerConfig config, QueuedFn queued);
+  Autoscaler(const Autoscaler&) = delete;
+  Autoscaler& operator=(const Autoscaler&) = delete;
+
+  // Arms periodic evaluation at `evaluate_every` intervals, stopping once
+  // the next tick would land past `until` (the load horizon) so the
+  // simulation can drain.
+  void Start(TimeNs until);
+
+  // One control step at the current simulation time. Exposed for tests that
+  // script their own evaluation times.
+  void Evaluate();
+
+  bool routable(int replica) const;
+  // Ascending indices of up replicas; never empty (min_replicas >= 1).
+  const std::vector<int>& routable_set() const { return routable_; }
+  int num_routable() const { return static_cast<int>(routable_.size()); }
+  // Up + warming: replicas whose warm-up cost has been committed.
+  int target() const { return target_; }
+
+  int scale_ups() const { return scale_ups_; }
+  int scale_downs() const { return scale_downs_; }
+  // (time, routable count) on every change; starts with the t = 0 entry for
+  // the initial fleet. Times are non-decreasing.
+  const std::vector<std::pair<TimeNs, int>>& timeline() const {
+    return timeline_;
+  }
+
+  const AutoscalerConfig& config() const { return config_; }
+
+ private:
+  enum class State { kDown, kWarming, kUp };
+
+  void BecomeUp(int replica);
+  void RebuildRoutable();
+
+  SimEngine* engine_;
+  AutoscalerConfig config_;
+  QueuedFn queued_;
+
+  std::vector<State> state_;
+  std::vector<SimEngine::TimerHandle> warm_timer_;
+  std::vector<int> routable_;
+  int target_ = 0;
+  TimeNs last_action_ = 0;
+  bool any_action_ = false;  // cooldown only binds after the first action
+  int scale_ups_ = 0;
+  int scale_downs_ = 0;
+  std::vector<std::pair<TimeNs, int>> timeline_;
+};
+
+}  // namespace oobp
+
+#endif  // OOBP_SRC_SERVE_AUTOSCALER_H_

@@ -1,0 +1,86 @@
+#include "src/serve/router.h"
+
+#include <utility>
+
+#include "src/common/check.h"
+
+namespace oobp {
+
+const char* RoutingPolicyName(RoutingPolicy policy) {
+  switch (policy) {
+    case RoutingPolicy::kRoundRobin:
+      return "rr";
+    case RoutingPolicy::kLeastLoaded:
+      return "ll";
+    case RoutingPolicy::kPowerOfTwo:
+      return "p2c";
+  }
+  return "?";
+}
+
+bool ParseRoutingPolicy(const std::string& name, RoutingPolicy* out) {
+  if (name == "rr" || name == "round-robin") {
+    *out = RoutingPolicy::kRoundRobin;
+  } else if (name == "ll" || name == "least-loaded") {
+    *out = RoutingPolicy::kLeastLoaded;
+  } else if (name == "p2c" || name == "power-of-two") {
+    *out = RoutingPolicy::kPowerOfTwo;
+  } else {
+    return false;
+  }
+  return true;
+}
+
+FleetRouter::FleetRouter(RouterConfig config, LoadFn load)
+    : config_(config), load_(std::move(load)), rng_(config.seed) {
+  OOBP_CHECK(load_ != nullptr);
+}
+
+int FleetRouter::Route(const std::vector<int>& routable) {
+  OOBP_CHECK(!routable.empty());
+  ++decisions_;
+  const size_t n = routable.size();
+  switch (config_.policy) {
+    case RoutingPolicy::kRoundRobin:
+      return routable[static_cast<size_t>(rr_cursor_++ % n)];
+
+    case RoutingPolicy::kLeastLoaded: {
+      int best = routable[0];
+      int64_t best_load = load_(best);
+      for (size_t i = 1; i < n; ++i) {
+        const int64_t l = load_(routable[i]);
+        if (l < best_load) {
+          best = routable[i];
+          best_load = l;
+        }
+      }
+      return best;
+    }
+
+    case RoutingPolicy::kPowerOfTwo: {
+      if (n == 1) {
+        // Still consume the two draws so the decision stream (and thus the
+        // whole simulation) does not depend on transient fleet size.
+        rng_.NextU64();
+        rng_.NextU64();
+        return routable[0];
+      }
+      const size_t a = static_cast<size_t>(rng_.NextBelow(n));
+      size_t b = static_cast<size_t>(rng_.NextBelow(n - 1));
+      if (b >= a) {
+        ++b;  // distinct second candidate, uniform over the rest
+      }
+      const int ra = routable[a];
+      const int rb = routable[b];
+      const int64_t la = load_(ra);
+      const int64_t lb = load_(rb);
+      if (la != lb) {
+        return la < lb ? ra : rb;
+      }
+      return ra < rb ? ra : rb;  // deterministic tie-break
+    }
+  }
+  return routable[0];
+}
+
+}  // namespace oobp

@@ -39,6 +39,10 @@ ServeMetrics ComputeServeMetrics(const std::vector<RequestRecord>& requests,
   m.completed_rps = static_cast<double>(m.num_completed) / ToSec(horizon);
   m.goodput_rps = static_cast<double>(within_slo) / ToSec(horizon);
   if (m.num_completed == 0) {
+    // Empty window (no completion before the simulation drained — e.g. a
+    // fleet replica scaled down before serving anything): leave the order
+    // statistics at the kNoSample sentinel rather than sorting an empty
+    // sample into a fake 0 ns latency.
     return m;
   }
   m.slo_attainment =
@@ -63,15 +67,20 @@ ServeMetrics ComputeServeMetrics(const std::vector<RequestRecord>& requests,
 
 std::vector<MetricKv> ServeMetricsToKv(const ServeMetrics& m,
                                        const std::string& prefix) {
+  // The kNoSample sentinel passes through as exactly -1 (not -1e-6 "ms") so
+  // golden files and downstream tooling can test for it.
+  const auto pct_ms = [](TimeNs t) {
+    return t == ServeMetrics::kNoSample ? -1.0 : ToMs(t);
+  };
   std::vector<MetricKv> kv = {
       {prefix + "offered_rps", m.offered_rps},
       {prefix + "completed_rps", m.completed_rps},
       {prefix + "goodput_rps", m.goodput_rps},
       {prefix + "slo_attainment", m.slo_attainment},
-      {prefix + "p50_ms", ToMs(m.p50_latency)},
-      {prefix + "p95_ms", ToMs(m.p95_latency)},
-      {prefix + "p99_ms", ToMs(m.p99_latency)},
-      {prefix + "max_ms", ToMs(m.max_latency)},
+      {prefix + "p50_ms", pct_ms(m.p50_latency)},
+      {prefix + "p95_ms", pct_ms(m.p95_latency)},
+      {prefix + "p99_ms", pct_ms(m.p99_latency)},
+      {prefix + "max_ms", pct_ms(m.max_latency)},
       {prefix + "mean_ms", m.mean_latency_ms},
       {prefix + "queue_delay_ms", m.mean_queue_delay_ms},
       {prefix + "exec_ms", m.mean_exec_ms},

@@ -29,6 +29,11 @@ struct RequestRecord {
 };
 
 struct ServeMetrics {
+  // Order statistics over an empty completion window (e.g. a fleet replica
+  // scaled down before its first completion) report this sentinel instead of
+  // a fabricated 0 ns latency; ServeMetricsToKv forwards it as -1.
+  static constexpr TimeNs kNoSample = -1;
+
   int64_t num_requests = 0;   // offered over the horizon
   int64_t num_completed = 0;  // finished before the simulation drained
   int64_t num_batches = 0;
@@ -38,11 +43,12 @@ struct ServeMetrics {
   double goodput_rps = 0.0;    // completions within SLO / horizon
   double slo_attainment = 0.0;  // within-SLO fraction of completed
 
-  // Order statistics over completed-request latency (exact, nearest-rank).
-  TimeNs p50_latency = 0;
-  TimeNs p95_latency = 0;
-  TimeNs p99_latency = 0;
-  TimeNs max_latency = 0;
+  // Order statistics over completed-request latency (exact, nearest-rank);
+  // kNoSample when no request completed.
+  TimeNs p50_latency = kNoSample;
+  TimeNs p95_latency = kNoSample;
+  TimeNs p99_latency = kNoSample;
+  TimeNs max_latency = kNoSample;
   double mean_latency_ms = 0.0;
   // Decomposition: host+batching queue delay vs contended GPU execution.
   double mean_queue_delay_ms = 0.0;

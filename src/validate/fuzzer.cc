@@ -5,6 +5,7 @@
 #include <cstdio>
 #include <cstdlib>
 #include <cstring>
+#include <functional>
 #include <optional>
 #include <string>
 #include <thread>
@@ -24,6 +25,7 @@
 #include "src/nn/train_graph.h"
 #include "src/runner/glob.h"
 #include "src/runtime/single_gpu_engine.h"
+#include "src/serve/fleet_engine.h"
 #include "src/serve/serve_engine.h"
 #include "src/sim/engine.h"
 #include "src/validate/schedule_checker.h"
@@ -404,6 +406,151 @@ void ServeFuzz(Rng& rng, uint64_t seed, std::vector<std::string>* errors) {
   }
 }
 
+// ---------------------------------------------------------------------------
+// Fleet fuzz: random multi-replica fleets (router + autoscaler) under the
+// validator, with a metamorphic routing property.
+
+// Sanity checks shared by every fleet run.
+void FleetSanity(const ServeMetrics& m, const char* what,
+                 const std::function<void(std::string)>& fail) {
+  if (m.num_completed > m.num_requests) {
+    fail(StrFormat("%s: completed %lld > offered %lld", what,
+                   static_cast<long long>(m.num_completed),
+                   static_cast<long long>(m.num_requests)));
+  }
+  if (m.num_completed > 0 &&
+      !(m.p50_latency <= m.p95_latency && m.p95_latency <= m.p99_latency &&
+        m.p99_latency <= m.max_latency)) {
+    fail(StrFormat("%s: percentiles not monotone: p50=%lld p95=%lld "
+                   "p99=%lld max=%lld",
+                   what, static_cast<long long>(m.p50_latency),
+                   static_cast<long long>(m.p95_latency),
+                   static_cast<long long>(m.p99_latency),
+                   static_cast<long long>(m.max_latency)));
+  }
+  if (m.slo_attainment < 0.0 || m.slo_attainment > 1.0) {
+    fail(StrFormat("%s: slo_attainment %.6f outside [0, 1]", what,
+                   m.slo_attainment));
+  }
+  if (m.goodput_rps > m.completed_rps * (1.0 + 1e-9) + 1e-9) {
+    fail(StrFormat("%s: goodput %.3f rps exceeds completion rate %.3f rps",
+                   what, m.goodput_rps, m.completed_rps));
+  }
+}
+
+void FleetFuzz(Rng& rng, uint64_t seed, std::vector<std::string>* errors) {
+  auto fail = [errors, seed](std::string msg) {
+    errors->push_back(StrFormat("seed %llu: fleet fuzz: ",
+                                static_cast<unsigned long long>(seed)) +
+                      std::move(msg));
+  };
+
+  FleetConfig base;
+  base.gpu = RandomGpuSpec(rng);
+  base.profile = RandomProfile(rng);
+  base.arrivals.kind =
+      rng.NextBelow(2) == 0 ? ArrivalKind::kPoisson : ArrivalKind::kBursty;
+  base.arrivals.rate_rps = rng.Uniform(200.0, 2000.0);
+  base.arrivals.seed = seed * 2 + 29;
+  // Single-request batches isolate queueing from batch-fill deadlines: with
+  // max_batch > 1 an extra replica can slow batch filling and legitimately
+  // raise the mean delay, which would void the metamorphic property below.
+  base.batcher.max_batch = 1;
+  base.batcher.max_queue_delay = Us(500.0);
+  base.batcher.max_inflight = 1;
+  base.horizon = Ms(10.0 + static_cast<double>(rng.NextBelow(11)));
+  base.slo = Ms(5.0 + static_cast<double>(rng.NextBelow(16)));
+  base.router.seed = seed * 3 + 7;
+  const uint64_t policy_draw = rng.NextBelow(3);
+  base.router.policy = policy_draw == 0   ? RoutingPolicy::kRoundRobin
+                       : policy_draw == 1 ? RoutingPolicy::kLeastLoaded
+                                          : RoutingPolicy::kPowerOfTwo;
+  // A bursty diurnal envelope on half the fleets.
+  if (rng.NextBelow(2) == 0) {
+    base.envelope = MakeDiurnalEnvelope(
+        Ms(4.0 + static_cast<double>(rng.NextBelow(5))),
+        rng.Uniform(0.3, 0.8), rng.Uniform(1.2, 2.0), /*steps=*/4);
+  }
+  base.make_model = [](int batch) {
+    NnModel m;
+    m.name = "fuzz-infer";
+    m.batch = batch;
+    m.layers.push_back(MakeConv2d("c0", "b0", batch, 8, 16, 16, 16, 3, 1));
+    m.layers.push_back(MakeConv2d("c1", "b0", batch, 16, 8, 8, 32, 3, 1));
+    m.layers.push_back(MakeDense("fc", "b1", batch, 1, 128, 64));
+    return m;
+  };
+
+  const int R = 1 + static_cast<int>(rng.NextBelow(3));  // 1..3
+
+  const auto run_fixed = [&base](int replicas, SimValidator* validator) {
+    FleetConfig cfg = base;
+    cfg.autoscaler.min_replicas = replicas;
+    cfg.autoscaler.max_replicas = replicas;
+    const FleetEngine engine(std::move(cfg));
+    ValidationScope scope(validator);
+    return engine.RunServeOnly();
+  };
+
+  SimValidator v_small, v_big;
+  const FleetMetrics small = run_fixed(R, &v_small);
+  const FleetMetrics big = run_fixed(R + 1, &v_big);
+  if (!v_small.ok()) {
+    fail(StrFormat("%d-replica run: %s", R, v_small.Summary().c_str()));
+  }
+  if (!v_big.ok()) {
+    fail(StrFormat("%d-replica run: %s", R + 1, v_big.Summary().c_str()));
+  }
+  FleetSanity(small.serve, "fixed fleet", fail);
+  FleetSanity(big.serve, "fixed fleet+1", fail);
+
+  // Metamorphic: same trace, one more replica, single-request batches ->
+  // the mean queueing delay never worsens. Power-of-two-choices redraws its
+  // candidate pairs when the fleet grows, so it only gets the coverage runs.
+  if (base.router.policy != RoutingPolicy::kPowerOfTwo &&
+      big.serve.mean_queue_delay_ms >
+          small.serve.mean_queue_delay_ms + 1e-6) {
+    fail(StrFormat("adding a replica (%d -> %d, %s) worsened mean queue "
+                   "delay %.6f -> %.6f ms",
+                   R, R + 1, RoutingPolicyName(base.router.policy),
+                   small.serve.mean_queue_delay_ms,
+                   big.serve.mean_queue_delay_ms));
+  }
+
+  // Autoscaled coverage run: random thresholds, cooldown and warm-up over
+  // the full replica range.
+  FleetConfig cfg = std::move(base);
+  cfg.arrivals.seed = seed * 2 + 31;
+  cfg.autoscaler.min_replicas = 1;
+  cfg.autoscaler.max_replicas = R + 1;
+  cfg.autoscaler.scale_up_depth = rng.Uniform(2.0, 10.0);
+  cfg.autoscaler.scale_down_depth = rng.Uniform(0.2, 1.5);
+  cfg.autoscaler.evaluate_every = Us(rng.Uniform(200.0, 1000.0));
+  cfg.autoscaler.cooldown = Us(rng.Uniform(0.0, 2000.0));
+  cfg.autoscaler.warmup = Us(rng.Uniform(0.0, 2000.0));
+  SimValidator v_scaled;
+  FleetMetrics scaled;
+  {
+    const FleetEngine engine(std::move(cfg));
+    ValidationScope scope(&v_scaled);
+    scaled = engine.RunServeOnly();
+  }
+  if (!v_scaled.ok()) {
+    fail("autoscaled run: " + v_scaled.Summary());
+  }
+  FleetSanity(scaled.serve, "autoscaled fleet", fail);
+  if (scaled.min_routable < 1 || scaled.max_routable > R + 1) {
+    fail(StrFormat("routable range [%d, %d] outside [1, %d]",
+                   scaled.min_routable, scaled.max_routable, R + 1));
+  }
+  // Reaching a peak of M routable replicas from a floor of 1 takes at least
+  // M - 1 scale-ups (each action moves the fleet by one).
+  if (scaled.scale_ups < scaled.max_routable - 1) {
+    fail(StrFormat("peak %d routable with only %d scale-ups",
+                   scaled.max_routable, scaled.scale_ups));
+  }
+}
+
 }  // namespace
 
 void FuzzOneSeed(uint64_t seed, bool include_serve, const std::string& checks,
@@ -529,6 +676,9 @@ void FuzzOneSeed(uint64_t seed, bool include_serve, const std::string& checks,
   if (on("serve") && include_serve && seed % 4 == 0) {
     ServeFuzz(rng, seed, errors);
   }
+  if (on("fleet") && include_serve && seed % 2 == 0) {
+    FleetFuzz(rng, seed, errors);
+  }
 }
 
 void FuzzOneSeed(uint64_t seed, bool include_serve,
@@ -642,7 +792,8 @@ int FuzzMain(int argc, char** argv) {
                    "[--verbose]\n"
                    "  --jobs=N       seeds per thread pool; 0 = all cores\n"
                    "  --checks=GLOBS comma-separated globs over families\n"
-                   "                 schedule,memory,train,dag,link,serve\n");
+                   "                 schedule,memory,train,dag,link,serve,"
+                   "fleet\n");
       return 2;
     }
   }

@@ -16,7 +16,12 @@
 //     never increases the makespan;
 //   * on a subset of seeds, fuzzes the serving subsystem with a random
 //     arrival process and batcher config under the validator, checking
-//     metric sanity (monotone percentiles, bounded attainment).
+//     metric sanity (monotone percentiles, bounded attainment);
+//   * on a subset of seeds, fuzzes multi-replica serving fleets: random
+//     replica counts, routing policies, bursty traces and autoscaler knobs
+//     under the validator, with the metamorphic property that adding a
+//     replica (single-request batches, same trace) never worsens the mean
+//     queueing delay.
 //
 // All randomness flows from the seed through the repo's splitmix64 Rng, so
 // a failure reproduces with `oobp fuzz --seeds 1 --base-seed <seed>`.
@@ -40,8 +45,9 @@ struct FuzzOptions {
   // and the merged report is byte-identical for any jobs value.
   int jobs = 1;
   // Comma-separated glob list over check families: "schedule", "memory",
-  // "train", "dag", "link", "serve". A skipped family also skips its random
-  // draws, so repros must pass the same --checks value as the failing run.
+  // "train", "dag", "link", "serve", "fleet". A skipped family also skips
+  // its random draws, so repros must pass the same --checks value as the
+  // failing run.
   std::string checks = "*";
 };
 

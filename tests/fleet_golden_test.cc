@@ -1,0 +1,110 @@
+// Fleet scenario battery (ctest labels: fleet, golden, integration):
+//   * the serialized result JSON of every fleet_* scenario is byte-identical
+//     between --jobs 1 and --jobs 4 (cluster-scale determinism);
+//   * every fleet_* scenario replays clean under the SimValidator;
+//   * results satisfy the pinned golden files in bench/golden, including
+//     the headline pair: the ooo co-run fleet holds p99 flat (<= 10%
+//     growth) as load doubles while the in-order baseline degrades.
+
+#include <gtest/gtest.h>
+
+#include <string>
+#include <vector>
+
+#include "src/runner/fleet_scenarios.h"
+#include "src/runner/golden.h"
+#include "src/runner/registry.h"
+#include "src/runner/runner.h"
+#include "src/validate/sim_validator.h"
+
+namespace oobp {
+namespace {
+
+constexpr size_t kFleetScenarios = 11;  // 3 policies x 3 sizes + corun pair
+
+RunnerOptions FleetOpts(int jobs) {
+  RunnerOptions opts;
+  opts.filter = "fleet_*";
+  opts.jobs = jobs;
+  opts.print = false;
+  return opts;
+}
+
+TEST(FleetGoldenTest, JobsParallelismIsByteIdentical) {
+  RegisterFleetScenarios();
+  const RunnerReport serial = RunScenarios(FleetOpts(1));
+  const RunnerReport parallel = RunScenarios(FleetOpts(4));
+  ASSERT_EQ(serial.runs.size(), kFleetScenarios);
+  ASSERT_EQ(parallel.runs.size(), serial.runs.size());
+  EXPECT_EQ(serial.num_scenario_failures, 0);
+  EXPECT_EQ(parallel.num_scenario_failures, 0);
+  for (size_t i = 0; i < serial.runs.size(); ++i) {
+    EXPECT_EQ(serial.runs[i].scenario->name,
+              parallel.runs[i].scenario->name);
+    EXPECT_EQ(serial.runs[i].json, parallel.runs[i].json)
+        << serial.runs[i].scenario->name;
+    EXPECT_FALSE(serial.runs[i].json.empty())
+        << serial.runs[i].scenario->name;
+  }
+}
+
+TEST(FleetGoldenTest, AllFleetScenariosRunCleanUnderValidator) {
+  RegisterFleetScenarios();
+  const std::vector<const Scenario*> fleet =
+      ScenarioRegistry::Global().Match("fleet_*");
+  ASSERT_EQ(fleet.size(), kFleetScenarios);
+  for (const Scenario* scenario : fleet) {
+    SimValidator validator;
+    ScenarioResult result;
+    {
+      ValidationScope scope(&validator);
+      result = scenario->run(ScenarioParams());
+    }
+    EXPECT_FALSE(result.values.empty()) << scenario->name;
+    EXPECT_TRUE(validator.ok())
+        << scenario->name << ": " << validator.Summary();
+    // Every fleet scenario simulates real replica GPUs to completion.
+    EXPECT_GT(validator.gpus_observed(), 0) << scenario->name;
+    EXPECT_GT(validator.kernels_finished(), 0) << scenario->name;
+  }
+}
+
+TEST(FleetGoldenTest, ResultsMatchPinnedGoldensAndHeadlineHolds) {
+  RegisterFleetScenarios();
+  const RunnerReport report = RunScenarios(FleetOpts(1));
+  ASSERT_EQ(report.runs.size(), kFleetScenarios);
+
+  const ScenarioResult* baseline = nullptr;
+  const ScenarioResult* ooo = nullptr;
+  for (const ScenarioRun& run : report.runs) {
+    ASSERT_TRUE(run.ok) << run.scenario->name << ": " << run.error;
+    std::string error;
+    const auto spec = LoadGoldenFile(
+        GoldenPathFor(OOBP_REPO_ROOT "/bench/golden", run.scenario->name),
+        &error);
+    ASSERT_TRUE(spec.has_value()) << run.scenario->name << ": " << error;
+    for (const std::string& failure :
+         CheckAgainstGolden(*spec, run.result)) {
+      ADD_FAILURE() << run.scenario->name << ": " << failure;
+    }
+    if (run.scenario->name == "fleet_corun_baseline_64") {
+      baseline = &run.result;
+    } else if (run.scenario->name == "fleet_corun_ooo_64") {
+      ooo = &run.result;
+    }
+  }
+
+  // Headline relation, pinned directly and not just via the per-file
+  // goldens: at doubled load the ooo fleet's p99 stays flat while the
+  // in-order baseline's tail blows up.
+  ASSERT_NE(baseline, nullptr);
+  ASSERT_NE(ooo, nullptr);
+  EXPECT_LE(ooo->Get("p99_growth"), 1.10);
+  EXPECT_GE(baseline->Get("p99_growth"), 1.30);
+  EXPECT_LT(ooo->Get("p99_growth"), baseline->Get("p99_growth"));
+  // The co-run price on training stays within the paper's <= 2% band.
+  EXPECT_LE(ooo->Get("load2.train_overhead"), 1.02);
+}
+
+}  // namespace
+}  // namespace oobp

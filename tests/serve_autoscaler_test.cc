@@ -1,0 +1,176 @@
+// Autoscaler (src/serve/autoscaler.h): threshold crossing, warm-up delay,
+// cooldown spacing, warming cancellation, and the seeded property that the
+// routable floor and the prefix shape of the up-set hold under arbitrary
+// depth sequences (ctest labels: unit, serve, fleet).
+
+#include "src/serve/autoscaler.h"
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <cstdint>
+#include <vector>
+
+#include "src/common/rng.h"
+#include "src/common/time.h"
+#include "src/sim/engine.h"
+
+namespace oobp {
+namespace {
+
+AutoscalerConfig BaseConfig() {
+  AutoscalerConfig cfg;
+  cfg.min_replicas = 1;
+  cfg.max_replicas = 4;
+  cfg.scale_up_depth = 8.0;
+  cfg.scale_down_depth = 1.0;
+  cfg.evaluate_every = Ms(1);
+  cfg.cooldown = Ms(3);
+  cfg.warmup = Ms(2);
+  return cfg;
+}
+
+TEST(AutoscalerTest, ScaleUpCrossesThresholdAndWarmupDelaysRoutability) {
+  SimEngine engine;
+  int64_t queued = 100;  // far past scale_up_depth
+  Autoscaler scaler(&engine, BaseConfig(), [&queued] { return queued; });
+  EXPECT_EQ(scaler.num_routable(), 1);
+  EXPECT_EQ(scaler.target(), 1);
+
+  engine.ScheduleAt(Ms(1), [&] {
+    scaler.Evaluate();
+    // The warm-up cost is committed, but the replica cannot be routed yet.
+    EXPECT_EQ(scaler.target(), 2);
+    EXPECT_EQ(scaler.num_routable(), 1);
+    EXPECT_FALSE(scaler.routable(1));
+  });
+  engine.ScheduleAt(Ms(3) + 1, [&] {
+    EXPECT_TRUE(scaler.routable(1));
+    EXPECT_EQ(scaler.num_routable(), 2);
+  });
+  engine.Run();
+
+  EXPECT_EQ(scaler.scale_ups(), 1);
+  EXPECT_EQ(scaler.scale_downs(), 0);
+  // Timeline: initial fleet at t = 0, then the warmed-up replica at 3 ms.
+  ASSERT_EQ(scaler.timeline().size(), 2u);
+  EXPECT_EQ(scaler.timeline()[0], (std::pair<TimeNs, int>{0, 1}));
+  EXPECT_EQ(scaler.timeline()[1], (std::pair<TimeNs, int>{Ms(3), 2}));
+}
+
+TEST(AutoscalerTest, BelowThresholdNoAction) {
+  SimEngine engine;
+  AutoscalerConfig cfg = BaseConfig();
+  int64_t queued = 4;  // between down (1) and up (8) thresholds
+  Autoscaler scaler(&engine, cfg, [&queued] { return queued; });
+  scaler.Start(Ms(10));
+  engine.Run();
+  EXPECT_EQ(scaler.scale_ups(), 0);
+  EXPECT_EQ(scaler.scale_downs(), 0);
+  EXPECT_EQ(scaler.timeline().size(), 1u);
+}
+
+TEST(AutoscalerTest, CooldownSpacesConsecutiveActions) {
+  SimEngine engine;
+  const AutoscalerConfig cfg = BaseConfig();  // cooldown 3 ms, warmup 2 ms
+  int64_t queued = 1000;
+  Autoscaler scaler(&engine, cfg, [&queued] { return queued; });
+  scaler.Start(Ms(20));
+  engine.Run();
+
+  // Ticks run every 1 ms, but actions are only admitted at 1, 4, 7 ms —
+  // the fleet tops out at max_replicas with exactly 3 scale-ups.
+  EXPECT_EQ(scaler.scale_ups(), 3);
+  EXPECT_EQ(scaler.num_routable(), 4);
+  ASSERT_EQ(scaler.timeline().size(), 4u);
+  EXPECT_EQ(scaler.timeline()[1].first, Ms(3));  // action 1 ms + warmup
+  EXPECT_EQ(scaler.timeline()[2].first, Ms(6));
+  EXPECT_EQ(scaler.timeline()[3].first, Ms(9));
+}
+
+TEST(AutoscalerTest, ZeroWarmupIsRoutableAtTheEvaluationInstant) {
+  SimEngine engine;
+  AutoscalerConfig cfg = BaseConfig();
+  cfg.warmup = 0;
+  int64_t queued = 100;
+  Autoscaler scaler(&engine, cfg, [&queued] { return queued; });
+  engine.ScheduleAt(Ms(1), [&] {
+    scaler.Evaluate();
+    EXPECT_TRUE(scaler.routable(1));
+    EXPECT_EQ(scaler.num_routable(), 2);
+  });
+  engine.Run();
+}
+
+TEST(AutoscalerTest, ScaleDownCancelsWarmingReplicaFirst) {
+  SimEngine engine;
+  AutoscalerConfig cfg = BaseConfig();
+  cfg.cooldown = 0;
+  int64_t queued = 100;
+  Autoscaler scaler(&engine, cfg, [&queued] { return queued; });
+  engine.ScheduleAt(Ms(1), [&] { scaler.Evaluate(); });  // replica 1 warming
+  engine.ScheduleAt(Ms(2), [&] {
+    queued = 0;
+    scaler.Evaluate();  // cancels the warm-up; replica 1 never comes up
+    EXPECT_EQ(scaler.target(), 1);
+  });
+  engine.Run();
+
+  EXPECT_EQ(scaler.scale_ups(), 1);
+  EXPECT_EQ(scaler.scale_downs(), 1);
+  EXPECT_EQ(scaler.num_routable(), 1);
+  EXPECT_FALSE(scaler.routable(1));
+  // The cancelled warm-up never changed the routable count: no timeline
+  // entries beyond the initial fleet.
+  EXPECT_EQ(scaler.timeline().size(), 1u);
+}
+
+TEST(AutoscalerTest, FloorAndPrefixShapeHoldUnderFuzzedDepths) {
+  Rng rng(0xA5CA1E);
+  for (int trial = 0; trial < 25; ++trial) {
+    SimEngine engine;
+    AutoscalerConfig cfg;
+    cfg.min_replicas = 1 + static_cast<int>(rng.NextBelow(3));
+    cfg.max_replicas =
+        cfg.min_replicas + static_cast<int>(rng.NextBelow(6));
+    cfg.scale_up_depth = rng.Uniform(2.0, 10.0);
+    cfg.scale_down_depth = rng.Uniform(0.1, 1.9);
+    cfg.evaluate_every = Us(rng.Uniform(500.0, 2000.0));
+    cfg.cooldown = Us(rng.Uniform(0.0, 3000.0));
+    cfg.warmup = Us(rng.Uniform(0.0, 3000.0));
+    int64_t queued = 0;
+    Autoscaler scaler(&engine, cfg, [&queued] { return queued; });
+
+    for (int step = 0; step < 60; ++step) {
+      const TimeNs at = Us(500) * (step + 1);
+      const auto depth = static_cast<int64_t>(rng.NextBelow(40));
+      engine.ScheduleAt(at, [&scaler, &queued, &cfg, depth] {
+        queued = depth;
+        scaler.Evaluate();
+        // Floor and ceiling on the routable count, at every instant.
+        ASSERT_GE(scaler.num_routable(), cfg.min_replicas);
+        ASSERT_LE(scaler.num_routable(), cfg.max_replicas);
+        ASSERT_GE(scaler.target(), cfg.min_replicas);
+        ASSERT_LE(scaler.target(), cfg.max_replicas);
+        // Up replicas always form the index prefix {0..k-1}: scale-ups take
+        // the lowest down index and scale-downs the highest non-down.
+        const std::vector<int>& routable = scaler.routable_set();
+        for (size_t i = 0; i < routable.size(); ++i) {
+          ASSERT_EQ(routable[i], static_cast<int>(i));
+        }
+      });
+    }
+    engine.Run();
+    // Actions balance: routable count = initial + net actions completed.
+    EXPECT_GE(scaler.scale_ups(), scaler.scale_downs() -
+                                      (scaler.target() - cfg.min_replicas));
+    // Timeline times are non-decreasing.
+    const auto& tl = scaler.timeline();
+    for (size_t i = 1; i < tl.size(); ++i) {
+      EXPECT_GE(tl[i].first, tl[i - 1].first);
+    }
+  }
+}
+
+}  // namespace
+}  // namespace oobp

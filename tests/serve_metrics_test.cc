@@ -93,5 +93,37 @@ TEST(ServeMetricsTest, KvKeysAreStable) {
   }
 }
 
+TEST(ServeMetricsTest, EmptyWindowReportsSentinelPercentiles) {
+  // A window with no completions — e.g. a fleet replica scaled down before
+  // its first batch finished — must report the kNoSample sentinel, not a
+  // fabricated 0 ns latency that would read as "instant".
+  const ServeMetrics empty = ComputeServeMetrics({}, 0, Ms(100), Ms(5));
+  EXPECT_EQ(empty.num_completed, 0);
+  EXPECT_EQ(empty.p50_latency, ServeMetrics::kNoSample);
+  EXPECT_EQ(empty.p95_latency, ServeMetrics::kNoSample);
+  EXPECT_EQ(empty.p99_latency, ServeMetrics::kNoSample);
+  EXPECT_EQ(empty.max_latency, ServeMetrics::kNoSample);
+
+  // Offered-but-never-completed requests leave the window empty too.
+  const std::vector<RequestRecord> inflight = {RequestRecord{Ms(1)}};
+  const ServeMetrics m = ComputeServeMetrics(inflight, 0, Ms(100), Ms(5));
+  EXPECT_EQ(m.num_requests, 1);
+  EXPECT_EQ(m.num_completed, 0);
+  EXPECT_EQ(m.p99_latency, ServeMetrics::kNoSample);
+
+  // The Kv serialization forwards the sentinel as exactly -1 (a naive
+  // ToMs(kNoSample) would emit -1e-6 and break golden comparisons).
+  const std::vector<MetricKv> kv = ServeMetricsToKv(m, "");
+  int sentinels = 0;
+  for (const MetricKv& e : kv) {
+    if (e.key == "p50_ms" || e.key == "p95_ms" || e.key == "p99_ms" ||
+        e.key == "max_ms") {
+      EXPECT_EQ(e.value, -1.0) << e.key;
+      ++sentinels;
+    }
+  }
+  EXPECT_EQ(sentinels, 4);
+}
+
 }  // namespace
 }  // namespace oobp

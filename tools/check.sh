@@ -1,5 +1,5 @@
 #!/usr/bin/env bash
-# One-shot health check, five tiers:
+# One-shot health check, six tiers:
 #   1. Release build: unit-test tier + unit-time toy scenarios vs goldens.
 #   2. ASan+UBSan build (-DOOBP_SANITIZE=ON): unit-test tier under the
 #      sanitizers (catches lifetime bugs in the event slab / callback moves).
@@ -11,16 +11,24 @@
 #      path still produces the exact golden values AND that per-scenario
 #      event counts match bench/perf_baseline.json (inflation hard-fails;
 #      wall-clock bands are informational, Release builds only).
-#   5. Fuzz smoke: validate-labeled ctest tier (all golden scenarios
+#   5. Fleet: fleet-labeled ctest tier (router/autoscaler unit batteries +
+#      fleet_golden_test's --jobs byte-identity and validator replay) plus
+#      the fleet_* scenarios against their goldens (BENCH_fleet_*.json),
+#      which pin the fleet headline — the 64-replica ooo co-run holds
+#      inference p99 flat (<= 10% growth) as load doubles while the
+#      in-order baseline degrades (see DESIGN.md §10).
+#   6. Fuzz smoke: validate-labeled ctest tier (all golden scenarios
 #      replayed under the SimValidator) plus 200 seeds of the differential
 #      fuzzer under ASan/UBSan at a fixed base seed, parallelised across
 #      cores with --jobs 0 (the merged report is byte-identical to a serial
 #      run, so failures still reproduce with
-#      `oobp fuzz --seeds 1 --base-seed <seed>`; see DESIGN.md §8-9).
+#      `oobp fuzz --seeds 1 --base-seed <seed>`; see DESIGN.md §8-9), and
+#      another 200 ASan seeds restricted to the fleet fuzz family (random
+#      fleets, metamorphic add-a-replica check; every second seed runs).
 #
 # Tier matrix (tier x build):
-#   tier 1, 3, 4 -> Release build      (speed; golden gates are exact)
-#   tier 2, 5    -> ASan+UBSan build   (memory-safety of slab/fluid/fuzz paths)
+#   tier 1, 3, 4, 5 -> Release build    (speed; golden gates are exact)
+#   tier 2, 6       -> ASan+UBSan build (memory-safety of slab/fluid/fuzz paths)
 #
 # Usage: tools/check.sh [build-dir [asan-build-dir]]
 set -euo pipefail
@@ -56,9 +64,18 @@ ctest --test-dir "${BUILD_DIR}" -L serve --output-on-failure
     --check="${REPO_ROOT}/bench/perf_baseline.json" \
     --out "${BUILD_DIR}" --golden "${REPO_ROOT}/bench/golden"
 
-# --- Tier 5: fuzz smoke: validator replay + 200 seeds under ASan ----------
+# --- Tier 5: fleet: router/autoscaler/golden tests + fleet goldens --------
+ctest --test-dir "${BUILD_DIR}" -L fleet --output-on-failure
+
+"${BUILD_DIR}/tools/oobp" bench --filter 'fleet_*' --jobs 0 \
+    --out "${BUILD_DIR}" --golden "${REPO_ROOT}/bench/golden"
+
+# --- Tier 6: fuzz smoke: validator replay + 200 seeds under ASan ----------
 ctest --test-dir "${BUILD_DIR}" -L validate --output-on-failure
 
 "${ASAN_DIR}/tools/oobp" fuzz --seeds 200 --base-seed 1 --jobs 0
+
+"${ASAN_DIR}/tools/oobp" fuzz --seeds 200 --base-seed 1 --jobs 0 \
+    --checks=fleet
 
 echo "check.sh: all green"
