@@ -1,0 +1,68 @@
+#include "src/hw/comm_channel.h"
+
+#include <limits>
+#include <utility>
+
+#include "src/common/check.h"
+
+namespace oobp {
+
+namespace {
+constexpr TimeNs kNever = std::numeric_limits<TimeNs>::max();
+}  // namespace
+
+CommChannel::CommChannel(SimEngine* src_engine, int src_lp, int dst_lp,
+                         LinkSpec spec, int64_t chunk_bytes,
+                         int64_t commit_window_bytes)
+    : src_engine_(src_engine),
+      src_lp_(src_lp),
+      dst_lp_(dst_lp),
+      link_(src_engine, spec, chunk_bytes, /*trace=*/nullptr, /*track=*/200,
+            commit_window_bytes) {
+  OOBP_CHECK(src_engine != nullptr);
+  // The propagation latency is the channel's lookahead window; zero-latency
+  // cross-LP channels would force fully serial execution and break the
+  // microstep's strictly-later-delivery guarantee.
+  OOBP_CHECK_GE(spec.latency, 1);
+  OOBP_CHECK_NE(src_lp, dst_lp);
+}
+
+Link::TransferId CommChannel::Send(int64_t bytes, int priority,
+                                   std::string name,
+                                   SimEngine::Callback on_delivered) {
+  ++inflight_;
+  total_sent_bytes_ += bytes;
+  // The completion callback runs inside the source LP (it is a source
+  // engine event); it only moves the delivery into the outbox. The
+  // coordinator later re-schedules it at the same timestamp on the
+  // destination engine, preserving the delivery time exactly.
+  auto cb = std::make_shared<SimEngine::Callback>(std::move(on_delivered));
+  return link_.Transfer(bytes, priority, std::move(name), [this, cb] {
+    outbox_.push_back({src_engine_->now(), std::move(*cb)});
+    --inflight_;
+  });
+}
+
+TimeNs CommChannel::PendingBound() const {
+  // Outbox completion order follows source event order, so the front entry
+  // is the earliest buffered delivery. An in-flight transfer's completion
+  // is itself a pending source event, so the next source event time
+  // lower-bounds it.
+  TimeNs bound = outbox_.empty() ? kNever : outbox_.front().time;
+  if (inflight_ > 0) {
+    bound = std::min(bound, src_engine_->NextEventTime());
+  }
+  return bound;
+}
+
+size_t CommChannel::DrainInto(SimEngine* dst) {
+  const size_t count = outbox_.size();
+  for (Delivery& d : outbox_) {
+    dst->ScheduleAt(d.time, std::move(d.cb));
+  }
+  outbox_.clear();
+  deliveries_ += static_cast<int64_t>(count);
+  return count;
+}
+
+}  // namespace oobp

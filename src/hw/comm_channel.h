@@ -1,0 +1,94 @@
+// Cross-LP communication channel for the sharded simulator.
+//
+// A CommChannel wraps a priority-preemptive Link (src/hw/link.h) that lives
+// entirely inside the *source* logical process: transfers are submitted and
+// serialized on the source LP's SimEngine, so the link's chunking,
+// priority-preemption, and commit-window behavior are simulated exactly as
+// in the single-engine case. What crosses the LP boundary is only the
+// completed delivery: when a transfer finishes at source time d, the
+// delivery callback is buffered in an outbox, and the ShardedSim
+// coordinator injects it into the destination LP's engine at time d between
+// conservative-sync rounds (workers quiesced, channel index order — fully
+// deterministic).
+//
+// Lookahead accounting (the Chandy–Misra bound): the channel reports two
+// quantities the coordinator's fixed-point horizon computation combines
+// (src/sim/sharded.h):
+//
+//     PendingBound = earliest outbox delivery time, and — if a transfer is
+//                    in flight — the next source event time (its completion
+//                    IS a source event); TimeNs max when neither applies
+//     latency      = the link's propagation latency: any *future* Transfer()
+//                    is made by some source event and pays this latency
+//                    before its first chunk, so it is the channel's
+//                    lookahead window
+//
+// This is also why Link::latency must be >= 1ns for cross-LP channels: it is
+// the strictly positive lookahead window that lets the destination run
+// ahead of the source at all, and it guarantees exact-time microsteps (see
+// src/sim/sharded.h) never generate same-time cross-LP deliveries.
+
+#ifndef OOBP_SRC_HW_COMM_CHANNEL_H_
+#define OOBP_SRC_HW_COMM_CHANNEL_H_
+
+#include <cstdint>
+#include <string>
+#include <utility>
+#include <vector>
+
+#include "src/common/time.h"
+#include "src/hw/link.h"
+#include "src/sim/engine.h"
+#include "src/sim/sharded.h"
+
+namespace oobp {
+
+class CommChannel : public CrossLpChannel {
+ public:
+  // `src_engine` must be LP `src_lp`'s engine; the Link is constructed on
+  // it. Deliveries are injected into dst by the coordinator, never by this
+  // class on its own.
+  CommChannel(SimEngine* src_engine, int src_lp, int dst_lp, LinkSpec spec,
+              int64_t chunk_bytes = 1 << 20,
+              int64_t commit_window_bytes = 0);
+
+  // Submits `bytes` on the link (lower `priority` first) and arranges for
+  // `on_delivered` to run in the destination LP at the completion time.
+  // Must be called from the source LP's execution context (i.e. inside one
+  // of its event callbacks, or while the coordinator holds the barrier).
+  Link::TransferId Send(int64_t bytes, int priority, std::string name,
+                        SimEngine::Callback on_delivered);
+
+  // CrossLpChannel:
+  int src_lp() const override { return src_lp_; }
+  int dst_lp() const override { return dst_lp_; }
+  TimeNs latency() const override { return link_.spec().latency; }
+  TimeNs PendingBound() const override;
+  size_t DrainInto(SimEngine* dst) override;
+  size_t undelivered() const override {
+    return outbox_.size() + static_cast<size_t>(inflight_);
+  }
+
+  const Link& link() const { return link_; }
+  int64_t total_sent_bytes() const { return total_sent_bytes_; }
+  int64_t deliveries() const { return deliveries_; }
+
+ private:
+  struct Delivery {
+    TimeNs time = 0;
+    SimEngine::Callback cb;
+  };
+
+  SimEngine* src_engine_;
+  const int src_lp_;
+  const int dst_lp_;
+  Link link_;
+  std::vector<Delivery> outbox_;  // completion order == source event order
+  int64_t inflight_ = 0;
+  int64_t total_sent_bytes_ = 0;
+  int64_t deliveries_ = 0;
+};
+
+}  // namespace oobp
+
+#endif  // OOBP_SRC_HW_COMM_CHANNEL_H_

@@ -47,9 +47,14 @@ namespace oobp {
 
 struct PerfOptions {
   // Default perf suite: the single-GPU figure-7 scenarios plus the
-  // data-parallel, pipeline-scaling, serving and steady-state families —
-  // every simulation path whose throughput the repo tracks.
-  std::string filter = "fig07_*,fig10_*,fig13_*,serve_*,steady_*";
+  // data-parallel, pipeline-scaling, serving, steady-state, fleet and
+  // cluster families — every simulation path whose throughput the repo
+  // tracks. The fleet/cluster scenarios honour --sim-threads, so the same
+  // suite measures the sharded coordinator at any worker count against the
+  // same event-count baseline (counts are thread-invariant by design).
+  std::string filter =
+      "fig07_*,fig10_*,fig13_*,serve_*,steady_*,fleet_rr_64,"
+      "fleet_corun_ooo_64,cluster_ps_*";
   int warmup = 1;                  // untimed runs per scenario
   int repeats = 3;                 // timed runs per scenario
   std::string output_dir = ".";    // BENCH_sim_perf.json lands here

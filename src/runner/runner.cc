@@ -9,6 +9,7 @@
 #include <thread>
 
 #include "src/common/str_util.h"
+#include "src/runner/cluster_scenarios.h"
 #include "src/runner/fleet_scenarios.h"
 #include "src/runner/json.h"
 #include "src/runner/paper_scenarios.h"
@@ -226,7 +227,8 @@ int BenchUsage() {
                "                 (train = paper figures, serve = inference\n"
                "                 serving, sweep = scaling/analysis sweeps,\n"
                "                 steady = long-horizon replay scenarios,\n"
-               "                 fleet = multi-replica serving fleets)\n"
+               "                 fleet = multi-replica serving fleets,\n"
+               "                 cluster = parameter-server training)\n"
                "  --filter=GLOB  run scenarios matching GLOB (default '*';\n"
                "                 with --perf: "
                "'fig07_*,fig10_*,fig13_*,serve_*,steady_*')\n"
@@ -235,6 +237,10 @@ int BenchUsage() {
                "  --golden[=DIR] compare against golden files "
                "(default bench/golden)\n"
                "  --param k=v    forward a parameter to every scenario\n"
+               "  --sim-threads=N  worker threads INSIDE one simulation for\n"
+               "                 scenarios with sharded engines (fleet_*,\n"
+               "                 cluster_*); results are byte-identical to\n"
+               "                 N=1 (shorthand for --param sim_threads=N)\n"
                "  --perf         wall-clock harness: warm-up + timed repeats,\n"
                "                 emits BENCH_sim_perf.json (see src/runner/"
                "perf.h)\n"
@@ -255,6 +261,7 @@ int BenchMain(int argc, char** argv) {
   RegisterServeScenarios();
   RegisterSweepScenarios();
   RegisterFleetScenarios();
+  RegisterClusterScenarios();
 
   RunnerOptions opts;
   opts.output_dir = ".";
@@ -308,6 +315,10 @@ int BenchMain(int argc, char** argv) {
     } else if (arg == "golden") {
       const std::string dir = next_value();
       opts.golden_dir = dir.empty() ? "bench/golden" : dir;
+    } else if (arg == "sim-threads") {
+      // Sugar for --param sim_threads=N: intra-scenario parallelism for
+      // engines that support sharded simulation (fleet_*, cluster_*).
+      opts.params.Set("sim_threads", next_value());
     } else if (arg == "param") {
       const std::string kv = next_value();
       const size_t split = kv.find('=');
@@ -349,6 +360,7 @@ int RunStandaloneBench(const std::string& filter) {
   RegisterServeScenarios();
   RegisterSweepScenarios();
   RegisterFleetScenarios();
+  RegisterClusterScenarios();
   RunnerOptions opts;
   opts.filter = filter;
   opts.jobs = 1;

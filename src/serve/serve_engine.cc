@@ -73,6 +73,11 @@ ServeMetrics ServeEngine::RunImpl(const NnModel* train_model,
   const std::vector<TimeNs> arrivals =
       GenerateArrivals(config_.arrivals, config_.horizon);
   std::vector<RequestRecord> records(arrivals.size());
+  // The whole trace is scheduled up front, so the heap/slab high-water mark
+  // is the trace plus a bounded set of batcher/launcher/GPU events;
+  // pre-sizing avoids mid-run growth reallocations (capacity only, no
+  // effect on results).
+  engine.Reserve(arrivals.size() + 256);
 
   std::vector<Batch> batches;
   std::unordered_map<KernelId, size_t> last_kernel_to_batch;

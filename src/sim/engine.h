@@ -17,6 +17,7 @@
 #ifndef OOBP_SRC_SIM_ENGINE_H_
 #define OOBP_SRC_SIM_ENGINE_H_
 
+#include <atomic>
 #include <cstdint>
 #include <limits>
 #include <vector>
@@ -54,15 +55,49 @@ class SimEngine {
   bool empty() const { return heap_.empty(); }
   uint64_t processed_events() const { return processed_; }
   size_t pending_events() const { return heap_.size(); }
+
+  // (time, seq) of the earliest pending event without processing it.
+  // Returns false on an empty queue. The sharded coordinator peeks these to
+  // decide how far a logical process may safely advance.
+  bool PeekNext(TimeNs* time, uint64_t* seq) const {
+    if (heap_.empty()) {
+      return false;
+    }
+    *time = heap_[0].time;
+    *seq = heap_[0].seq;
+    return true;
+  }
+
+  // Time of the earliest pending event, or TimeNs::max() when empty.
+  TimeNs NextEventTime() const {
+    return heap_.empty() ? std::numeric_limits<TimeNs>::max() : heap_[0].time;
+  }
+
+  // Pre-sizes the heap and callback slab for `n` concurrently pending
+  // events, eliminating mid-run growth reallocations. Capacity only — has
+  // no effect on event ordering or results.
+  void Reserve(size_t n) {
+    heap_.reserve(n);
+    slots_.reserve(n);
+  }
+
+  // Draws event sequence numbers from `counter` instead of the engine's own
+  // counter. A ShardedSim installs one shared counter across its logical
+  // processes and the control engine, so the (time, seq) order that breaks
+  // same-timestamp ties is comparable across engines — the key to replaying
+  // the single-engine reference order exactly (see src/sim/sharded.h).
+  // Pass nullptr to restore the local counter.
+  void SetSeqSource(std::atomic<uint64_t>* counter) { seq_source_ = counter; }
   // Total slab slots ever allocated (live + free-listed); a sequence of
   // schedule/fire/cancel cycles that keeps pending_events bounded must keep
   // this bounded too, or slots are leaking.
   size_t slab_slots() const { return slots_.size(); }
 
   // Process-wide count of events processed by engines that have been
-  // destroyed (each engine flushes its tally in its destructor). The perf
-  // harness reads deltas of this around scenario runs; simulation results
-  // never depend on it.
+  // destroyed (each engine flushes its tally in its destructor). The tally
+  // is an atomic: engines may be destroyed concurrently on sharded-sim
+  // worker threads or the bench/fuzz pools. The perf harness reads deltas
+  // of this around scenario runs; simulation results never depend on it.
   static uint64_t TotalProcessedEvents();
 
   // Schedules `cb` at absolute time `t`; `t` must not be in the past. The
@@ -88,6 +123,18 @@ class SimEngine {
   // simulated intervals. With the default (infinite) limit the clock rests
   // at the last processed event's timestamp.
   uint64_t Run(TimeNs limit = std::numeric_limits<TimeNs>::max());
+
+  // Conservative-window advance: processes events with time < `t`, plus
+  // events at exactly `t` whose seq is < `tie_seq_bound`, then sets the
+  // clock to exactly `t` (which must be >= now()). With the default bound
+  // of 0 the advance is exclusive — events at `t` stay pending. Returns the
+  // number of events processed.
+  //
+  // This is the logical-process primitive: a shard may run ahead only to
+  // the next externally visible sync point `t`, and the seq bound decides
+  // which same-timestamp events belong before that sync point in the
+  // engine-spanning (time, seq) total order.
+  uint64_t RunUntil(TimeNs t, uint64_t tie_seq_bound = 0);
 
   // Processes a single event if one exists. Returns false on an empty queue.
   bool Step();
@@ -121,6 +168,7 @@ class SimEngine {
 
   TimeNs now_ = 0;
   uint64_t next_seq_ = 1;  // 0 is reserved for null TimerHandles
+  std::atomic<uint64_t>* seq_source_ = nullptr;  // non-null: shared counter
   uint64_t processed_ = 0;
   std::vector<HeapEntry> heap_;   // 4-ary min-heap by (time, seq)
   std::vector<EventSlot> slots_;  // callback slab, free-listed

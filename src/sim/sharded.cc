@@ -1,0 +1,252 @@
+#include "src/sim/sharded.h"
+
+#include <algorithm>
+#include <chrono>
+
+#include "src/common/check.h"
+
+namespace oobp {
+
+namespace {
+
+// splitmix64 finalizer, used to hash (seed, window, lp, worker) into a
+// perturbation sleep without constructing an Rng per task.
+uint64_t Mix(uint64_t z) {
+  z = (z ^ (z >> 30)) * 0xBF58476D1CE4E5B9ULL;
+  z = (z ^ (z >> 27)) * 0x94D049BB133111EBULL;
+  return z ^ (z >> 31);
+}
+
+}  // namespace
+
+ShardedSim::ShardedSim(int num_lps, int num_threads) {
+  OOBP_CHECK_GE(num_lps, 0);
+  control_.SetSeqSource(&shared_seq_);
+  lps_.reserve(static_cast<size_t>(num_lps));
+  for (int i = 0; i < num_lps; ++i) {
+    lps_.push_back(std::make_unique<SimEngine>());
+    lps_.back()->SetSeqSource(&shared_seq_);
+  }
+  const int workers = std::min(num_threads, num_lps);
+  if (workers > 1) {
+    workers_.reserve(static_cast<size_t>(workers));
+    for (int w = 0; w < workers; ++w) {
+      workers_.emplace_back([this, w] { WorkerLoop(w); });
+    }
+  }
+}
+
+ShardedSim::~ShardedSim() {
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    stop_ = true;
+  }
+  cv_work_.notify_all();
+  for (std::thread& t : workers_) {
+    t.join();
+  }
+}
+
+uint64_t ShardedSim::processed_events() const {
+  uint64_t total = control_.processed_events();
+  for (const auto& lp : lps_) {
+    total += lp->processed_events();
+  }
+  return total;
+}
+
+void ShardedSim::MaybePerturb(int worker, int lp) {
+  if (perturb_seed_ == 0) {
+    return;
+  }
+  const uint64_t h =
+      Mix(perturb_seed_ + window_ * 0x9E3779B97F4A7C15ULL +
+          static_cast<uint64_t>(lp) * 0xD1342543DE82EF95ULL +
+          static_cast<uint64_t>(worker));
+  std::this_thread::sleep_for(std::chrono::microseconds(h % 200));
+}
+
+void ShardedSim::RunOne(const Task& task) {
+  SimEngine& e = *lps_[static_cast<size_t>(task.lp)];
+  if (task.t == kDrain) {
+    e.Run();
+  } else {
+    e.RunUntil(task.t, task.seq_bound);
+  }
+}
+
+void ShardedSim::RunTasks(std::vector<Task> staged) {
+  ++window_;
+  if (workers_.empty() || staged.size() <= 1) {
+    // Inline reference path: identical per-LP calls in LP index order.
+    // Iterates the staged batch directly — tasks_ stays untouched, so a
+    // worker oversleeping a previous window can never observe this path.
+    for (const Task& task : staged) {
+      RunOne(task);
+    }
+    return;
+  }
+  std::unique_lock<std::mutex> lock(mu_);
+  tasks_ = std::move(staged);
+  next_task_ = 0;
+  done_tasks_ = 0;
+  ++generation_;
+  cv_work_.notify_all();
+  cv_done_.wait(lock, [&] { return done_tasks_ == tasks_.size(); });
+  tasks_.clear();
+}
+
+void ShardedSim::WorkerLoop(int worker) {
+  uint64_t seen = 0;
+  std::unique_lock<std::mutex> lock(mu_);
+  while (true) {
+    cv_work_.wait(lock, [&] { return stop_ || generation_ != seen; });
+    if (stop_) {
+      return;
+    }
+    seen = generation_;
+    while (next_task_ < tasks_.size()) {
+      const Task task = tasks_[next_task_++];
+      lock.unlock();
+      MaybePerturb(worker, task.lp);
+      RunOne(task);
+      lock.lock();
+      if (++done_tasks_ == tasks_.size()) {
+        cv_done_.notify_one();
+      }
+    }
+  }
+}
+
+void ShardedSim::AdvanceAllTo(TimeNs t, uint64_t tie_seq_bound) {
+  std::vector<Task> staged;
+  for (size_t i = 0; i < lps_.size(); ++i) {
+    SimEngine& e = *lps_[i];
+    TimeNs next = 0;
+    uint64_t seq = 0;
+    const bool work = e.PeekNext(&next, &seq) &&
+                      (next < t || (next == t && seq < tie_seq_bound));
+    if (work) {
+      staged.push_back({static_cast<int>(i), t, tie_seq_bound});
+    } else if (e.now() < t) {
+      e.RunUntil(t, tie_seq_bound);  // nothing qualifies: clock bump only
+    }
+  }
+  RunTasks(std::move(staged));
+}
+
+void ShardedSim::DrainAll() {
+  std::vector<Task> staged;
+  for (size_t i = 0; i < lps_.size(); ++i) {
+    if (!lps_[i]->empty()) {
+      staged.push_back({static_cast<int>(i), kDrain, 0});
+    }
+  }
+  RunTasks(std::move(staged));
+}
+
+void ShardedSim::RunConservative(
+    const std::vector<CrossLpChannel*>& channels) {
+  const int n = num_lps();
+  std::vector<std::vector<CrossLpChannel*>> incoming(
+      static_cast<size_t>(n));
+  for (CrossLpChannel* c : channels) {
+    OOBP_CHECK_GE(c->src_lp(), 0);
+    OOBP_CHECK_LT(c->src_lp(), n);
+    OOBP_CHECK_GE(c->dst_lp(), 0);
+    OOBP_CHECK_LT(c->dst_lp(), n);
+    incoming[static_cast<size_t>(c->dst_lp())].push_back(c);
+  }
+
+  while (true) {
+    bool pending = false;
+    for (const auto& lp : lps_) {
+      pending = pending || !lp->empty();
+    }
+    for (CrossLpChannel* c : channels) {
+      pending = pending || c->undelivered() > 0;
+    }
+    if (!pending) {
+      break;
+    }
+
+    // Safe horizon per LP: the earliest incoming time (EIT), the greatest
+    // fixed point of the Chandy–Misra equations (see sharded.h). Iterating
+    // downward from "no bound" converges because bounds only decrease and
+    // each pass reads monotonically non-increasing values; the recursion
+    // through eit[src] keeps idle-but-reachable sources sound. LPs with no
+    // incoming channels (or none transitively reachable) drain freely.
+    std::vector<TimeNs> eit(static_cast<size_t>(n), kDrain);
+    bool changed = true;
+    while (changed) {
+      changed = false;
+      for (int j = 0; j < n; ++j) {
+        TimeNs v = kDrain;
+        for (CrossLpChannel* c : incoming[static_cast<size_t>(j)]) {
+          const size_t src = static_cast<size_t>(c->src_lp());
+          const TimeNs ready =
+              std::min(lps_[src]->NextEventTime(), eit[src]);
+          const TimeNs lookahead = c->latency();
+          const TimeNs horizon =
+              ready >= kDrain - lookahead ? kDrain : ready + lookahead;
+          v = std::min(v, std::min(c->PendingBound(), horizon));
+        }
+        if (v < eit[static_cast<size_t>(j)]) {
+          eit[static_cast<size_t>(j)] = v;
+          changed = true;
+        }
+      }
+    }
+
+    const uint64_t before = processed_events();
+    std::vector<Task> staged;
+    for (int i = 0; i < n; ++i) {
+      const TimeNs bound = eit[static_cast<size_t>(i)];
+      SimEngine& e = *lps_[static_cast<size_t>(i)];
+      if (bound == kDrain) {
+        if (!e.empty()) {
+          staged.push_back({i, kDrain, 0});
+        }
+        continue;
+      }
+      if (bound <= e.now()) {
+        continue;  // another LP must move first
+      }
+      if (e.NextEventTime() < bound) {
+        staged.push_back({i, bound, 0});
+      } else {
+        e.RunUntil(bound);  // clock bump up to the horizon
+      }
+    }
+    RunTasks(std::move(staged));
+    uint64_t progress = processed_events() - before;
+    for (CrossLpChannel* c : channels) {
+      progress += c->DrainInto(lp(c->dst_lp()));
+    }
+    if (progress > 0) {
+      continue;
+    }
+
+    // Exact-time stall: every live LP's horizon equals the global minimum
+    // event time t* (possible on symmetric channel cycles). Process all
+    // events at t*, serially in LP index order — the round structure is
+    // fixed by simulation state alone, so results stay independent of
+    // thread count. Channel latency >= 1ns guarantees any deliveries this
+    // creates land strictly after t*.
+    TimeNs tstar = kDrain;
+    for (const auto& e : lps_) {
+      tstar = std::min(tstar, e->NextEventTime());
+    }
+    OOBP_CHECK_LT(tstar, kDrain);
+    for (const auto& e : lps_) {
+      while (e->NextEventTime() == tstar) {
+        e->Step();
+      }
+    }
+    for (CrossLpChannel* c : channels) {
+      c->DrainInto(lp(c->dst_lp()));
+    }
+  }
+}
+
+}  // namespace oobp

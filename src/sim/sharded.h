@@ -1,0 +1,175 @@
+// Parallel discrete-event simulation: sharded SimEngines under conservative
+// synchronization.
+//
+// A ShardedSim partitions one simulation into logical processes (LPs), each
+// owning its own SimEngine event heap, advanced concurrently on a persistent
+// worker pool. An LP may only run ahead to the next externally visible sync
+// point — the classic conservative (Chandy–Misra-style) discipline — so the
+// parallel execution is not merely race-free but produces byte-identical
+// results to a single-threaded run. Two sync disciplines are provided:
+//
+//  1. Windowed sync (AdvanceAllTo): a coordinator-owned control engine holds
+//     the externally scheduled timeline (pre-generated arrival traces,
+//     autoscaler ticks). Between consecutive control events every LP is
+//     independent, so the coordinator repeatedly advances all LPs to the
+//     next control event's (time, seq) and then processes that one control
+//     event. Used by FleetEngine, where replicas only interact through the
+//     router/autoscaler reads made by control events.
+//
+//  2. Chandy–Misra lookahead (RunConservative): LPs exchange messages over
+//     CommChannels (src/hw/comm_channel.h), whose Link latency bounds how
+//     soon anything sent in the future can arrive. Each round the
+//     coordinator computes a safe horizon per LP — the earliest incoming
+//     time (EIT) — as the greatest fixed point of
+//
+//        eit[j] = min over incoming channels c (src i -> j) of
+//                 min(c->PendingBound(),
+//                     min(next_event_time[i], eit[i]) + c->latency())
+//
+//     The recursion through eit[i] is what makes an *idle* source safe: an
+//     LP with an empty heap can still be reactivated by a delivery from a
+//     third LP, and the earliest it could then send is its own EIT plus the
+//     channel latency. The coordinator advances LPs in parallel below these
+//     horizons, then drains channel outboxes into destination engines.
+//     Exact-time cyclic ties — where no LP can advance because every
+//     horizon equals the global minimum event time t* — are broken by a
+//     serial microstep that processes all events at t* in LP index order.
+//     Used by cluster-scale engines (parameter-server data parallelism).
+//
+// Determinism argument (DESIGN.md §11 has the full version): every engine
+// in a ShardedSim draws event sequence numbers from one shared atomic
+// counter, so the (time, seq) pairs that break same-timestamp ties are
+// comparable across engines. Orderings that are observable — events of one
+// LP against each other, and LP events against control events — are fully
+// determined by program order and the sync-point structure, never by thread
+// scheduling; orderings that thread scheduling can perturb (relative seq
+// values of events scheduled by different LPs inside one window) are
+// between events on different engines that share no state, hence
+// unobservable. The inline num_threads <= 1 path executes the identical
+// per-LP calls in the identical order and is the reference the tests and
+// the differential fuzzer compare against.
+
+#ifndef OOBP_SRC_SIM_SHARDED_H_
+#define OOBP_SRC_SIM_SHARDED_H_
+
+#include <atomic>
+#include <condition_variable>
+#include <cstdint>
+#include <limits>
+#include <memory>
+#include <mutex>
+#include <thread>
+#include <vector>
+
+#include "src/common/time.h"
+#include "src/sim/engine.h"
+
+namespace oobp {
+
+// Coordinator-facing view of a cross-LP message channel (implemented by
+// hw's CommChannel over a latency/bandwidth Link). The source LP fills the
+// channel during its advance; the coordinator reads bounds and drains
+// deliveries between rounds, when all workers are quiesced.
+class CrossLpChannel {
+ public:
+  virtual ~CrossLpChannel() = default;
+  virtual int src_lp() const = 0;
+  virtual int dst_lp() const = 0;
+  // Positive lookahead: a message submitted by a future source event is
+  // delivered no earlier than that event's time plus this latency.
+  virtual TimeNs latency() const = 0;
+  // Lower bound on the delivery time of messages already committed to this
+  // channel — buffered in the outbox or in flight on the link; TimeNs max
+  // when there are none. (In-flight completions are source heap events, so
+  // the next source event time bounds them with no latency credit.)
+  virtual TimeNs PendingBound() const = 0;
+  // Injects buffered deliveries into `dst` (the destination LP's engine);
+  // returns how many were injected.
+  virtual size_t DrainInto(SimEngine* dst) = 0;
+  // Buffered deliveries plus in-flight transfers — nonzero means the
+  // simulation cannot terminate yet even if every heap looks drained.
+  virtual size_t undelivered() const = 0;
+};
+
+class ShardedSim {
+ public:
+  // `num_lps` logical processes plus one control engine, all drawing seqs
+  // from the shared counter. `num_threads` <= 1 (or a single LP) executes
+  // inline on the caller's thread; otherwise min(num_threads, num_lps)
+  // workers are spawned. num_lps == 0 constructs an inert coordinator (no
+  // engines, no threads) so callers can embed one unconditionally.
+  ShardedSim(int num_lps, int num_threads);
+  ~ShardedSim();
+  ShardedSim(const ShardedSim&) = delete;
+  ShardedSim& operator=(const ShardedSim&) = delete;
+
+  int num_lps() const { return static_cast<int>(lps_.size()); }
+  int num_workers() const { return static_cast<int>(workers_.size()); }
+  SimEngine* lp(int i) { return lps_[static_cast<size_t>(i)].get(); }
+  SimEngine* control_engine() { return &control_; }
+
+  // Windowed sync: advances every LP to time `t`, processing events with
+  // time < t plus events at t with seq < `tie_seq_bound` (normally the seq
+  // of the control event about to run). Blocks until all LPs reach `t`.
+  void AdvanceAllTo(TimeNs t, uint64_t tie_seq_bound);
+
+  // Runs every LP's queue to empty (clocks rest at each LP's last event).
+  void DrainAll();
+
+  // Chandy–Misra loop: advances LPs inside per-channel lookahead bounds
+  // until every LP heap and every channel drains. Channels must connect LPs
+  // of this ShardedSim; deliveries are injected between rounds in channel
+  // index order. See src/hw/comm_channel.h for the lookahead accounting.
+  void RunConservative(const std::vector<CrossLpChannel*>& channels);
+
+  // Test-only: seeds a deterministic pseudo-random per-task sleep in the
+  // worker loop, deliberately perturbing thread scheduling. Results must
+  // not change — the determinism battery runs with and without this.
+  void SetPerturbSeed(uint64_t seed) { perturb_seed_ = seed; }
+
+  // Events processed across all LPs plus the control engine so far.
+  uint64_t processed_events() const;
+
+ private:
+  struct Task {
+    int lp = 0;
+    TimeNs t = 0;            // advance bound; kDrain = run queue to empty
+    uint64_t seq_bound = 0;  // tie bound for RunUntil
+  };
+  static constexpr TimeNs kDrain = std::numeric_limits<TimeNs>::max();
+
+  void WorkerLoop(int worker);
+  void RunOne(const Task& task);
+  // Executes `staged` (inline or on the pool). On the pool path the batch is
+  // published into tasks_ under mu_ — tasks_ is touched ONLY under the mutex
+  // because a worker that overslept one window can wake during the next
+  // window's staging and inspect it. Establishes happens-before in both
+  // directions: workers see all coordinator writes made before the call; the
+  // coordinator sees all worker writes on return.
+  void RunTasks(std::vector<Task> staged);
+  void MaybePerturb(int worker, int lp);
+
+  SimEngine control_;
+  std::vector<std::unique_ptr<SimEngine>> lps_;
+  std::atomic<uint64_t> shared_seq_{1};  // 0 is the null-TimerHandle seq
+
+  // Worker pool state, all guarded by mu_ — including every access to
+  // tasks_ (tasks are coarse — one LP advance — so contention is nil and
+  // the protocol is trivially race-free).
+  std::vector<std::thread> workers_;
+  std::mutex mu_;
+  std::condition_variable cv_work_;
+  std::condition_variable cv_done_;
+  std::vector<Task> tasks_;
+  size_t next_task_ = 0;
+  size_t done_tasks_ = 0;
+  uint64_t generation_ = 0;
+  bool stop_ = false;
+
+  uint64_t perturb_seed_ = 0;
+  uint64_t window_ = 0;  // barrier counter, feeds the perturbation hash
+};
+
+}  // namespace oobp
+
+#endif  // OOBP_SRC_SIM_SHARDED_H_

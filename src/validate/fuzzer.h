@@ -21,7 +21,9 @@
 //     replica counts, routing policies, bursty traces and autoscaler knobs
 //     under the validator, with the metamorphic property that adding a
 //     replica (single-request batches, same trace) never worsens the mean
-//     queueing delay.
+//     queueing delay, plus a sharded-simulation differential: the same
+//     fleet re-run at sim_threads=2 must reproduce the single-engine
+//     reference metrics exactly (see src/sim/sharded.h).
 //
 // All randomness flows from the seed through the repo's splitmix64 Rng, so
 // a failure reproduces with `oobp fuzz --seeds 1 --base-seed <seed>`.

@@ -1,5 +1,5 @@
 #!/usr/bin/env bash
-# One-shot health check, six tiers:
+# One-shot health check, seven tiers:
 #   1. Release build: unit-test tier + unit-time toy scenarios vs goldens.
 #   2. ASan+UBSan build (-DOOBP_SANITIZE=ON): unit-test tier under the
 #      sanitizers (catches lifetime bugs in the event slab / callback moves).
@@ -24,18 +24,31 @@
 #      run, so failures still reproduce with
 #      `oobp fuzz --seeds 1 --base-seed <seed>`; see DESIGN.md §8-9), and
 #      another 200 ASan seeds restricted to the fleet fuzz family (random
-#      fleets, metamorphic add-a-replica check; every second seed runs).
+#      fleets, metamorphic add-a-replica check; every second seed runs —
+#      each surviving seed also re-runs its fleet sharded (sim_threads 2)
+#      and diffs every serving metric against the single-threaded result).
+#   7. Sharded sim under ThreadSanitizer (-DOOBP_SANITIZE_THREAD=ON):
+#      sharded-labeled ctest tier (worker-pool/Chandy–Misra units plus the
+#      --sim-threads byte-identity battery with perturbed scheduling) and a
+#      fleet fuzz smoke, all on the TSan build — the worker pool, the
+#      shared seq counter, and the channel drains must be TSan-clean. The
+#      Release build then re-runs the fleet + cluster goldens and the perf
+#      gate at --sim-threads 8: sharded results must match the goldens and
+#      the event-count baseline byte-for-byte (counts are thread-invariant;
+#      wall-clock bands stay informational, see DESIGN.md §11).
 #
 # Tier matrix (tier x build):
 #   tier 1, 3, 4, 5 -> Release build    (speed; golden gates are exact)
 #   tier 2, 6       -> ASan+UBSan build (memory-safety of slab/fluid/fuzz paths)
+#   tier 7          -> TSan build       (data races in the sharded coordinator)
 #
-# Usage: tools/check.sh [build-dir [asan-build-dir]]
+# Usage: tools/check.sh [build-dir [asan-build-dir [tsan-build-dir]]]
 set -euo pipefail
 
 REPO_ROOT="$(cd "$(dirname "$0")/.." && pwd)"
 BUILD_DIR="${1:-${REPO_ROOT}/build-check}"
 ASAN_DIR="${2:-${REPO_ROOT}/build-asan}"
+TSAN_DIR="${3:-${REPO_ROOT}/build-tsan}"
 
 # --- Tier 1: Release + unit tests + golden gate --------------------------
 cmake -S "${REPO_ROOT}" -B "${BUILD_DIR}" -DCMAKE_BUILD_TYPE=Release
@@ -67,7 +80,7 @@ ctest --test-dir "${BUILD_DIR}" -L serve --output-on-failure
 # --- Tier 5: fleet: router/autoscaler/golden tests + fleet goldens --------
 ctest --test-dir "${BUILD_DIR}" -L fleet --output-on-failure
 
-"${BUILD_DIR}/tools/oobp" bench --filter 'fleet_*' --jobs 0 \
+"${BUILD_DIR}/tools/oobp" bench --filter 'fleet_*,cluster_*' --jobs 0 \
     --out "${BUILD_DIR}" --golden "${REPO_ROOT}/bench/golden"
 
 # --- Tier 6: fuzz smoke: validator replay + 200 seeds under ASan ----------
@@ -77,5 +90,24 @@ ctest --test-dir "${BUILD_DIR}" -L validate --output-on-failure
 
 "${ASAN_DIR}/tools/oobp" fuzz --seeds 200 --base-seed 1 --jobs 0 \
     --checks=fleet
+
+# --- Tier 7: sharded sim: TSan build + sharded goldens at --sim-threads 8 -
+cmake -S "${REPO_ROOT}" -B "${TSAN_DIR}" -DCMAKE_BUILD_TYPE=RelWithDebInfo \
+    -DOOBP_SANITIZE_THREAD=ON
+cmake --build "${TSAN_DIR}" -j"$(nproc)"
+
+ctest --test-dir "${TSAN_DIR}" -L sharded --output-on-failure
+
+"${TSAN_DIR}/tools/oobp" fuzz --seeds 20 --base-seed 1 --jobs 0 \
+    --checks=fleet
+
+"${BUILD_DIR}/tools/oobp" bench --filter 'fleet_*,cluster_*' --jobs 0 \
+    --sim-threads 8 \
+    --out "${BUILD_DIR}" --golden "${REPO_ROOT}/bench/golden"
+
+"${BUILD_DIR}/tools/oobp" bench --perf --warmup 0 --repeats 1 --jobs 0 \
+    --sim-threads 8 \
+    --check="${REPO_ROOT}/bench/perf_baseline.json" \
+    --out "${BUILD_DIR}" --golden "${REPO_ROOT}/bench/golden"
 
 echo "check.sh: all green"
