@@ -5,6 +5,7 @@
 #include <utility>
 
 #include "src/common/str_util.h"
+#include "src/nn/model_cache.h"
 #include "src/nn/model_zoo.h"
 #include "src/runner/registry.h"
 #include "src/runtime/cluster_ps_engine.h"
@@ -33,16 +34,17 @@ ScenarioResult RunClusterPs(const ScenarioParams& params, bool ooo) {
   cfg.sim_perturb_seed =
       static_cast<uint64_t>(params.GetInt("sim_perturb_seed", 0));
 
-  NnModel model = ResNet(50, 32, 224);
+  const std::shared_ptr<const NnModel> model =
+      CachedModel("resnet:L50:B32", [] { return ResNet(50, 32, 224); });
   result.AddNote(StrFormat(
       "%d workers x %s over %s, %d iterations, straggler spread %.2f, "
       "%s gradient order",
-      cfg.workers, model.name.c_str(), cfg.uplink.name.c_str(),
+      cfg.workers, model->name.c_str(), cfg.uplink.name.c_str(),
       cfg.iterations, cfg.straggler_spread,
       ooo ? "reverse-first (ooo)" : "conventional"));
 
   const ClusterPsEngine engine(std::move(cfg));
-  const ClusterPsMetrics m = engine.Run(model);
+  const ClusterPsMetrics m = engine.Run(*model);
   result.Set("iteration_time_ms", ToMs(m.iteration_time));
   result.Set("worker_iter_min_ms", ToMs(m.worker_iter_min));
   result.Set("worker_iter_max_ms", ToMs(m.worker_iter_max));

@@ -11,10 +11,12 @@
 #include "src/common/str_util.h"
 #include "src/core/joint_scheduler.h"
 #include "src/core/schedule.h"
+#include "src/nn/model_cache.h"
 #include "src/nn/model_zoo.h"
 #include "src/runner/registry.h"
 #include "src/runtime/single_gpu_engine.h"
 #include "src/serve/fleet_engine.h"
+#include "src/store/snapshot.h"
 
 namespace oobp {
 namespace {
@@ -149,14 +151,15 @@ ScenarioResult RunFleetCorun(const ScenarioParams& params, bool ooo) {
                                      /*horizon_ms=*/250.0);
   base.autoscaler.min_replicas = replicas;  // min == max: fixed fleet
 
-  NnModel train_model = ResNet(50, 32, 224);
-  const TrainGraph graph(&train_model);
+  const std::shared_ptr<const NnModel> train_model =
+      CachedModel("resnet:L50:B32", [] { return ResNet(50, 32, 224); });
+  const TrainGraph graph(train_model.get());
   const IterationSchedule schedule =
-      ooo ? MakeOooSchedule(graph, base.gpu, base.profile).schedule
+      ooo ? SnapshotOooSchedule(graph, base.gpu, base.profile).schedule
           : ConventionalIteration(graph);
   const TrainMetrics solo =
       SingleGpuEngine({base.gpu, base.profile, /*precompiled_issue=*/true})
-          .Run(train_model, schedule);
+          .Run(*train_model, schedule);
   result.SetMetrics("solo.", solo);
   const int cover = static_cast<int>(
       std::ceil(static_cast<double>(base.horizon) /
@@ -167,7 +170,7 @@ ScenarioResult RunFleetCorun(const ScenarioParams& params, bool ooo) {
   result.AddNote(StrFormat(
       "%d replicas co-running %s (%s schedule, %d iterations); load points "
       "%.0f and %.0f rps/replica, horizon %.0f ms",
-      replicas, train_model.name.c_str(), ooo ? "ooo" : "in-order",
+      replicas, train_model->name.c_str(), ooo ? "ooo" : "in-order",
       train_iterations, per_rps, 2 * per_rps, ToMs(base.horizon)));
 
   double p99[2] = {0, 0}, goodput[2] = {0, 0}, slo_att[2] = {0, 0};
@@ -178,7 +181,7 @@ ScenarioResult RunFleetCorun(const ScenarioParams& params, bool ooo) {
     cfg.arrivals.seed = 0xF1EECull * 1000003ull +
                         static_cast<uint64_t>(point);  // shared across ooo
     const FleetEngine engine(std::move(cfg));
-    const FleetMetrics m = engine.RunCorun(train_model, schedule,
+    const FleetMetrics m = engine.RunCorun(*train_model, schedule,
                                            train_iterations);
     const std::string prefix = StrFormat("load%d.", point + 1);
     SetFleetOutcome(&result, prefix, m);

@@ -15,8 +15,10 @@
 #include "src/core/region.h"
 #include "src/core/reverse_k.h"
 #include "src/core/schedule.h"
+#include "src/nn/model_cache.h"
 #include "src/nn/model_zoo.h"
 #include "src/runner/registry.h"
+#include "src/store/snapshot.h"
 #include "src/runtime/data_parallel_engine.h"
 #include "src/runtime/pipeline_engine.h"
 #include "src/runtime/single_gpu_engine.h"
@@ -33,7 +35,9 @@ namespace {
 ScenarioResult Fig04DpUnit(const ScenarioParams& params) {
   ScenarioResult result;
   const int k = params.GetInt("k", 3);  // the paper reverses 3 of 5 layers
-  const NnModel model = Ffnn(5, 512, 8192);
+  const std::shared_ptr<const NnModel> model_ptr =
+      CachedModel("ffnn:L5:B512:H8192", [] { return Ffnn(5, 512, 8192); });
+  const NnModel& model = *model_ptr;
   const TrainGraph graph(&model);
   result.AddNote(StrFormat("model %s, 8 GPUs, reverse first k=%d",
                            model.name.c_str(), k));
@@ -106,7 +110,10 @@ ScenarioResult Fig04DpUnit(const ScenarioParams& params) {
 
 ScenarioResult PipeToy(int micro_batches, int batch) {
   ScenarioResult result;
-  const NnModel model = Ffnn(8, batch, 4096);
+  const std::shared_ptr<const NnModel> model_ptr =
+      CachedModel(StrFormat("ffnn:L8:B%d:H4096", batch),
+                  [batch] { return Ffnn(8, batch, 4096); });
+  const NnModel& model = *model_ptr;
   result.AddNote(StrFormat("model %s, 2 GPUs, %d micro-batch(es)",
                            model.name.c_str(), micro_batches));
 
@@ -174,7 +181,7 @@ SingleGpuRow RunSingleGpuConfig(const NnModel& model) {
       SingleGpuEngine({gpu, xla, /*precompiled_issue=*/true})
           .Run(model, conventional);
 
-  const JointScheduleResult sched = MakeOooSchedule(graph, gpu, xla);
+  const JointScheduleResult sched = SnapshotOooSchedule(graph, gpu, xla);
   const TrainMetrics m_ooo =
       SingleGpuEngine({gpu, xla, /*precompiled_issue=*/true})
           .Run(model, sched.schedule);
@@ -194,13 +201,14 @@ SingleGpuRow RunSingleGpuConfig(const NnModel& model) {
   return r;
 }
 
-ScenarioResult Fig07Model(const std::function<NnModel(int)>& make,
-                          const std::string& label) {
+ScenarioResult Fig07Model(
+    const std::function<std::shared_ptr<const NnModel>(int)>& make,
+    const std::string& label) {
   ScenarioResult result;
   result.AddNote(label + " on V100, batch 32 and 64");
   double max_gain = 0.0;
   for (int batch : {32, 64}) {
-    const SingleGpuRow r = RunSingleGpuConfig(make(batch));
+    const SingleGpuRow r = RunSingleGpuConfig(*make(batch));
     const std::string p = StrFormat("b%d.", batch);
     result.Set(p + "xla_throughput", r.xla);
     result.Set(p + "opt1_over_xla", r.xla > 0 ? r.opt1 / r.xla : 0);
@@ -219,9 +227,16 @@ ScenarioResult Fig07Model(const std::function<NnModel(int)>& make,
 // Nimble's memory behaviour at batch 64.
 ScenarioResult Fig07MaxGain(const ScenarioParams&) {
   ScenarioResult result;
-  const SingleGpuRow k12 = RunSingleGpuConfig(DenseNet(121, 12, 32, 32));
-  const SingleGpuRow a025 = RunSingleGpuConfig(MobileNetV3Large(0.25, 32));
-  const SingleGpuRow nimble64 = RunSingleGpuConfig(ResNet(101, 64));
+  const SingleGpuRow k12 =
+      RunSingleGpuConfig(*CachedModel("densenet:L121:k12:B32:I32", [] {
+        return DenseNet(121, 12, 32, 32);
+      }));
+  const SingleGpuRow a025 =
+      RunSingleGpuConfig(*CachedModel("mobilenet:a0.25:B32:I224", [] {
+        return MobileNetV3Large(0.25, 32);
+      }));
+  const SingleGpuRow nimble64 = RunSingleGpuConfig(
+      *CachedModel("resnet:L101:B64", [] { return ResNet(101, 64); }));
   result.Set("densenet121_k12_b32_gain",
              k12.xla > 0 ? k12.ooo / k12.xla : 0);
   result.Set("mobilenet_a025_b32_gain",
@@ -246,7 +261,10 @@ ScenarioResult Fig10Cluster(const ClusterSpec& cluster,
   bool any_16plus = false;
   for (const int depth : {50, 101}) {
     const int batch = depth == 50 ? batch50 : batch101;
-    const NnModel model = ResNet(depth, batch);
+    const std::shared_ptr<const NnModel> model_ptr =
+        CachedModel(StrFormat("resnet:L%d:B%d", depth, batch),
+                    [depth, batch] { return ResNet(depth, batch); });
+    const NnModel& model = *model_ptr;
     const TrainGraph graph(&model);
     for (int gpus : gpu_counts) {
       DataParallelConfig config;
@@ -312,18 +330,36 @@ void RegisterPaperScenarios() {
     struct Fig07Entry {
       const char* name;
       const char* label;
-      NnModel (*make)(int);
+      std::shared_ptr<const NnModel> (*make)(int);
     };
+    // Cache keys follow the sweep/steady conventions so a batch-32 fig07
+    // model and its steady_* twin share one zoo (and one snapshot) entry.
     const std::vector<Fig07Entry> fig07 = {
         {"fig07_densenet121", "DenseNet-121(k24)",
-         [](int b) { return DenseNet(121, 24, b, 32); }},
+         [](int b) {
+           return CachedModel(StrFormat("densenet:L121:k24:B%d:I32", b),
+                              [b] { return DenseNet(121, 24, b, 32); });
+         }},
         {"fig07_densenet169", "DenseNet-169(k32)",
-         [](int b) { return DenseNet(169, 32, b, 32); }},
+         [](int b) {
+           return CachedModel(StrFormat("densenet:L169:k32:B%d:I32", b),
+                              [b] { return DenseNet(169, 32, b, 32); });
+         }},
         {"fig07_mobilenet", "MobileNetV3(a.75)",
-         [](int b) { return MobileNetV3Large(0.75, b, 224); }},
-        {"fig07_resnet50", "ResNet-50", [](int b) { return ResNet(50, b, 224); }},
+         [](int b) {
+           return CachedModel(StrFormat("mobilenet:a0.75:B%d:I224", b),
+                              [b] { return MobileNetV3Large(0.75, b, 224); });
+         }},
+        {"fig07_resnet50", "ResNet-50",
+         [](int b) {
+           return CachedModel(StrFormat("resnet:L50:B%d", b),
+                              [b] { return ResNet(50, b, 224); });
+         }},
         {"fig07_resnet101", "ResNet-101",
-         [](int b) { return ResNet(101, b, 224); }},
+         [](int b) {
+           return CachedModel(StrFormat("resnet:L101:B%d", b),
+                              [b] { return ResNet(101, b, 224); });
+         }},
     };
     for (const Fig07Entry& e : fig07) {
       const std::string label = e.label;

@@ -4,6 +4,7 @@
 #include <atomic>
 #include <chrono>
 #include <cstdio>
+#include <cstdlib>
 #include <exception>
 #include <fstream>
 #include <thread>
@@ -15,7 +16,9 @@
 #include "src/runner/paper_scenarios.h"
 #include "src/runner/perf.h"
 #include "src/runner/serve_scenarios.h"
+#include "src/runner/snapshot_build.h"
 #include "src/runner/sweep_scenarios.h"
+#include "src/store/snapshot.h"
 
 namespace oobp {
 
@@ -148,10 +151,10 @@ RunnerReport RunScenarios(const RunnerOptions& opts) {
       ++report.num_scenario_failures;
     }
     if (run.ok && !opts.golden_dir.empty()) {
-      const std::string path =
-          GoldenPathFor(opts.golden_dir, run.scenario->name);
       std::string error;
-      if (const auto spec = LoadGoldenFile(path, &error); spec.has_value()) {
+      if (const auto spec =
+              LoadGoldenSpec(opts.golden_dir, run.scenario->name, &error);
+          spec.has_value()) {
         run.golden_compared = true;
         run.golden_failures = CheckAgainstGolden(*spec, run.result);
         if (!run.golden_failures.empty()) {
@@ -250,7 +253,34 @@ int BenchUsage() {
                "                 committed baseline (default "
                "bench/perf_baseline.json);\n"
                "                 inflation fails, wall-clock bands are\n"
-               "                 informational (Release builds only)\n");
+               "                 informational (Release builds only)\n"
+               "  --snapshot[=PATH] activate a prebuilt snapshot (default\n"
+               "                 bench/oobp.snapshot; also via the\n"
+               "                 OOBP_SNAPSHOT env var): models, schedules,\n"
+               "                 goldens, and the perf baseline load from the\n"
+               "                 mapping instead of being rebuilt — results\n"
+               "                 are byte-identical; a stale snapshot falls\n"
+               "                 back silently, a corrupt one is an error\n");
+  return 2;
+}
+
+// Shared --snapshot / OOBP_SNAPSHOT activation policy: corruption is a hard
+// error (the user named a file and it is broken — hiding that would mask
+// bit rot), staleness falls back to in-process builds with a notice (the
+// registry simply moved on; results stay correct either way).
+int ActivateSnapshotOrExplain(const std::string& path) {
+  std::string error;
+  switch (ActivateSnapshot(path, ComputeScenarioRegistryHash(),
+                           /*check_registry=*/true, &error)) {
+    case SnapshotActivation::kActive:
+      return 0;
+    case SnapshotActivation::kStale:
+      std::fprintf(stderr, "note: %s\n", error.c_str());
+      return 0;
+    case SnapshotActivation::kError:
+      std::fprintf(stderr, "snapshot: %s\n", error.c_str());
+      return 2;
+  }
   return 2;
 }
 
@@ -268,6 +298,7 @@ int BenchMain(int argc, char** argv) {
   bool list = false;
   bool perf = false;
   bool filter_given = false;
+  std::string snapshot_path;
   PerfOptions perf_opts;
   for (int i = 1; i < argc; ++i) {
     std::string arg = argv[i];
@@ -315,6 +346,9 @@ int BenchMain(int argc, char** argv) {
     } else if (arg == "golden") {
       const std::string dir = next_value();
       opts.golden_dir = dir.empty() ? "bench/golden" : dir;
+    } else if (arg == "snapshot") {
+      const std::string p = next_value();
+      snapshot_path = p.empty() ? kDefaultSnapshotPath : p;
     } else if (arg == "sim-threads") {
       // Sugar for --param sim_threads=N: intra-scenario parallelism for
       // engines that support sharded simulation (fleet_*, cluster_*).
@@ -333,6 +367,17 @@ int BenchMain(int argc, char** argv) {
     } else {
       std::fprintf(stderr, "unknown flag --%s\n", arg.c_str());
       return BenchUsage();
+    }
+  }
+  if (snapshot_path.empty()) {
+    if (const char* env = std::getenv("OOBP_SNAPSHOT");
+        env != nullptr && env[0] != '\0') {
+      snapshot_path = env;
+    }
+  }
+  if (!snapshot_path.empty()) {
+    if (const int rc = ActivateSnapshotOrExplain(snapshot_path); rc != 0) {
+      return rc;
     }
   }
   if (list) {

@@ -10,10 +10,12 @@
 #include "src/common/str_util.h"
 #include "src/core/joint_scheduler.h"
 #include "src/core/schedule.h"
+#include "src/nn/model_cache.h"
 #include "src/nn/model_zoo.h"
 #include "src/runner/registry.h"
 #include "src/runtime/single_gpu_engine.h"
 #include "src/serve/serve_engine.h"
+#include "src/store/snapshot.h"
 
 namespace oobp {
 namespace {
@@ -33,8 +35,9 @@ struct ServeFamilySpec {
   std::function<NnModel(int)> make_infer;  // inference model at batch b
   std::vector<LoadPoint> loads;            // sweep, in increasing-rate order
   double slo_ms;
-  // Training co-run; null make_train = serve-only.
-  std::function<NnModel()> make_train;
+  // Training co-run; null make_train = serve-only. Returns a cache-shared
+  // model so the zoo entry (and snapshot record) is built once per process.
+  std::function<std::shared_ptr<const NnModel>()> make_train;
   bool ooo = false;  // joint (ooo) schedule vs conventional in-order
   // Longer default horizon for co-run families: requests are sparser there
   // and the percentiles need a few dozen samples per load point.
@@ -61,18 +64,18 @@ ScenarioResult RunServeFamily(const ScenarioParams& params,
   // Training side: pick the schedule, measure it solo (no inference), and
   // size the co-run iteration count so training covers the serving horizon
   // with margin — requests must face contention for the whole sweep.
-  NnModel train_model;
+  std::shared_ptr<const NnModel> train_model;
   IterationSchedule train_schedule;
   int train_iterations = 0;
   TimeNs solo_iter = 0;
   if (spec.make_train) {
     train_model = spec.make_train();
-    const TrainGraph graph(&train_model);
-    train_schedule = spec.ooo ? MakeOooSchedule(graph, gpu, xla).schedule
+    const TrainGraph graph(train_model.get());
+    train_schedule = spec.ooo ? SnapshotOooSchedule(graph, gpu, xla).schedule
                               : ConventionalIteration(graph);
     const TrainMetrics solo =
         SingleGpuEngine({gpu, xla, /*precompiled_issue=*/true})
-            .Run(train_model, train_schedule);
+            .Run(*train_model, train_schedule);
     result.SetMetrics("solo.", solo);
     solo_iter = solo.iteration_time;
     const int cover = static_cast<int>(
@@ -80,7 +83,7 @@ ScenarioResult RunServeFamily(const ScenarioParams& params,
                   static_cast<double>(solo.iteration_time)));
     train_iterations = std::max(3, cover + 2);
     result.AddNote(StrFormat("train %s, %d iterations (%s schedule)",
-                             train_model.name.c_str(), train_iterations,
+                             train_model->name.c_str(), train_iterations,
                              spec.ooo ? "ooo" : "in-order"));
   }
   result.AddNote(StrFormat("serve %s, slo %.1f ms, horizon %.0f ms, "
@@ -103,7 +106,7 @@ ScenarioResult RunServeFamily(const ScenarioParams& params,
     ServeMetrics sm;
     if (spec.make_train) {
       const ServeCorunResult r =
-          engine.RunCorun(train_model, train_schedule, train_iterations);
+          engine.RunCorun(*train_model, train_schedule, train_iterations);
       sm = r.serve;
       result.SetMetrics(prefix + "train.", r.train);
       result.Set(prefix + "train_overhead",
@@ -179,7 +182,9 @@ void RegisterServeScenarios() {
                     /*slo_ms=*/40.0,
                     /*make_train=*/nullptr});
 
-    const auto train_resnet50 = [] { return ResNet(50, 32, 224); };
+    const auto train_resnet50 = [] {
+      return CachedModel("resnet:L50:B32", [] { return ResNet(50, 32, 224); });
+    };
     RegisterFamily(reg, "serve_corun_baseline_resnet50",
                    "ResNet-50 inference + in-order ResNet-50 training",
                    {infer_resnet50,
@@ -193,7 +198,10 @@ void RegisterServeScenarios() {
                     /*slo_ms=*/40.0, train_resnet50, /*ooo=*/true,
                     /*horizon_ms=*/2000.0});
 
-    const auto train_densenet = [] { return DenseNet(121, 24, 32, 224); };
+    const auto train_densenet = [] {
+      return CachedModel("densenet:L121:k24:B32:I224",
+                         [] { return DenseNet(121, 24, 32, 224); });
+    };
     RegisterFamily(reg, "serve_corun_baseline_densenet121",
                    "ResNet-50 inference + in-order DenseNet-121 training",
                    {infer_resnet50,

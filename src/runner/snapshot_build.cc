@@ -1,0 +1,417 @@
+#include "src/runner/snapshot_build.h"
+
+#include <chrono>
+#include <cstdio>
+#include <cstring>
+#include <exception>
+#include <fstream>
+#include <map>
+#include <sstream>
+#include <string>
+#include <vector>
+
+#include "src/common/str_util.h"
+#include "src/nn/model_cache.h"
+#include "src/runner/cluster_scenarios.h"
+#include "src/runner/fleet_scenarios.h"
+#include "src/runner/golden.h"
+#include "src/runner/json.h"
+#include "src/runner/paper_scenarios.h"
+#include "src/runner/registry.h"
+#include "src/runner/runner.h"
+#include "src/runner/serve_scenarios.h"
+#include "src/runner/sweep_scenarios.h"
+#include "src/sim/engine.h"
+#include "src/store/format.h"
+#include "src/store/hash.h"
+#include "src/store/reader.h"
+#include "src/store/snapshot.h"
+#include "src/store/writer.h"
+
+namespace oobp {
+
+namespace {
+
+// Idempotent registration: SnapshotMain may run in a process that already
+// registered the families (e.g. when dispatched after BenchMain in a test).
+void RegisterAllScenarios() {
+  if (ScenarioRegistry::Global().size() > 0) {
+    return;
+  }
+  RegisterPaperScenarios();
+  RegisterServeScenarios();
+  RegisterSweepScenarios();
+  RegisterFleetScenarios();
+  RegisterClusterScenarios();
+}
+
+bool ReadFileBytes(const std::string& path, std::string* out) {
+  std::ifstream in(path, std::ios::binary);
+  if (!in) {
+    return false;
+  }
+  std::ostringstream buf;
+  buf << in.rdbuf();
+  *out = buf.str();
+  return true;
+}
+
+SnapshotGolden ConvertGolden(const GoldenSpec& spec,
+                             const std::string& scenario) {
+  SnapshotGolden g;
+  g.scenario = scenario;
+  g.checks.reserve(spec.checks.size());
+  for (const GoldenCheck& c : spec.checks) {
+    SnapshotGoldenCheck sc;
+    sc.key = c.key;
+    sc.flags = (c.has_expect ? kGoldenHasExpect : 0u) |
+               (c.has_min ? kGoldenHasMin : 0u) |
+               (c.has_max ? kGoldenHasMax : 0u);
+    sc.expect = c.expect;
+    sc.rel_tol = c.rel_tol;
+    sc.abs_tol = c.abs_tol;
+    sc.min = c.min;
+    sc.max = c.max;
+    g.checks.push_back(std::move(sc));
+  }
+  return g;
+}
+
+int SnapshotBuild(const std::string& out_path, const std::string& golden_dir,
+                  const std::string& baseline_path) {
+  RegisterAllScenarios();
+  const uint64_t registry_hash = ComputeScenarioRegistryHash();
+
+  // A clean slate makes the sweep record every model/cost point/schedule it
+  // uses, independent of anything this process did earlier.
+  DeactivateSnapshot();
+  ClearModelCaches();
+  StartSnapshotRecording(registry_hash);
+
+  std::map<std::string, SnapshotGolden> goldens;
+  int ran = 0;
+  int failed = 0;
+  for (const Scenario& s : ScenarioRegistry::Global().scenarios()) {
+    const auto spec = LoadGoldenFile(GoldenPathFor(golden_dir, s.name));
+    if (!spec.has_value()) {
+      continue;  // no golden file → not part of the snapshot sweep
+    }
+    goldens.emplace(s.name, ConvertGolden(*spec, s.name));
+    try {
+      s.run(ScenarioParams());
+      ++ran;
+    } catch (const std::exception& e) {
+      std::fprintf(stderr, "snapshot build: scenario %s failed: %s\n",
+                   s.name.c_str(), e.what());
+      ++failed;
+    }
+  }
+  SnapshotContents contents = TakeSnapshotRecording();
+  if (failed > 0) {
+    std::fprintf(stderr,
+                 "snapshot build: %d scenario(s) failed; not writing %s\n",
+                 failed, out_path.c_str());
+    return 1;
+  }
+  if (ran == 0) {
+    std::fprintf(stderr,
+                 "snapshot build: no scenario has a golden file under %s\n",
+                 golden_dir.c_str());
+    return 1;
+  }
+  contents.goldens = std::move(goldens);
+  if (!ReadFileBytes(baseline_path, &contents.perf_baseline_json)) {
+    // Embedding the baseline is best-effort: a missing file just means the
+    // perf gate reads from disk as before.
+    std::fprintf(stderr,
+                 "snapshot build: note: no perf baseline at %s; "
+                 "section omitted\n",
+                 baseline_path.c_str());
+  }
+
+  std::string error;
+  if (!WriteSnapshotFile(out_path, contents, &error)) {
+    std::fprintf(stderr, "snapshot build: %s\n", error.c_str());
+    return 1;
+  }
+  std::unique_ptr<SnapshotReader> reader = SnapshotReader::Open(out_path,
+                                                                &error);
+  if (reader == nullptr) {
+    std::fprintf(stderr,
+                 "snapshot build: wrote %s but it fails validation: %s\n",
+                 out_path.c_str(), error.c_str());
+    return 1;
+  }
+  std::printf("snapshot build: %s (%llu bytes)\n", out_path.c_str(),
+              static_cast<unsigned long long>(reader->file_size()));
+  std::printf("  registry hash  %016llx\n",
+              static_cast<unsigned long long>(registry_hash));
+  std::printf("  scenarios ran  %d\n", ran);
+  std::printf("  models         %zu\n", contents.models.size());
+  std::printf("  cost models    %zu\n", contents.cost_models.size());
+  std::printf("  schedules      %zu\n", contents.schedules.size());
+  std::printf("  goldens        %zu\n", contents.goldens.size());
+  std::printf("  perf baseline  %zu bytes\n",
+              contents.perf_baseline_json.size());
+  return 0;
+}
+
+int SnapshotInfo(const std::string& path) {
+  std::string error;
+  const std::unique_ptr<SnapshotReader> reader =
+      SnapshotReader::Open(path, &error);
+  if (reader == nullptr) {
+    std::fprintf(stderr, "snapshot info: %s: %s\n", path.c_str(),
+                 error.c_str());
+    return 1;
+  }
+  RegisterAllScenarios();
+  const uint64_t expect = ComputeScenarioRegistryHash();
+  std::printf("snapshot %s\n", path.c_str());
+  std::printf("  file size      %llu bytes\n",
+              static_cast<unsigned long long>(reader->file_size()));
+  std::printf("  registry hash  %016llx (%s)\n",
+              static_cast<unsigned long long>(reader->registry_hash()),
+              reader->registry_hash() == expect ? "fresh" : "STALE");
+  std::printf("  %-14s %10s %10s %16s %8s\n", "section", "offset", "length",
+              "checksum", "entries");
+  for (const SnapshotSectionInfo& s : reader->Sections()) {
+    std::printf("  %-14s %10llu %10llu %016llx %8llu\n",
+                SectionKindName(s.kind),
+                static_cast<unsigned long long>(s.offset),
+                static_cast<unsigned long long>(s.length),
+                static_cast<unsigned long long>(s.checksum),
+                static_cast<unsigned long long>(s.entry_count));
+  }
+  std::printf("  models: ");
+  const std::vector<std::string> keys = reader->ModelKeys();
+  for (size_t i = 0; i < keys.size(); ++i) {
+    std::printf("%s%s", i == 0 ? "" : ", ", keys[i].c_str());
+  }
+  std::printf("\n");
+  return 0;
+}
+
+int SnapshotVerify(const std::string& path) {
+  std::string error;
+  const std::unique_ptr<SnapshotReader> reader =
+      SnapshotReader::Open(path, &error);
+  if (reader == nullptr) {
+    std::fprintf(stderr, "snapshot verify: %s: %s\n", path.c_str(),
+                 error.c_str());
+    return 1;
+  }
+  // Checksums passed inside Open; additionally recompute every stored
+  // model's content hash so a record that is bitwise intact but internally
+  // inconsistent (writer bug, not bit rot) is also caught.
+  for (const std::string& key : reader->ModelKeys()) {
+    const auto model = reader->FindModel(key);
+    if (!model.has_value() ||
+        ModelContentHash(*model) != reader->FindModelContentHash(key)) {
+      std::fprintf(stderr,
+                   "snapshot verify: %s: model '%s' content hash does not "
+                   "match its stored layers (corrupt file)\n",
+                   path.c_str(), key.c_str());
+      return 1;
+    }
+  }
+  RegisterAllScenarios();
+  const uint64_t expect = ComputeScenarioRegistryHash();
+  if (reader->registry_hash() != expect) {
+    std::printf("snapshot verify: %s is STALE (built for registry %016llx, "
+                "this binary is %016llx); rerun `oobp snapshot build`\n",
+                path.c_str(),
+                static_cast<unsigned long long>(reader->registry_hash()),
+                static_cast<unsigned long long>(expect));
+    return 2;
+  }
+  std::printf("snapshot verify: %s OK (%zu models, %zu cost models, "
+              "%zu schedules, %zu goldens)\n",
+              path.c_str(), reader->ModelKeys().size(),
+              reader->CostModelKeys().size(), reader->ScheduleCount(),
+              reader->GoldenScenarios().size());
+  return 0;
+}
+
+struct StartupTiming {
+  double pre_first_event_ms = -1.0;  // arm → first SimEngine::Run anywhere
+  double total_ms = 0.0;             // full filtered sweep
+  size_t scenarios = 0;
+  bool ok = false;
+};
+
+StartupTiming RunStartupPass(const std::string& filter) {
+  // Model/cost caches would otherwise carry warm state from the previous
+  // pass; clearing them makes each pass measure true from-scratch startup.
+  ClearModelCaches();
+  RunnerOptions opts;
+  opts.filter = filter;
+  opts.jobs = 1;
+  opts.print = false;
+  StartupTiming t;
+  SimEngine::ArmFirstRunCapture();
+  const auto start = std::chrono::steady_clock::now();
+  const RunnerReport report = RunScenarios(opts);
+  t.total_ms = std::chrono::duration<double, std::milli>(
+                   std::chrono::steady_clock::now() - start)
+                   .count();
+  t.pre_first_event_ms = SimEngine::FirstRunCaptureMs();
+  t.scenarios = report.runs.size();
+  t.ok = report.ok() && !report.runs.empty();
+  return t;
+}
+
+int SnapshotStartup(const std::string& path, const std::string& filter,
+                    const std::string& out_dir) {
+  RegisterAllScenarios();
+  const uint64_t registry_hash = ComputeScenarioRegistryHash();
+
+  DeactivateSnapshot();
+  const StartupTiming cold = RunStartupPass(filter);
+  if (!cold.ok) {
+    std::fprintf(stderr,
+                 "snapshot startup: cold pass failed or matched nothing "
+                 "(filter '%s')\n",
+                 filter.c_str());
+    return 1;
+  }
+
+  std::string error;
+  const SnapshotActivation act =
+      ActivateSnapshot(path, registry_hash, /*check_registry=*/true, &error);
+  if (act == SnapshotActivation::kError) {
+    std::fprintf(stderr, "snapshot startup: %s\n", error.c_str());
+    return 1;
+  }
+  if (act == SnapshotActivation::kStale) {
+    std::fprintf(stderr, "snapshot startup: %s\n", error.c_str());
+    return 2;
+  }
+  const StartupTiming warm = RunStartupPass(filter);
+  DeactivateSnapshot();
+  if (!warm.ok) {
+    std::fprintf(stderr, "snapshot startup: warm pass failed (filter '%s')\n",
+                 filter.c_str());
+    return 1;
+  }
+
+  std::printf("snapshot startup (filter '%s', %zu scenario(s)):\n",
+              filter.c_str(), cold.scenarios);
+  std::printf("  %-24s %12s %12s\n", "", "cold", "snapshot");
+  std::printf("  %-24s %9.3f ms %9.3f ms\n", "pre-first-event",
+              cold.pre_first_event_ms, warm.pre_first_event_ms);
+  std::printf("  %-24s %9.3f ms %9.3f ms\n", "total sweep", cold.total_ms,
+              warm.total_ms);
+
+  JsonValue doc = JsonValue::Object();
+  doc.Set("filter", JsonValue::Str(filter));
+  doc.Set("snapshot", JsonValue::Str(path));
+  doc.Set("scenarios", JsonValue::Number(static_cast<double>(cold.scenarios)));
+  JsonValue cold_j = JsonValue::Object();
+  cold_j.Set("pre_first_event_ms", JsonValue::Number(cold.pre_first_event_ms));
+  cold_j.Set("total_ms", JsonValue::Number(cold.total_ms));
+  doc.Set("cold", std::move(cold_j));
+  JsonValue warm_j = JsonValue::Object();
+  warm_j.Set("pre_first_event_ms", JsonValue::Number(warm.pre_first_event_ms));
+  warm_j.Set("total_ms", JsonValue::Number(warm.total_ms));
+  doc.Set("warm", std::move(warm_j));
+  doc.Set("speedup_pre_first_event",
+          JsonValue::Number(warm.pre_first_event_ms > 0.0
+                                ? cold.pre_first_event_ms /
+                                      warm.pre_first_event_ms
+                                : 0.0));
+  const std::string out_path = out_dir + "/BENCH_startup.json";
+  std::ofstream out(out_path, std::ios::binary);
+  if (!out) {
+    std::fprintf(stderr, "snapshot startup: cannot write %s\n",
+                 out_path.c_str());
+    return 1;
+  }
+  out << doc.Dump();
+  std::printf("  -> %s\n", out_path.c_str());
+  return 0;
+}
+
+int SnapshotUsage() {
+  std::fprintf(
+      stderr,
+      "usage: oobp snapshot <build|info|verify|startup> [flags]\n"
+      "  build    replay the golden scenario sweep with recording on and\n"
+      "           write the artifact; bit-deterministic\n"
+      "    --out=PATH       artifact path (default bench/oobp.snapshot)\n"
+      "    --golden=DIR     goldens that select the sweep "
+      "(default bench/golden)\n"
+      "    --baseline=PATH  perf baseline to embed "
+      "(default bench/perf_baseline.json)\n"
+      "  info     print header, section table, and model keys\n"
+      "    --path=PATH      artifact (default bench/oobp.snapshot)\n"
+      "  verify   validate checksums + model content hashes + registry\n"
+      "           freshness; exit 0 = fresh, 1 = corrupt, 2 = stale\n"
+      "    --path=PATH\n"
+      "  startup  measure cold vs snapshot-warm startup, write "
+      "BENCH_startup.json\n"
+      "    --path=PATH --filter=GLOB (default 'fig07*') --out=DIR "
+      "(default .)\n");
+  return 2;
+}
+
+}  // namespace
+
+uint64_t ComputeScenarioRegistryHash() {
+  HashAccumulator acc;
+  acc.U64(kSnapshotSchemaVersion);
+  const std::vector<Scenario>& all = ScenarioRegistry::Global().scenarios();
+  acc.U64(all.size());
+  for (const Scenario& s : all) {
+    acc.Str(s.name);
+    acc.Str(s.label);
+  }
+  return acc.Digest();
+}
+
+int SnapshotMain(int argc, char** argv) {
+  // argv: oobp snapshot <subcommand> [--flags]
+  std::string sub;
+  std::map<std::string, std::string> flags;
+  for (int i = 2; i < argc; ++i) {
+    std::string arg = argv[i];
+    if (arg.rfind("--", 0) == 0) {
+      arg = arg.substr(2);
+      const size_t eq = arg.find('=');
+      if (eq != std::string::npos) {
+        flags[arg.substr(0, eq)] = arg.substr(eq + 1);
+      } else if (i + 1 < argc && argv[i + 1][0] != '-') {
+        flags[arg] = argv[++i];
+      } else {
+        flags[arg] = "";
+      }
+    } else if (sub.empty()) {
+      sub = arg;
+    }
+  }
+  auto flag = [&](const char* name, const char* def) -> std::string {
+    const auto it = flags.find(name);
+    return it != flags.end() && !it->second.empty() ? it->second : def;
+  };
+  if (sub == "build") {
+    return SnapshotBuild(flag("out", kDefaultSnapshotPath),
+                         flag("golden", "bench/golden"),
+                         flag("baseline", "bench/perf_baseline.json"));
+  }
+  if (sub == "info") {
+    return SnapshotInfo(flag("path", kDefaultSnapshotPath));
+  }
+  if (sub == "verify") {
+    return SnapshotVerify(flag("path", kDefaultSnapshotPath));
+  }
+  if (sub == "startup") {
+    return SnapshotStartup(flag("path", kDefaultSnapshotPath),
+                           flag("filter", "fig07*"), flag("out", "."));
+  }
+  if (!sub.empty()) {
+    std::fprintf(stderr, "unknown snapshot subcommand '%s'\n", sub.c_str());
+  }
+  return SnapshotUsage();
+}
+
+}  // namespace oobp

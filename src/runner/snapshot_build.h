@@ -1,0 +1,41 @@
+// `oobp snapshot` CLI: build / info / verify / startup.
+//
+//   oobp snapshot build   [--out=PATH] [--golden=DIR] [--baseline=PATH]
+//   oobp snapshot info    [--path=PATH]
+//   oobp snapshot verify  [--path=PATH]
+//   oobp snapshot startup [--path=PATH] [--filter=GLOB] [--out=DIR]
+//
+// `build` replays every scenario that has a golden file with snapshot
+// recording on, then serializes the collected model zoo, cost-model points,
+// precomputed schedules, golden specs, and the raw perf baseline into the
+// artifact (default bench/oobp.snapshot). The build is bit-deterministic:
+// same binary + same repo state → identical bytes.
+//
+// `verify` exit codes: 0 = valid and fresh, 1 = corrupt/unreadable,
+// 2 = valid but stale (built for a different scenario registry).
+//
+// `startup` measures the headline win: time from process start to the first
+// simulated event for a --filter sweep, cold (in-process model/schedule
+// construction) vs warm (snapshot active), and writes BENCH_startup.json.
+
+#ifndef OOBP_SRC_RUNNER_SNAPSHOT_BUILD_H_
+#define OOBP_SRC_RUNNER_SNAPSHOT_BUILD_H_
+
+#include <cstdint>
+
+namespace oobp {
+
+// Identity of the running binary's scenario registry: the snapshot schema
+// version plus every registered scenario's (name, label) in registration
+// order. A snapshot records the builder's value; a mismatch at activation
+// means the snapshot was built for a different scenario set and is stale.
+// Scenarios must be registered before calling.
+uint64_t ComputeScenarioRegistryHash();
+
+// `oobp snapshot ...` entry point (argv[1] == "snapshot"). Registers the
+// scenario families itself. Returns a process exit code.
+int SnapshotMain(int argc, char** argv);
+
+}  // namespace oobp
+
+#endif  // OOBP_SRC_RUNNER_SNAPSHOT_BUILD_H_

@@ -1,0 +1,65 @@
+#include "src/store/mmap_file.h"
+
+#include <fcntl.h>
+#include <sys/mman.h>
+#include <sys/stat.h>
+#include <unistd.h>
+
+#include <cerrno>
+#include <cstring>
+#include <utility>
+
+namespace oobp {
+
+MmapFile::MmapFile(MmapFile&& other) noexcept
+    : data_(std::exchange(other.data_, nullptr)),
+      size_(std::exchange(other.size_, 0)) {}
+
+MmapFile& MmapFile::operator=(MmapFile&& other) noexcept {
+  if (this != &other) {
+    Close();
+    data_ = std::exchange(other.data_, nullptr);
+    size_ = std::exchange(other.size_, 0);
+  }
+  return *this;
+}
+
+bool MmapFile::Open(const std::string& path, std::string* error) {
+  Close();
+  int fd = ::open(path.c_str(), O_RDONLY | O_CLOEXEC);
+  if (fd < 0) {
+    if (error) *error = path + ": open failed: " + std::strerror(errno);
+    return false;
+  }
+  struct stat st;
+  if (::fstat(fd, &st) != 0) {
+    if (error) *error = path + ": fstat failed: " + std::strerror(errno);
+    ::close(fd);
+    return false;
+  }
+  if (st.st_size <= 0) {
+    if (error) *error = path + ": empty file";
+    ::close(fd);
+    return false;
+  }
+  void* p = ::mmap(nullptr, static_cast<size_t>(st.st_size), PROT_READ,
+                   MAP_SHARED, fd, 0);
+  ::close(fd);  // the mapping keeps its own reference
+  if (p == MAP_FAILED) {
+    if (error) *error = path + ": mmap failed: " + std::strerror(errno);
+    return false;
+  }
+  data_ = static_cast<uint8_t*>(p);
+  size_ = static_cast<size_t>(st.st_size);
+  return true;
+}
+
+void MmapFile::Close() {
+  if (data_ != nullptr) {
+    ::munmap(data_, size_);
+    data_ = nullptr;
+    size_ = 0;
+  }
+}
+
+}  // namespace oobp

@@ -1,0 +1,41 @@
+// Read-only memory mapping of a file. The mapping is shared (MAP_SHARED +
+// PROT_READ), so every thread — and every forked worker — of a process sees
+// one physical copy of the snapshot; this is the zero-copy substrate the
+// reader hands out string_views and record pointers into.
+
+#ifndef OOBP_SRC_STORE_MMAP_FILE_H_
+#define OOBP_SRC_STORE_MMAP_FILE_H_
+
+#include <cstddef>
+#include <cstdint>
+#include <string>
+
+namespace oobp {
+
+class MmapFile {
+ public:
+  MmapFile() = default;
+  ~MmapFile() { Close(); }
+
+  MmapFile(MmapFile&& other) noexcept;
+  MmapFile& operator=(MmapFile&& other) noexcept;
+  MmapFile(const MmapFile&) = delete;
+  MmapFile& operator=(const MmapFile&) = delete;
+
+  // Maps `path` read-only. False (with *error filled) on any failure,
+  // including an empty file (a valid snapshot is never empty).
+  bool Open(const std::string& path, std::string* error);
+  void Close();
+
+  bool is_open() const { return data_ != nullptr; }
+  const uint8_t* data() const { return data_; }
+  size_t size() const { return size_; }
+
+ private:
+  uint8_t* data_ = nullptr;
+  size_t size_ = 0;
+};
+
+}  // namespace oobp
+
+#endif  // OOBP_SRC_STORE_MMAP_FILE_H_

@@ -1,0 +1,481 @@
+#include "src/store/reader.h"
+
+#include <algorithm>
+#include <cstring>
+
+#include "src/store/hash.h"
+
+namespace oobp {
+namespace {
+
+// Section payloads start 8-aligned (writer pads); records assert this via
+// alignof so reinterpret_cast below is UBSan-clean.
+template <typename Record>
+const Record* RecordCast(const uint8_t* p) {
+  static_assert(alignof(Record) <= 8);
+  return reinterpret_cast<const Record*>(p);
+}
+
+}  // namespace
+
+std::unique_ptr<SnapshotReader> SnapshotReader::Open(const std::string& path,
+                                                     std::string* error) {
+  auto reader = std::unique_ptr<SnapshotReader>(new SnapshotReader());
+  if (!reader->mmap_.Open(path, error)) return nullptr;
+  if (!reader->Validate(error)) return nullptr;
+  return reader;
+}
+
+std::unique_ptr<SnapshotReader> SnapshotReader::OpenBytes(
+    std::string bytes, std::string* error) {
+  auto reader = std::unique_ptr<SnapshotReader>(new SnapshotReader());
+  reader->owned_bytes_ = std::move(bytes);
+  if (!reader->Validate(error)) return nullptr;
+  return reader;
+}
+
+const uint8_t* SnapshotReader::base() const {
+  if (mmap_.is_open()) return mmap_.data();
+  return reinterpret_cast<const uint8_t*>(owned_bytes_.data());
+}
+
+size_t SnapshotReader::size() const {
+  if (mmap_.is_open()) return mmap_.size();
+  return owned_bytes_.size();
+}
+
+bool SnapshotReader::Validate(std::string* error) {
+  auto fail = [error](const std::string& msg) {
+    if (error) *error = "snapshot: " + msg;
+    return false;
+  };
+
+  // 1. Size floor before touching any header field.
+  if (size() < sizeof(SnapshotHeader)) {
+    return fail("file too small for header (" + std::to_string(size()) +
+                " bytes)");
+  }
+  // The header may be misaligned only if the owned-bytes string is; mmap
+  // regions are page-aligned. Copy-free cast is fine either way because
+  // std::string data is at least max_align_t-aligned.
+  header_ = RecordCast<SnapshotHeader>(base());
+
+  // 2. Magic, then version — a future version must be reported as a version
+  // problem, not fall through to a confusing checksum mismatch.
+  if (header_->magic != kSnapshotMagic) {
+    return fail("bad magic (not a snapshot file)");
+  }
+  if (header_->format_version != kSnapshotFormatVersion) {
+    return fail("format version " + std::to_string(header_->format_version) +
+                " not supported (this binary reads version " +
+                std::to_string(kSnapshotFormatVersion) +
+                "); rebuild the snapshot");
+  }
+  if (header_->file_size != size()) {
+    return fail("file size mismatch: header says " +
+                std::to_string(header_->file_size) + ", file has " +
+                std::to_string(size()) + " bytes (truncated?)");
+  }
+  const uint64_t table_bytes =
+      static_cast<uint64_t>(header_->section_count) * sizeof(SectionEntry);
+  if (sizeof(SnapshotHeader) + table_bytes > size()) {
+    return fail("section table extends past end of file");
+  }
+  table_ = RecordCast<SectionEntry>(base() + sizeof(SnapshotHeader));
+
+  // 3. Table checksum over header (field zeroed) + table.
+  {
+    SnapshotHeader for_hash = *header_;
+    for_hash.table_checksum = 0;
+    HashAccumulator acc;
+    acc.Bytes(&for_hash, sizeof(for_hash));
+    acc.Bytes(table_, table_bytes);
+    if (acc.Digest() != header_->table_checksum) {
+      return fail("header/table checksum mismatch (corrupt file)");
+    }
+  }
+
+  // 4. Per-section bounds + payload checksums.
+  for (uint32_t i = 0; i < header_->section_count; ++i) {
+    const SectionEntry& entry = table_[i];
+    if (entry.offset % 8 != 0) {
+      return fail("section " + std::string(SectionKindName(
+                      static_cast<SectionKind>(entry.kind))) +
+                  " misaligned");
+    }
+    if (entry.offset > size() || entry.length > size() - entry.offset) {
+      return fail("section " + std::string(SectionKindName(
+                      static_cast<SectionKind>(entry.kind))) +
+                  " out of bounds");
+    }
+    if (SnapshotHash64(base() + entry.offset, entry.length) !=
+        entry.checksum) {
+      return fail("section " + std::string(SectionKindName(
+                      static_cast<SectionKind>(entry.kind))) +
+                  " checksum mismatch (corrupt file)");
+    }
+  }
+
+  // Structural sanity of cross-section indices: every StrRef and pool index
+  // reachable from the sorted arrays must land in bounds, so lookups never
+  // have to re-validate.
+  uint64_t pool_len = 0;
+  Section(SectionKind::kStringPool, &pool_len);
+  auto str_ok = [pool_len](StrRef ref) {
+    return ref.offset <= pool_len && ref.length <= pool_len - ref.offset;
+  };
+
+  size_t layer_count = 0, model_count = 0;
+  const LayerRecord* layer_arr =
+      SectionArray<LayerRecord>(SectionKind::kLayers, &layer_count);
+  const ModelRecord* model_arr =
+      SectionArray<ModelRecord>(SectionKind::kModels, &model_count);
+  for (size_t i = 0; i < model_count; ++i) {
+    const ModelRecord& m = model_arr[i];
+    if (!str_ok(m.key) || !str_ok(m.name) ||
+        m.layer_begin > layer_count ||
+        m.layer_count > layer_count - m.layer_begin) {
+      return fail("model record " + std::to_string(i) + " has bad indices");
+    }
+  }
+  for (size_t i = 0; i < layer_count; ++i) {
+    if (!str_ok(layer_arr[i].name) || !str_ok(layer_arr[i].block)) {
+      return fail("layer record " + std::to_string(i) + " has bad StrRef");
+    }
+  }
+
+  size_t cost_count = 0;
+  const CostModelRecord* cost_arr =
+      SectionArray<CostModelRecord>(SectionKind::kCostModels, &cost_count);
+  for (size_t i = 0; i < cost_count; ++i) {
+    if (!str_ok(cost_arr[i].key) || !str_ok(cost_arr[i].gpu_name) ||
+        !str_ok(cost_arr[i].profile_name)) {
+      return fail("cost-model record " + std::to_string(i) +
+                  " has bad StrRef");
+    }
+  }
+
+  size_t op_count = 0, assigned_count = 0, sched_count = 0;
+  SectionArray<ScheduleOpRecord>(SectionKind::kScheduleOps, &op_count);
+  SectionArray<AssignedOpRecord>(SectionKind::kAssignedOps, &assigned_count);
+  const ScheduleRecord* sched_arr =
+      SectionArray<ScheduleRecord>(SectionKind::kSchedules, &sched_count);
+  for (size_t i = 0; i < sched_count; ++i) {
+    const ScheduleRecord& s = sched_arr[i];
+    if (s.op_begin > op_count || s.op_count > op_count - s.op_begin ||
+        s.assigned_begin > assigned_count ||
+        s.assigned_count > assigned_count - s.assigned_begin) {
+      return fail("schedule record " + std::to_string(i) +
+                  " has bad indices");
+    }
+  }
+
+  size_t check_count = 0, golden_count = 0;
+  const GoldenCheckRecord* check_arr = SectionArray<GoldenCheckRecord>(
+      SectionKind::kGoldenChecks, &check_count);
+  const GoldenRecord* golden_arr =
+      SectionArray<GoldenRecord>(SectionKind::kGoldens, &golden_count);
+  for (size_t i = 0; i < golden_count; ++i) {
+    const GoldenRecord& g = golden_arr[i];
+    if (!str_ok(g.scenario) || g.check_begin > check_count ||
+        g.check_count > check_count - g.check_begin) {
+      return fail("golden record " + std::to_string(i) + " has bad indices");
+    }
+  }
+  for (size_t i = 0; i < check_count; ++i) {
+    if (!str_ok(check_arr[i].key)) {
+      return fail("golden check " + std::to_string(i) + " has bad StrRef");
+    }
+  }
+
+  return true;
+}
+
+const uint8_t* SnapshotReader::Section(SectionKind kind,
+                                       uint64_t* length) const {
+  for (uint32_t i = 0; i < header_->section_count; ++i) {
+    if (table_[i].kind == static_cast<uint32_t>(kind)) {
+      *length = table_[i].length;
+      return base() + table_[i].offset;
+    }
+  }
+  *length = 0;
+  return nullptr;
+}
+
+template <typename Record>
+const Record* SnapshotReader::SectionArray(SectionKind kind,
+                                           size_t* count) const {
+  uint64_t length = 0;
+  const uint8_t* p = Section(kind, &length);
+  *count = length / sizeof(Record);
+  return p == nullptr ? nullptr : RecordCast<Record>(p);
+}
+
+std::string_view SnapshotReader::Str(StrRef ref) const {
+  uint64_t length = 0;
+  const uint8_t* p = Section(SectionKind::kStringPool, &length);
+  // Bounds were proven in Validate; this is pure pointer math.
+  return std::string_view(reinterpret_cast<const char*>(p) + ref.offset,
+                          ref.length);
+}
+
+std::vector<SnapshotSectionInfo> SnapshotReader::Sections() const {
+  std::vector<SnapshotSectionInfo> out;
+  out.reserve(header_->section_count);
+  for (uint32_t i = 0; i < header_->section_count; ++i) {
+    const SectionEntry& entry = table_[i];
+    SnapshotSectionInfo info;
+    info.kind = static_cast<SectionKind>(entry.kind);
+    info.offset = entry.offset;
+    info.length = entry.length;
+    info.checksum = entry.checksum;
+    switch (info.kind) {
+      case SectionKind::kLayers:
+        info.entry_count = entry.length / sizeof(LayerRecord);
+        break;
+      case SectionKind::kModels:
+        info.entry_count = entry.length / sizeof(ModelRecord);
+        break;
+      case SectionKind::kCostModels:
+        info.entry_count = entry.length / sizeof(CostModelRecord);
+        break;
+      case SectionKind::kScheduleOps:
+        info.entry_count = entry.length / sizeof(ScheduleOpRecord);
+        break;
+      case SectionKind::kAssignedOps:
+        info.entry_count = entry.length / sizeof(AssignedOpRecord);
+        break;
+      case SectionKind::kSchedules:
+        info.entry_count = entry.length / sizeof(ScheduleRecord);
+        break;
+      case SectionKind::kGoldenChecks:
+        info.entry_count = entry.length / sizeof(GoldenCheckRecord);
+        break;
+      case SectionKind::kGoldens:
+        info.entry_count = entry.length / sizeof(GoldenRecord);
+        break;
+      default:
+        info.entry_count = 0;  // blob sections
+    }
+    out.push_back(info);
+  }
+  return out;
+}
+
+namespace {
+
+// Binary search over records sorted by a string key resolved through the
+// pool. Returns nullptr if absent.
+template <typename Record, typename GetKey>
+const Record* FindByKey(const Record* arr, size_t count, std::string_view key,
+                        GetKey get_key) {
+  size_t lo = 0, hi = count;
+  while (lo < hi) {
+    size_t mid = lo + (hi - lo) / 2;
+    std::string_view mid_key = get_key(arr[mid]);
+    if (mid_key < key) {
+      lo = mid + 1;
+    } else if (key < mid_key) {
+      hi = mid;
+    } else {
+      return &arr[mid];
+    }
+  }
+  return nullptr;
+}
+
+}  // namespace
+
+std::optional<NnModel> SnapshotReader::FindModel(std::string_view key) const {
+  size_t model_count = 0, layer_count = 0;
+  const ModelRecord* models =
+      SectionArray<ModelRecord>(SectionKind::kModels, &model_count);
+  const LayerRecord* layers =
+      SectionArray<LayerRecord>(SectionKind::kLayers, &layer_count);
+  const ModelRecord* rec = FindByKey(
+      models, model_count, key,
+      [this](const ModelRecord& m) { return Str(m.key); });
+  if (rec == nullptr) return std::nullopt;
+
+  NnModel model;
+  model.name = std::string(Str(rec->name));
+  model.batch = rec->batch;
+  model.layers.reserve(rec->layer_count);
+  for (uint32_t i = 0; i < rec->layer_count; ++i) {
+    const LayerRecord& lr = layers[rec->layer_begin + i];
+    Layer layer;
+    layer.name = std::string(Str(lr.name));
+    layer.block = std::string(Str(lr.block));
+    layer.fwd_flops = lr.fwd_flops;
+    layer.dgrad_flops = lr.dgrad_flops;
+    layer.wgrad_flops = lr.wgrad_flops;
+    layer.fwd_bytes = lr.fwd_bytes;
+    layer.dgrad_bytes = lr.dgrad_bytes;
+    layer.wgrad_bytes = lr.wgrad_bytes;
+    layer.fwd_blocks = lr.fwd_blocks;
+    layer.dgrad_blocks = lr.dgrad_blocks;
+    layer.wgrad_blocks = lr.wgrad_blocks;
+    layer.param_bytes = lr.param_bytes;
+    layer.output_bytes = lr.output_bytes;
+    layer.stash_bytes = lr.stash_bytes;
+    layer.workspace_bytes = lr.workspace_bytes;
+    layer.fused_ops = lr.fused_ops;
+    model.layers.push_back(std::move(layer));
+  }
+  return model;
+}
+
+uint64_t SnapshotReader::FindModelContentHash(std::string_view key) const {
+  size_t model_count = 0;
+  const ModelRecord* models =
+      SectionArray<ModelRecord>(SectionKind::kModels, &model_count);
+  const ModelRecord* rec = FindByKey(
+      models, model_count, key,
+      [this](const ModelRecord& m) { return Str(m.key); });
+  return rec == nullptr ? 0 : rec->content_hash;
+}
+
+std::vector<std::string> SnapshotReader::ModelKeys() const {
+  size_t count = 0;
+  const ModelRecord* arr =
+      SectionArray<ModelRecord>(SectionKind::kModels, &count);
+  std::vector<std::string> keys;
+  keys.reserve(count);
+  for (size_t i = 0; i < count; ++i) keys.emplace_back(Str(arr[i].key));
+  return keys;
+}
+
+std::optional<SnapshotReader::CostPoint> SnapshotReader::FindCostModel(
+    std::string_view key) const {
+  size_t count = 0;
+  const CostModelRecord* arr =
+      SectionArray<CostModelRecord>(SectionKind::kCostModels, &count);
+  const CostModelRecord* rec = FindByKey(
+      arr, count, key,
+      [this](const CostModelRecord& c) { return Str(c.key); });
+  if (rec == nullptr) return std::nullopt;
+
+  CostPoint point;
+  point.gpu.name = std::string(Str(rec->gpu_name));
+  point.gpu.num_sms = rec->num_sms;
+  point.gpu.blocks_per_sm = rec->blocks_per_sm;
+  point.gpu.fp32_tflops = rec->fp32_tflops;
+  point.gpu.mem_bandwidth_gbps = rec->mem_bandwidth_gbps;
+  point.gpu.mem_bytes = rec->mem_bytes;
+  point.gpu.kernel_exec_overhead = rec->kernel_exec_overhead;
+  point.profile.name = std::string(Str(rec->profile_name));
+  point.profile.compute_efficiency = rec->compute_efficiency;
+  point.profile.mem_efficiency = rec->mem_efficiency;
+  point.profile.issue_latency_per_op = rec->issue_latency_per_op;
+  point.profile.graph_launch_latency = rec->graph_launch_latency;
+  point.profile.fused = rec->fused != 0;
+  point.profile.issue_queue_depth = rec->issue_queue_depth;
+  point.profile.allocator_overhead = rec->allocator_overhead;
+  return point;
+}
+
+std::vector<std::string> SnapshotReader::CostModelKeys() const {
+  size_t count = 0;
+  const CostModelRecord* arr =
+      SectionArray<CostModelRecord>(SectionKind::kCostModels, &count);
+  std::vector<std::string> keys;
+  keys.reserve(count);
+  for (size_t i = 0; i < count; ++i) keys.emplace_back(Str(arr[i].key));
+  return keys;
+}
+
+std::optional<JointScheduleResult> SnapshotReader::FindSchedule(
+    uint64_t key_hash) const {
+  size_t sched_count = 0, op_count = 0, assigned_count = 0;
+  const ScheduleRecord* scheds =
+      SectionArray<ScheduleRecord>(SectionKind::kSchedules, &sched_count);
+  const ScheduleOpRecord* ops =
+      SectionArray<ScheduleOpRecord>(SectionKind::kScheduleOps, &op_count);
+  const AssignedOpRecord* assigned = SectionArray<AssignedOpRecord>(
+      SectionKind::kAssignedOps, &assigned_count);
+
+  const ScheduleRecord* rec = nullptr;
+  size_t lo = 0, hi = sched_count;
+  while (lo < hi) {
+    size_t mid = lo + (hi - lo) / 2;
+    if (scheds[mid].key_hash < key_hash) {
+      lo = mid + 1;
+    } else if (key_hash < scheds[mid].key_hash) {
+      hi = mid;
+    } else {
+      rec = &scheds[mid];
+      break;
+    }
+  }
+  if (rec == nullptr) return std::nullopt;
+
+  JointScheduleResult result;
+  result.schedule.ops.reserve(rec->op_count);
+  for (uint32_t i = 0; i < rec->op_count; ++i) {
+    const ScheduleOpRecord& sor = ops[rec->op_begin + i];
+    ScheduledOp op;
+    op.op.type = static_cast<TrainOpType>(sor.op_type);
+    op.op.layer = sor.layer;
+    op.stream = sor.stream;
+    op.wait_for_index = sor.wait_for_index;
+    result.schedule.ops.push_back(op);
+  }
+  result.assigned_ops.reserve(rec->assigned_count);
+  result.assigned_region.reserve(rec->assigned_count);
+  for (uint32_t i = 0; i < rec->assigned_count; ++i) {
+    const AssignedOpRecord& aor = assigned[rec->assigned_begin + i];
+    TrainOp op;
+    op.type = static_cast<TrainOpType>(aor.op_type);
+    op.layer = aor.layer;
+    result.assigned_ops.push_back(op);
+    result.assigned_region.push_back(aor.region);
+  }
+  result.pre_scheduled_regions = rec->pre_scheduled_regions;
+  result.peak_memory = rec->peak_memory;
+  return result;
+}
+
+size_t SnapshotReader::ScheduleCount() const {
+  size_t count = 0;
+  SectionArray<ScheduleRecord>(SectionKind::kSchedules, &count);
+  return count;
+}
+
+std::optional<SnapshotReader::GoldenView> SnapshotReader::FindGolden(
+    std::string_view scenario) const {
+  size_t golden_count = 0, check_count = 0;
+  const GoldenRecord* goldens =
+      SectionArray<GoldenRecord>(SectionKind::kGoldens, &golden_count);
+  const GoldenCheckRecord* checks = SectionArray<GoldenCheckRecord>(
+      SectionKind::kGoldenChecks, &check_count);
+  const GoldenRecord* rec = FindByKey(
+      goldens, golden_count, scenario,
+      [this](const GoldenRecord& g) { return Str(g.scenario); });
+  if (rec == nullptr) return std::nullopt;
+
+  GoldenView view;
+  view.scenario = Str(rec->scenario);
+  view.checks = checks + rec->check_begin;
+  view.check_count = rec->check_count;
+  return view;
+}
+
+std::vector<std::string> SnapshotReader::GoldenScenarios() const {
+  size_t count = 0;
+  const GoldenRecord* arr =
+      SectionArray<GoldenRecord>(SectionKind::kGoldens, &count);
+  std::vector<std::string> names;
+  names.reserve(count);
+  for (size_t i = 0; i < count; ++i) names.emplace_back(Str(arr[i].scenario));
+  return names;
+}
+
+std::string_view SnapshotReader::perf_baseline() const {
+  uint64_t length = 0;
+  const uint8_t* p = Section(SectionKind::kPerfBaseline, &length);
+  if (p == nullptr) return {};
+  return std::string_view(reinterpret_cast<const char*>(p), length);
+}
+
+}  // namespace oobp

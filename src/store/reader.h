@@ -1,0 +1,109 @@
+// Validating zero-copy reader over a snapshot mapping.
+//
+// Open() runs the full integrity ladder from format.h (size → magic →
+// version → table checksum → per-section bounds + checksums) before any
+// lookup is offered, so a reader that exists is a reader whose every byte
+// has been checksum-verified. Lookups are binary searches over the sorted
+// record arrays in the mapping; the returned records/string_views alias the
+// mapping and stay valid for the reader's lifetime. All lookups are const
+// on an immutable mapping — safe from any number of threads concurrently.
+
+#ifndef OOBP_SRC_STORE_READER_H_
+#define OOBP_SRC_STORE_READER_H_
+
+#include <cstdint>
+#include <memory>
+#include <optional>
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "src/core/joint_scheduler.h"
+#include "src/hw/gpu_spec.h"
+#include "src/nn/cost_model.h"
+#include "src/nn/layer.h"
+#include "src/store/format.h"
+#include "src/store/mmap_file.h"
+
+namespace oobp {
+
+struct SnapshotSectionInfo {
+  SectionKind kind;
+  uint64_t offset = 0;
+  uint64_t length = 0;
+  uint64_t checksum = 0;
+  uint64_t entry_count = 0;  // 0 for blob sections
+};
+
+class SnapshotReader {
+ public:
+  // Maps and fully validates `path`. nullptr (with *error describing the
+  // first failed check) on any I/O, corruption, or version problem.
+  static std::unique_ptr<SnapshotReader> Open(const std::string& path,
+                                              std::string* error);
+
+  // Validates an in-memory image; used by the corruption tests to flip
+  // bytes without touching disk. Same checks as Open.
+  static std::unique_ptr<SnapshotReader> OpenBytes(std::string bytes,
+                                                   std::string* error);
+
+  uint64_t registry_hash() const { return header_->registry_hash; }
+  uint64_t file_size() const { return header_->file_size; }
+  std::vector<SnapshotSectionInfo> Sections() const;
+
+  // Materializes the model stored under the model_cache key, or nullopt.
+  std::optional<NnModel> FindModel(std::string_view key) const;
+  // Content hash stored with that model (0 if absent); lets callers verify
+  // a hit matches the in-process builder without materializing.
+  uint64_t FindModelContentHash(std::string_view key) const;
+  std::vector<std::string> ModelKeys() const;
+
+  // (GpuSpec, SystemProfile) stored under the CostModelCacheKey.
+  struct CostPoint {
+    GpuSpec gpu;
+    SystemProfile profile;
+  };
+  std::optional<CostPoint> FindCostModel(std::string_view key) const;
+  std::vector<std::string> CostModelKeys() const;
+
+  // Precomputed MakeOooSchedule output stored under ScheduleKeyHash.
+  std::optional<JointScheduleResult> FindSchedule(uint64_t key_hash) const;
+  size_t ScheduleCount() const;
+
+  // Golden checks for a scenario, in stored order. Returned as the raw
+  // records plus an accessor for their keys; runner converts to GoldenSpec.
+  struct GoldenView {
+    std::string_view scenario;
+    const GoldenCheckRecord* checks = nullptr;
+    size_t check_count = 0;
+  };
+  std::optional<GoldenView> FindGolden(std::string_view scenario) const;
+  std::vector<std::string> GoldenScenarios() const;
+
+  // Raw perf_baseline.json bytes; empty view if the section is absent.
+  std::string_view perf_baseline() const;
+
+  // String-pool resolution for record fields (bounds already validated).
+  std::string_view Str(StrRef ref) const;
+
+ private:
+  SnapshotReader() = default;
+  bool Validate(std::string* error);
+  const uint8_t* base() const;
+  size_t size() const;
+  // Section payload by kind; nullptr + *length 0 when absent.
+  const uint8_t* Section(SectionKind kind, uint64_t* length) const;
+  template <typename Record>
+  const Record* SectionArray(SectionKind kind, size_t* count) const;
+
+  // Exactly one of these backs the reader.
+  MmapFile mmap_;
+  std::string owned_bytes_;
+
+  const SnapshotHeader* header_ = nullptr;
+  const SectionEntry* table_ = nullptr;
+};
+
+}  // namespace oobp
+
+#endif  // OOBP_SRC_STORE_READER_H_

@@ -1,0 +1,281 @@
+#include "src/store/writer.h"
+
+#include <cstdio>
+#include <cstring>
+#include <unordered_map>
+#include <utility>
+
+#include "src/store/format.h"
+#include "src/store/hash.h"
+#include "src/store/snapshot.h"
+
+namespace oobp {
+namespace {
+
+// Accumulates payload bytes for one section, padding to 8-byte alignment so
+// successive sections (and the records within them) stay aligned.
+class SectionBuilder {
+ public:
+  template <typename Record>
+  void Add(const Record& record) {
+    static_assert(std::is_standard_layout_v<Record>);
+    bytes_.append(reinterpret_cast<const char*>(&record), sizeof(record));
+  }
+  void AddRaw(const std::string& raw) { bytes_.append(raw); }
+
+  const std::string& bytes() const { return bytes_; }
+
+ private:
+  std::string bytes_;
+};
+
+// Deduplicating string pool. Interning order is the order of first
+// reference, which is itself deterministic because the writer walks sorted
+// maps in a fixed section order.
+class StringPool {
+ public:
+  StrRef Intern(const std::string& s) {
+    auto it = refs_.find(s);
+    if (it != refs_.end()) return it->second;
+    StrRef ref{static_cast<uint32_t>(bytes_.size()),
+               static_cast<uint32_t>(s.size())};
+    bytes_.append(s);
+    refs_.emplace(s, ref);
+    return ref;
+  }
+
+  const std::string& bytes() const { return bytes_; }
+
+ private:
+  std::string bytes_;
+  std::unordered_map<std::string, StrRef> refs_;
+};
+
+std::string PadTo8(std::string s) {
+  while (s.size() % 8 != 0) s.push_back('\0');
+  return s;
+}
+
+}  // namespace
+
+const char* SectionKindName(SectionKind kind) {
+  switch (kind) {
+    case SectionKind::kStringPool: return "string_pool";
+    case SectionKind::kLayers: return "layers";
+    case SectionKind::kModels: return "models";
+    case SectionKind::kCostModels: return "cost_models";
+    case SectionKind::kScheduleOps: return "schedule_ops";
+    case SectionKind::kAssignedOps: return "assigned_ops";
+    case SectionKind::kSchedules: return "schedules";
+    case SectionKind::kGoldenChecks: return "golden_checks";
+    case SectionKind::kGoldens: return "goldens";
+    case SectionKind::kPerfBaseline: return "perf_baseline";
+  }
+  return "unknown";
+}
+
+std::string BuildSnapshotBytes(const SnapshotContents& contents) {
+  StringPool pool;
+  SectionBuilder layers, models, cost_models, schedule_ops, assigned_ops,
+      schedules, golden_checks, goldens;
+
+  // Models + their layer runs. Map order == sorted cache-key order.
+  uint32_t layer_cursor = 0;
+  for (const auto& [key, model] : contents.models) {
+    ModelRecord rec;
+    rec.key = pool.Intern(key);
+    rec.name = pool.Intern(model.name);
+    rec.batch = model.batch;
+    rec.layer_begin = layer_cursor;
+    rec.layer_count = static_cast<uint32_t>(model.layers.size());
+    rec.content_hash = ModelContentHash(model);
+    models.Add(rec);
+    for (const Layer& layer : model.layers) {
+      LayerRecord lr;
+      lr.name = pool.Intern(layer.name);
+      lr.block = pool.Intern(layer.block);
+      lr.fwd_flops = layer.fwd_flops;
+      lr.dgrad_flops = layer.dgrad_flops;
+      lr.wgrad_flops = layer.wgrad_flops;
+      lr.fwd_bytes = layer.fwd_bytes;
+      lr.dgrad_bytes = layer.dgrad_bytes;
+      lr.wgrad_bytes = layer.wgrad_bytes;
+      lr.fwd_blocks = layer.fwd_blocks;
+      lr.dgrad_blocks = layer.dgrad_blocks;
+      lr.wgrad_blocks = layer.wgrad_blocks;
+      lr.param_bytes = layer.param_bytes;
+      lr.output_bytes = layer.output_bytes;
+      lr.stash_bytes = layer.stash_bytes;
+      lr.workspace_bytes = layer.workspace_bytes;
+      lr.fused_ops = layer.fused_ops;
+      layers.Add(lr);
+    }
+    layer_cursor += rec.layer_count;
+  }
+
+  for (const auto& [key, entry] : contents.cost_models) {
+    CostModelRecord rec;
+    rec.key = pool.Intern(key);
+    rec.gpu_name = pool.Intern(entry.gpu.name);
+    rec.num_sms = entry.gpu.num_sms;
+    rec.blocks_per_sm = entry.gpu.blocks_per_sm;
+    rec.fp32_tflops = entry.gpu.fp32_tflops;
+    rec.mem_bandwidth_gbps = entry.gpu.mem_bandwidth_gbps;
+    rec.mem_bytes = entry.gpu.mem_bytes;
+    rec.kernel_exec_overhead = entry.gpu.kernel_exec_overhead;
+    rec.profile_name = pool.Intern(entry.profile.name);
+    rec.compute_efficiency = entry.profile.compute_efficiency;
+    rec.mem_efficiency = entry.profile.mem_efficiency;
+    rec.issue_latency_per_op = entry.profile.issue_latency_per_op;
+    rec.graph_launch_latency = entry.profile.graph_launch_latency;
+    rec.fused = entry.profile.fused ? 1 : 0;
+    rec.issue_queue_depth = entry.profile.issue_queue_depth;
+    rec.allocator_overhead = entry.profile.allocator_overhead;
+    cost_models.Add(rec);
+  }
+
+  uint32_t op_cursor = 0;
+  uint32_t assigned_cursor = 0;
+  for (const auto& [key_hash, result] : contents.schedules) {
+    ScheduleRecord rec;
+    rec.key_hash = key_hash;
+    rec.op_begin = op_cursor;
+    rec.op_count = static_cast<uint32_t>(result.schedule.ops.size());
+    rec.assigned_begin = assigned_cursor;
+    rec.assigned_count = static_cast<uint32_t>(result.assigned_ops.size());
+    rec.pre_scheduled_regions = result.pre_scheduled_regions;
+    rec.peak_memory = result.peak_memory;
+    schedules.Add(rec);
+    for (const ScheduledOp& op : result.schedule.ops) {
+      ScheduleOpRecord sor;
+      sor.op_type = static_cast<int32_t>(op.op.type);
+      sor.layer = op.op.layer;
+      sor.stream = op.stream;
+      sor.wait_for_index = op.wait_for_index;
+      schedule_ops.Add(sor);
+    }
+    for (size_t i = 0; i < result.assigned_ops.size(); ++i) {
+      AssignedOpRecord aor;
+      aor.op_type = static_cast<int32_t>(result.assigned_ops[i].type);
+      aor.layer = result.assigned_ops[i].layer;
+      aor.region = i < result.assigned_region.size()
+                       ? result.assigned_region[i]
+                       : -1;
+      assigned_ops.Add(aor);
+    }
+    op_cursor += rec.op_count;
+    assigned_cursor += rec.assigned_count;
+  }
+
+  uint32_t check_cursor = 0;
+  for (const auto& [scenario, golden] : contents.goldens) {
+    GoldenRecord rec;
+    rec.scenario = pool.Intern(scenario);
+    rec.check_begin = check_cursor;
+    rec.check_count = static_cast<uint32_t>(golden.checks.size());
+    goldens.Add(rec);
+    for (const SnapshotGoldenCheck& check : golden.checks) {
+      GoldenCheckRecord gcr;
+      gcr.key = pool.Intern(check.key);
+      gcr.flags = check.flags;
+      gcr.expect = check.expect;
+      gcr.rel_tol = check.rel_tol;
+      gcr.abs_tol = check.abs_tol;
+      gcr.min = check.min;
+      gcr.max = check.max;
+      golden_checks.Add(gcr);
+    }
+    check_cursor += rec.check_count;
+  }
+
+  // Assemble payloads in fixed kind order. Empty sections are omitted from
+  // the table entirely (their absence is a valid "no entries" state).
+  struct Payload {
+    SectionKind kind;
+    std::string bytes;
+  };
+  std::vector<Payload> payloads;
+  auto add_payload = [&payloads](SectionKind kind, std::string bytes) {
+    if (!bytes.empty()) payloads.push_back({kind, std::move(bytes)});
+  };
+  add_payload(SectionKind::kStringPool, pool.bytes());
+  add_payload(SectionKind::kLayers, layers.bytes());
+  add_payload(SectionKind::kModels, models.bytes());
+  add_payload(SectionKind::kCostModels, cost_models.bytes());
+  add_payload(SectionKind::kScheduleOps, schedule_ops.bytes());
+  add_payload(SectionKind::kAssignedOps, assigned_ops.bytes());
+  add_payload(SectionKind::kSchedules, schedules.bytes());
+  add_payload(SectionKind::kGoldenChecks, golden_checks.bytes());
+  add_payload(SectionKind::kGoldens, goldens.bytes());
+  add_payload(SectionKind::kPerfBaseline, contents.perf_baseline_json);
+
+  SnapshotHeader header;
+  header.section_count = static_cast<uint32_t>(payloads.size());
+  header.registry_hash = contents.registry_hash;
+
+  std::vector<SectionEntry> table(payloads.size());
+  uint64_t offset =
+      sizeof(SnapshotHeader) + payloads.size() * sizeof(SectionEntry);
+  // The header + table region is already 8-aligned (40 + n*32).
+  for (size_t i = 0; i < payloads.size(); ++i) {
+    table[i].kind = static_cast<uint32_t>(payloads[i].kind);
+    table[i].offset = offset;
+    table[i].length = payloads[i].bytes.size();
+    table[i].checksum = SnapshotHash64(payloads[i].bytes);
+    // Pad the stored payload so the next section starts 8-aligned; the
+    // table length stays the unpadded size (checksummed bytes only).
+    payloads[i].bytes = PadTo8(std::move(payloads[i].bytes));
+    offset += payloads[i].bytes.size();
+  }
+  header.file_size = offset;
+
+  // table_checksum covers the header (with the field itself zeroed) and the
+  // whole section table.
+  {
+    SnapshotHeader for_hash = header;
+    for_hash.table_checksum = 0;
+    HashAccumulator acc;
+    acc.Bytes(&for_hash, sizeof(for_hash));
+    if (!table.empty()) {
+      acc.Bytes(table.data(), table.size() * sizeof(SectionEntry));
+    }
+    header.table_checksum = acc.Digest();
+  }
+
+  std::string out;
+  out.reserve(header.file_size);
+  out.append(reinterpret_cast<const char*>(&header), sizeof(header));
+  if (!table.empty()) {
+    out.append(reinterpret_cast<const char*>(table.data()),
+               table.size() * sizeof(SectionEntry));
+  }
+  for (const Payload& payload : payloads) out.append(payload.bytes);
+  return out;
+}
+
+bool WriteSnapshotFile(const std::string& path,
+                       const SnapshotContents& contents, std::string* error) {
+  const std::string bytes = BuildSnapshotBytes(contents);
+  const std::string tmp = path + ".tmp";
+  std::FILE* f = std::fopen(tmp.c_str(), "wb");
+  if (f == nullptr) {
+    if (error) *error = tmp + ": cannot open for writing";
+    return false;
+  }
+  const bool wrote =
+      std::fwrite(bytes.data(), 1, bytes.size(), f) == bytes.size();
+  const bool closed = std::fclose(f) == 0;
+  if (!wrote || !closed) {
+    if (error) *error = tmp + ": short write";
+    std::remove(tmp.c_str());
+    return false;
+  }
+  if (std::rename(tmp.c_str(), path.c_str()) != 0) {
+    if (error) *error = "rename " + tmp + " -> " + path + " failed";
+    std::remove(tmp.c_str());
+    return false;
+  }
+  return true;
+}
+
+}  // namespace oobp

@@ -1,0 +1,78 @@
+// Snapshot serialization. The writer takes fully materialized contents
+// (collected by the recording hooks in src/store/snapshot.h during a
+// scenario sweep) and emits the flat section-table file described in
+// src/store/format.h.
+//
+// Determinism contract (tested by store_format_test): BuildSnapshotBytes is
+// a pure function of its input — contents are held in sorted maps, sections
+// are emitted in fixed kind order, the string pool is deduplicated in
+// first-reference order, and nothing environmental (timestamps, paths,
+// pointer values) enters the output. Identical inputs → bit-identical
+// bytes.
+
+#ifndef OOBP_SRC_STORE_WRITER_H_
+#define OOBP_SRC_STORE_WRITER_H_
+
+#include <cstdint>
+#include <map>
+#include <string>
+#include <vector>
+
+#include "src/core/joint_scheduler.h"
+#include "src/hw/gpu_spec.h"
+#include "src/nn/cost_model.h"
+#include "src/nn/layer.h"
+
+namespace oobp {
+
+// Store-side mirror of runner::GoldenCheck/GoldenSpec. The store cannot
+// depend on src/runner (layering: runner links store, not vice versa), so
+// the runner converts at the boundary; fields and semantics are identical.
+struct SnapshotGoldenCheck {
+  std::string key;
+  uint32_t flags = 0;  // kGoldenHasExpect | kGoldenHasMin | kGoldenHasMax
+  double expect = 0.0;
+  double rel_tol = 0.0;
+  double abs_tol = 0.0;
+  double min = 0.0;
+  double max = 0.0;
+};
+
+struct SnapshotGolden {
+  std::string scenario;
+  std::vector<SnapshotGoldenCheck> checks;
+};
+
+struct SnapshotCostEntry {
+  GpuSpec gpu;
+  SystemProfile profile;
+};
+
+struct SnapshotContents {
+  // Identity of the scenario registry (plus kSnapshotSchemaVersion) that
+  // produced these contents; readers compare against the running binary's.
+  uint64_t registry_hash = 0;
+  // Model-zoo cache key -> model. Sorted map keeps emission order stable.
+  std::map<std::string, NnModel> models;
+  // CostModelCacheKey -> (gpu, profile) point.
+  std::map<std::string, SnapshotCostEntry> cost_models;
+  // ScheduleKeyHash -> precomputed MakeOooSchedule output.
+  std::map<uint64_t, JointScheduleResult> schedules;
+  // Scenario name -> golden spec.
+  std::map<std::string, SnapshotGolden> goldens;
+  // Raw bytes of bench/perf_baseline.json (empty = section omitted).
+  std::string perf_baseline_json;
+};
+
+// Serializes to the complete file image (header + table + payloads).
+std::string BuildSnapshotBytes(const SnapshotContents& contents);
+
+// BuildSnapshotBytes + atomic write via rename (tmp file in the same
+// directory), so a crashed build never leaves a half-written snapshot at
+// `path`. False (with *error filled) on I/O failure.
+bool WriteSnapshotFile(const std::string& path,
+                       const SnapshotContents& contents, std::string* error);
+
+}  // namespace oobp
+
+#endif  // OOBP_SRC_STORE_WRITER_H_

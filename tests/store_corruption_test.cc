@@ -1,0 +1,228 @@
+// Snapshot corruption-path tests (ctest labels: unit, store): every way a
+// snapshot file can be wrong fails closed with a distinct diagnostic and no
+// crash (this binary runs under ASan/UBSan in check.sh tier 8):
+//   * wrong magic, truncation, flipped payload byte, flipped table byte,
+//     and a future format version each produce a clear error;
+//   * a stale registry hash is NOT corruption: activation reports kStale,
+//     installs nothing, and the process falls back to in-process builds.
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <cstdio>
+#include <cstring>
+#include <fstream>
+#include <string>
+#include <vector>
+
+#include "src/nn/model_cache.h"
+#include "src/nn/model_zoo.h"
+#include "src/store/format.h"
+#include "src/store/reader.h"
+#include "src/store/snapshot.h"
+#include "src/store/writer.h"
+
+namespace oobp {
+namespace {
+
+std::string ValidBytes() {
+  SnapshotContents contents;
+  contents.registry_hash = 0xfeedULL;
+  contents.models.emplace("ffnn:L3:B8:H64", Ffnn(3, 8, 64));
+  SnapshotGolden golden;
+  golden.scenario = "fake";
+  golden.checks.push_back({"v", kGoldenHasExpect, 1.0, 0.0, 0.0, 0.0, 0.0});
+  contents.goldens.emplace(golden.scenario, golden);
+  contents.perf_baseline_json = "{}";
+  return BuildSnapshotBytes(contents);
+}
+
+// Expects OpenBytes to fail and the diagnostic to mention `needle`.
+void ExpectRejected(std::string bytes, const char* needle) {
+  std::string error;
+  const auto reader = SnapshotReader::OpenBytes(std::move(bytes), &error);
+  EXPECT_EQ(reader, nullptr);
+  EXPECT_NE(error.find(needle), std::string::npos)
+      << "diagnostic was: " << error;
+}
+
+TEST(SnapshotCorruptionTest, ValidBytesOpen) {
+  std::string error;
+  EXPECT_NE(SnapshotReader::OpenBytes(ValidBytes(), &error), nullptr) << error;
+}
+
+TEST(SnapshotCorruptionTest, WrongMagic) {
+  std::string bytes = ValidBytes();
+  bytes[0] ^= 0x5a;
+  ExpectRejected(std::move(bytes), "bad magic");
+}
+
+TEST(SnapshotCorruptionTest, TooSmallForHeader) {
+  ExpectRejected(ValidBytes().substr(0, 17), "too small");
+}
+
+TEST(SnapshotCorruptionTest, Truncated) {
+  std::string bytes = ValidBytes();
+  bytes.resize(bytes.size() - 9);
+  ExpectRejected(std::move(bytes), "size mismatch");
+}
+
+TEST(SnapshotCorruptionTest, EveryMeaningfulFlippedByteIsCaught) {
+  // Exhaustive single-byte corruption over a stride. Every byte that any
+  // lookup can read — header, table, every section payload — is covered by
+  // a checksum, so flipping it must fail validation. The only bytes outside
+  // that set are inter-section alignment padding, which no code path reads;
+  // a flip there is explicitly don't-care (the file still validates).
+  const std::string valid = ValidBytes();
+  std::vector<bool> checked(valid.size(), false);
+  {
+    std::string error;
+    const auto reader = SnapshotReader::OpenBytes(valid, &error);
+    ASSERT_NE(reader, nullptr) << error;
+    const size_t table_end =
+        sizeof(SnapshotHeader) + reader->Sections().size() * sizeof(SectionEntry);
+    std::fill(checked.begin(), checked.begin() + table_end, true);
+    for (const SnapshotSectionInfo& s : reader->Sections()) {
+      std::fill(checked.begin() + s.offset,
+                checked.begin() + s.offset + s.length, true);
+    }
+  }
+  for (size_t i = 0; i < valid.size(); i += 7) {
+    std::string bytes = valid;
+    bytes[i] ^= 0x01;
+    std::string error;
+    const auto reader = SnapshotReader::OpenBytes(std::move(bytes), &error);
+    if (checked[i]) {
+      EXPECT_EQ(reader, nullptr) << "flip at byte " << i << " was accepted";
+      EXPECT_FALSE(error.empty()) << "flip at byte " << i;
+    } else {
+      EXPECT_NE(reader, nullptr)
+          << "padding byte " << i << " rejected: " << error;
+    }
+  }
+}
+
+TEST(SnapshotCorruptionTest, FlippedPayloadByteNamesTheSection) {
+  std::string bytes = ValidBytes();
+  size_t perf_offset = 0;
+  {
+    std::string error;
+    const auto reader = SnapshotReader::OpenBytes(bytes, &error);
+    ASSERT_NE(reader, nullptr) << error;
+    for (const SnapshotSectionInfo& s : reader->Sections()) {
+      if (s.kind == SectionKind::kPerfBaseline) {
+        perf_offset = s.offset;
+      }
+    }
+  }
+  ASSERT_GT(perf_offset, 0u);
+  bytes[perf_offset] ^= 0x01;
+  ExpectRejected(std::move(bytes), "perf_baseline");
+}
+
+TEST(SnapshotCorruptionTest, FutureVersionIsReportedBeforeChecksums) {
+  std::string bytes = ValidBytes();
+  // format_version is the u32 at offset 8. Bumping it also breaks the table
+  // checksum; the ladder must still report the version problem (with its
+  // "rebuild" hint), not a generic corruption.
+  const uint32_t future = kSnapshotFormatVersion + 1;
+  std::memcpy(bytes.data() + 8, &future, sizeof(future));
+  ExpectRejected(std::move(bytes), "rebuild the snapshot");
+}
+
+TEST(SnapshotCorruptionTest, TableEntryOutOfBounds) {
+  std::string bytes = ValidBytes();
+  // First SectionEntry starts right after the 40-byte header; its offset
+  // field is the u64 at entry offset 8. Point it past the end of the file.
+  const uint64_t bogus = bytes.size() + 4096;
+  std::memcpy(bytes.data() + sizeof(SnapshotHeader) + 8, &bogus,
+              sizeof(bogus));
+  // The table checksum catches the edit first — which is the point: the
+  // bounds check is a backstop, corruption never gets that far.
+  ExpectRejected(std::move(bytes), "checksum mismatch");
+}
+
+class SnapshotActivationTest : public ::testing::Test {
+ protected:
+  void TearDown() override {
+    DeactivateSnapshot();
+    ClearModelCaches();
+  }
+
+  std::string WriteTemp(const std::string& bytes, const char* name) {
+    const std::string path = ::testing::TempDir() + name;
+    std::ofstream out(path, std::ios::binary | std::ios::trunc);
+    out << bytes;
+    out.close();
+    return path;
+  }
+};
+
+TEST_F(SnapshotActivationTest, StaleRegistryFallsBackSilently) {
+  const std::string path = WriteTemp(ValidBytes(), "stale.snapshot");
+  std::string error;
+  // The file's registry hash is 0xfeed; expect something else.
+  EXPECT_EQ(ActivateSnapshot(path, /*expected_registry_hash=*/0xbeef,
+                             /*check_registry=*/true, &error),
+            SnapshotActivation::kStale);
+  EXPECT_NE(error.find("different scenario registry"), std::string::npos)
+      << error;
+  // Nothing was installed: no active reader, and CachedModel builds
+  // in-process (the snapshot's ffnn key resolves to a fresh build).
+  EXPECT_FALSE(SnapshotActive());
+  EXPECT_EQ(ActiveSnapshot(), nullptr);
+  const auto model = CachedModel("ffnn:L3:B8:H64", [] { return Ffnn(3, 8, 64); });
+  ASSERT_NE(model, nullptr);
+  EXPECT_EQ(model->num_layers(), Ffnn(3, 8, 64).num_layers());
+}
+
+TEST_F(SnapshotActivationTest, StaleRegistryAcceptedWhenCheckDisabled) {
+  const std::string path = WriteTemp(ValidBytes(), "stale2.snapshot");
+  std::string error;
+  EXPECT_EQ(ActivateSnapshot(path, 0xbeef, /*check_registry=*/false, &error),
+            SnapshotActivation::kActive)
+      << error;
+  EXPECT_TRUE(SnapshotActive());
+  ASSERT_NE(ActiveSnapshot(), nullptr);
+  EXPECT_EQ(ActiveSnapshot()->registry_hash(), 0xfeedULL);
+}
+
+TEST_F(SnapshotActivationTest, CorruptFileIsAnError) {
+  std::string bytes = ValidBytes();
+  bytes[bytes.size() / 2] ^= 0x10;
+  const std::string path = WriteTemp(bytes, "corrupt.snapshot");
+  std::string error;
+  EXPECT_EQ(ActivateSnapshot(path, 0xfeed, true, &error),
+            SnapshotActivation::kError);
+  EXPECT_FALSE(error.empty());
+  EXPECT_FALSE(SnapshotActive());
+}
+
+TEST_F(SnapshotActivationTest, MissingFileIsAnError) {
+  std::string error;
+  EXPECT_EQ(ActivateSnapshot(::testing::TempDir() + "no-such.snapshot",
+                             0xfeed, true, &error),
+            SnapshotActivation::kError);
+  EXPECT_FALSE(error.empty());
+}
+
+TEST_F(SnapshotActivationTest, ActiveSnapshotServesModelsByKey) {
+  const std::string path = WriteTemp(ValidBytes(), "active.snapshot");
+  std::string error;
+  ASSERT_EQ(ActivateSnapshot(path, 0xfeed, true, &error),
+            SnapshotActivation::kActive)
+      << error;
+  ClearModelCaches();
+  // The builder must NOT run on a snapshot hit.
+  bool builder_ran = false;
+  const auto model = CachedModel("ffnn:L3:B8:H64", [&] {
+    builder_ran = true;
+    return Ffnn(3, 8, 64);
+  });
+  ASSERT_NE(model, nullptr);
+  EXPECT_FALSE(builder_ran);
+  EXPECT_EQ(ModelContentHash(*model), ModelContentHash(Ffnn(3, 8, 64)));
+}
+
+}  // namespace
+}  // namespace oobp

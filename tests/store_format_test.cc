@@ -1,0 +1,238 @@
+// Snapshot store format tests (ctest labels: unit, store):
+//   * the XXH64 implementation matches the published reference vectors
+//     (empty string and "abc" are the spec's own test values);
+//   * write → read roundtrip preserves every field of every record type;
+//   * BuildSnapshotBytes is bit-deterministic for independently constructed
+//     equal inputs;
+//   * content keys (ModelContentHash, ScheduleKeyHash) are sensitive to
+//     every input that should invalidate a cached entry.
+
+#include <gtest/gtest.h>
+
+#include <string>
+
+#include "src/core/joint_scheduler.h"
+#include "src/hw/gpu_spec.h"
+#include "src/nn/cost_model.h"
+#include "src/nn/model_zoo.h"
+#include "src/nn/train_graph.h"
+#include "src/store/hash.h"
+#include "src/store/reader.h"
+#include "src/store/snapshot.h"
+#include "src/store/writer.h"
+
+namespace oobp {
+namespace {
+
+TEST(SnapshotHashTest, MatchesXxh64ReferenceVectors) {
+  // The first two are the xxHash project's published reference values; the
+  // rest pin this implementation against accidental change (any edit to the
+  // hash invalidates every existing snapshot's checksums).
+  EXPECT_EQ(SnapshotHash64(std::string_view("")), 0xef46db3751d8e999ULL);
+  EXPECT_EQ(SnapshotHash64(std::string_view("abc")), 0x44bc2cf5ad770999ULL);
+  EXPECT_EQ(SnapshotHash64(std::string_view(""), 1), 0xd5afba1336a3be4bULL);
+  EXPECT_EQ(SnapshotHash64(std::string_view("hello world")),
+            0x45ab6734b21e6968ULL);
+  std::string s;
+  for (int i = 0; i < 100; ++i) {
+    s += static_cast<char>('a' + i % 26);
+  }
+  EXPECT_EQ(SnapshotHash64(s), 0x79c9fa152bb53c71ULL);
+  EXPECT_EQ(SnapshotHash64(s, 42), 0x64ae6df2d9c9bb5cULL);
+}
+
+TEST(SnapshotHashTest, AccumulatorStringsAreLengthPrefixed) {
+  HashAccumulator a;
+  a.Str("ab");
+  a.Str("c");
+  HashAccumulator b;
+  b.Str("a");
+  b.Str("bc");
+  EXPECT_NE(a.Digest(), b.Digest());
+}
+
+SnapshotContents MakeContents() {
+  SnapshotContents contents;
+  contents.registry_hash = 0x1234abcdULL;
+  contents.models.emplace("ffnn:L3:B8:H64", Ffnn(3, 8, 64));
+  contents.models.emplace("ffnn:L5:B4:H32", Ffnn(5, 4, 32));
+  contents.cost_models.emplace(
+      "v100|xla",
+      SnapshotCostEntry{GpuSpec::V100(), SystemProfile::TensorFlowXla()});
+
+  const NnModel model = Ffnn(4, 16, 128);
+  const TrainGraph graph(&model);
+  const JointScheduleResult sched = MakeOooSchedule(
+      graph, GpuSpec::V100(), SystemProfile::TensorFlowXla(), 1.1);
+  contents.schedules.emplace(0x9999ULL, sched);
+
+  SnapshotGolden golden;
+  golden.scenario = "fake_scenario";
+  golden.checks.push_back(
+      {"speedup", kGoldenHasExpect, 1.25, 0.05, 0.0, 0.0, 0.0});
+  golden.checks.push_back(
+      {"p99_ms", kGoldenHasMin | kGoldenHasMax, 0.0, 0.0, 0.0, 1.0, 9.5});
+  contents.goldens.emplace(golden.scenario, golden);
+  contents.perf_baseline_json = "{\"scenarios\": {}}";
+  return contents;
+}
+
+TEST(SnapshotRoundtripTest, PreservesEveryField) {
+  const SnapshotContents contents = MakeContents();
+  std::string error;
+  const auto reader =
+      SnapshotReader::OpenBytes(BuildSnapshotBytes(contents), &error);
+  ASSERT_NE(reader, nullptr) << error;
+  EXPECT_EQ(reader->registry_hash(), contents.registry_hash);
+
+  // Models: every layer field survives bit-exactly.
+  for (const auto& [key, want] : contents.models) {
+    const auto got = reader->FindModel(key);
+    ASSERT_TRUE(got.has_value()) << key;
+    EXPECT_EQ(got->name, want.name);
+    EXPECT_EQ(got->batch, want.batch);
+    ASSERT_EQ(got->layers.size(), want.layers.size());
+    for (size_t i = 0; i < want.layers.size(); ++i) {
+      const Layer& w = want.layers[i];
+      const Layer& g = got->layers[i];
+      EXPECT_EQ(g.name, w.name);
+      EXPECT_EQ(g.block, w.block);
+      EXPECT_EQ(g.fwd_flops, w.fwd_flops);
+      EXPECT_EQ(g.dgrad_flops, w.dgrad_flops);
+      EXPECT_EQ(g.wgrad_flops, w.wgrad_flops);
+      EXPECT_EQ(g.fwd_bytes, w.fwd_bytes);
+      EXPECT_EQ(g.dgrad_bytes, w.dgrad_bytes);
+      EXPECT_EQ(g.wgrad_bytes, w.wgrad_bytes);
+      EXPECT_EQ(g.fwd_blocks, w.fwd_blocks);
+      EXPECT_EQ(g.dgrad_blocks, w.dgrad_blocks);
+      EXPECT_EQ(g.wgrad_blocks, w.wgrad_blocks);
+      EXPECT_EQ(g.param_bytes, w.param_bytes);
+      EXPECT_EQ(g.output_bytes, w.output_bytes);
+      EXPECT_EQ(g.stash_bytes, w.stash_bytes);
+      EXPECT_EQ(g.workspace_bytes, w.workspace_bytes);
+      EXPECT_EQ(g.fused_ops, w.fused_ops);
+    }
+    EXPECT_EQ(reader->FindModelContentHash(key), ModelContentHash(*got));
+  }
+  EXPECT_FALSE(reader->FindModel("no-such-model").has_value());
+
+  // Cost-model point.
+  const auto point = reader->FindCostModel("v100|xla");
+  ASSERT_TRUE(point.has_value());
+  const GpuSpec v100 = GpuSpec::V100();
+  EXPECT_EQ(point->gpu.name, v100.name);
+  EXPECT_EQ(point->gpu.num_sms, v100.num_sms);
+  EXPECT_EQ(point->gpu.blocks_per_sm, v100.blocks_per_sm);
+  EXPECT_EQ(point->gpu.fp32_tflops, v100.fp32_tflops);
+  EXPECT_EQ(point->gpu.mem_bandwidth_gbps, v100.mem_bandwidth_gbps);
+  EXPECT_EQ(point->gpu.mem_bytes, v100.mem_bytes);
+  EXPECT_EQ(point->gpu.kernel_exec_overhead, v100.kernel_exec_overhead);
+  const SystemProfile xla = SystemProfile::TensorFlowXla();
+  EXPECT_EQ(point->profile.name, xla.name);
+  EXPECT_EQ(point->profile.compute_efficiency, xla.compute_efficiency);
+  EXPECT_EQ(point->profile.mem_efficiency, xla.mem_efficiency);
+  EXPECT_EQ(point->profile.issue_latency_per_op, xla.issue_latency_per_op);
+  EXPECT_EQ(point->profile.fused, xla.fused);
+  EXPECT_EQ(point->profile.graph_launch_latency, xla.graph_launch_latency);
+  EXPECT_EQ(point->profile.issue_queue_depth, xla.issue_queue_depth);
+  EXPECT_EQ(point->profile.allocator_overhead, xla.allocator_overhead);
+
+  // Schedule: issue order, streams, waits, assignments, memory fields.
+  const auto& want_sched = contents.schedules.at(0x9999ULL);
+  const auto got_sched = reader->FindSchedule(0x9999ULL);
+  ASSERT_TRUE(got_sched.has_value());
+  ASSERT_EQ(got_sched->schedule.ops.size(), want_sched.schedule.ops.size());
+  for (size_t i = 0; i < want_sched.schedule.ops.size(); ++i) {
+    EXPECT_EQ(got_sched->schedule.ops[i].op.type,
+              want_sched.schedule.ops[i].op.type);
+    EXPECT_EQ(got_sched->schedule.ops[i].op.layer,
+              want_sched.schedule.ops[i].op.layer);
+    EXPECT_EQ(got_sched->schedule.ops[i].stream,
+              want_sched.schedule.ops[i].stream);
+    EXPECT_EQ(got_sched->schedule.ops[i].wait_for_index,
+              want_sched.schedule.ops[i].wait_for_index);
+  }
+  ASSERT_EQ(got_sched->assigned_ops.size(), want_sched.assigned_ops.size());
+  ASSERT_EQ(got_sched->assigned_region.size(),
+            want_sched.assigned_region.size());
+  for (size_t i = 0; i < want_sched.assigned_ops.size(); ++i) {
+    EXPECT_EQ(got_sched->assigned_ops[i].type, want_sched.assigned_ops[i].type);
+    EXPECT_EQ(got_sched->assigned_ops[i].layer,
+              want_sched.assigned_ops[i].layer);
+    EXPECT_EQ(got_sched->assigned_region[i], want_sched.assigned_region[i]);
+  }
+  EXPECT_EQ(got_sched->pre_scheduled_regions,
+            want_sched.pre_scheduled_regions);
+  EXPECT_EQ(got_sched->peak_memory, want_sched.peak_memory);
+  EXPECT_FALSE(reader->FindSchedule(0x1111ULL).has_value());
+
+  // Golden checks, including the flag decoding.
+  const auto view = reader->FindGolden("fake_scenario");
+  ASSERT_TRUE(view.has_value());
+  ASSERT_EQ(view->check_count, 2u);
+  EXPECT_EQ(reader->Str(view->checks[0].key), "speedup");
+  EXPECT_EQ(view->checks[0].flags, kGoldenHasExpect);
+  EXPECT_EQ(view->checks[0].expect, 1.25);
+  EXPECT_EQ(view->checks[0].rel_tol, 0.05);
+  EXPECT_EQ(reader->Str(view->checks[1].key), "p99_ms");
+  EXPECT_EQ(view->checks[1].flags, kGoldenHasMin | kGoldenHasMax);
+  EXPECT_EQ(view->checks[1].min, 1.0);
+  EXPECT_EQ(view->checks[1].max, 9.5);
+  EXPECT_FALSE(reader->FindGolden("absent").has_value());
+
+  EXPECT_EQ(reader->perf_baseline(), contents.perf_baseline_json);
+}
+
+TEST(SnapshotRoundtripTest, EmptySectionsAreOmitted) {
+  SnapshotContents contents;
+  contents.registry_hash = 7;
+  contents.models.emplace("ffnn:L3:B8:H64", Ffnn(3, 8, 64));
+  std::string error;
+  const auto reader =
+      SnapshotReader::OpenBytes(BuildSnapshotBytes(contents), &error);
+  ASSERT_NE(reader, nullptr) << error;
+  bool saw_perf = false;
+  for (const SnapshotSectionInfo& s : reader->Sections()) {
+    saw_perf |= s.kind == SectionKind::kPerfBaseline;
+  }
+  EXPECT_FALSE(saw_perf);
+  EXPECT_EQ(reader->perf_baseline(), "");
+  EXPECT_EQ(reader->ScheduleCount(), 0u);
+  EXPECT_TRUE(reader->GoldenScenarios().empty());
+}
+
+TEST(SnapshotDeterminismTest, IndependentBuildsAreBitIdentical) {
+  const std::string a = BuildSnapshotBytes(MakeContents());
+  const std::string b = BuildSnapshotBytes(MakeContents());
+  EXPECT_EQ(a, b);
+  EXPECT_GT(a.size(), sizeof(SnapshotHeader));
+}
+
+TEST(ContentKeyTest, HashesAreSensitiveToEveryInput) {
+  const NnModel base = Ffnn(4, 16, 128);
+  const uint64_t h = ModelContentHash(base);
+
+  NnModel renamed = base;
+  renamed.name = "other";
+  EXPECT_NE(ModelContentHash(renamed), h);
+
+  NnModel rebatched = base;
+  rebatched.batch = 32;
+  EXPECT_NE(ModelContentHash(rebatched), h);
+
+  NnModel tweaked = base;
+  tweaked.layers[1].wgrad_flops += 1;
+  EXPECT_NE(ModelContentHash(tweaked), h);
+
+  const GpuSpec v100 = GpuSpec::V100();
+  const SystemProfile xla = SystemProfile::TensorFlowXla();
+  const uint64_t k = ScheduleKeyHash(base, v100, xla, 1.1);
+  EXPECT_NE(ScheduleKeyHash(tweaked, v100, xla, 1.1), k);
+  EXPECT_NE(ScheduleKeyHash(base, GpuSpec::P100(), xla, 1.1), k);
+  EXPECT_NE(ScheduleKeyHash(base, v100, SystemProfile::TensorFlow(), 1.1), k);
+  EXPECT_NE(ScheduleKeyHash(base, v100, xla, 1.2), k);
+  EXPECT_EQ(ScheduleKeyHash(base, v100, xla, 1.1), k);
+}
+
+}  // namespace
+}  // namespace oobp

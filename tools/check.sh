@@ -1,5 +1,5 @@
 #!/usr/bin/env bash
-# One-shot health check, seven tiers:
+# One-shot health check, eight tiers:
 #   1. Release build: unit-test tier + unit-time toy scenarios vs goldens.
 #   2. ASan+UBSan build (-DOOBP_SANITIZE=ON): unit-test tier under the
 #      sanitizers (catches lifetime bugs in the event slab / callback moves).
@@ -36,11 +36,19 @@
 #      gate at --sim-threads 8: sharded results must match the goldens and
 #      the event-count baseline byte-for-byte (counts are thread-invariant;
 #      wall-clock bands stay informational, see DESIGN.md §11).
+#   8. Snapshot store: `oobp snapshot build` + `verify` on the Release
+#      build, then the fig07 + fleet goldens replayed from the snapshot
+#      (results must stay byte-identical to the snapshot-less tiers above),
+#      the store-labeled ctest tier (format roundtrip + every corruption
+#      path) on the ASan build, and `snapshot startup`, which emits the
+#      cold-vs-snapshot BENCH_startup.json timings (see DESIGN.md §12).
 #
 # Tier matrix (tier x build):
 #   tier 1, 3, 4, 5 -> Release build    (speed; golden gates are exact)
 #   tier 2, 6       -> ASan+UBSan build (memory-safety of slab/fluid/fuzz paths)
 #   tier 7          -> TSan build       (data races in the sharded coordinator)
+#   tier 8          -> Release (build/verify/replay/startup) + ASan (store
+#                      tests; mmap + validation ladder under the sanitizers)
 #
 # Usage: tools/check.sh [build-dir [asan-build-dir [tsan-build-dir]]]
 set -euo pipefail
@@ -109,5 +117,25 @@ ctest --test-dir "${TSAN_DIR}" -L sharded --output-on-failure
     --sim-threads 8 \
     --check="${REPO_ROOT}/bench/perf_baseline.json" \
     --out "${BUILD_DIR}" --golden "${REPO_ROOT}/bench/golden"
+
+# --- Tier 8: snapshot store: build/verify/replay/startup + ASan store tier
+SNAPSHOT="${BUILD_DIR}/oobp.snapshot"
+(cd "${REPO_ROOT}" && "${BUILD_DIR}/tools/oobp" snapshot build \
+    --out="${SNAPSHOT}")
+
+"${BUILD_DIR}/tools/oobp" snapshot verify --path="${SNAPSHOT}"
+
+"${BUILD_DIR}/tools/oobp" bench --filter 'fig07*' --jobs 0 \
+    --snapshot="${SNAPSHOT}" \
+    --out "${BUILD_DIR}" --golden "${REPO_ROOT}/bench/golden"
+
+"${BUILD_DIR}/tools/oobp" bench --filter 'fleet_*' --jobs 0 \
+    --snapshot="${SNAPSHOT}" --sim-threads 8 \
+    --out "${BUILD_DIR}" --golden "${REPO_ROOT}/bench/golden"
+
+ctest --test-dir "${ASAN_DIR}" -L store --output-on-failure
+
+"${BUILD_DIR}/tools/oobp" snapshot startup --path="${SNAPSHOT}" \
+    --out="${BUILD_DIR}"
 
 echo "check.sh: all green"

@@ -17,9 +17,13 @@
 //                     [--param k=v]  (see src/runner; --check gates perf
 //                     event counts against bench/perf_baseline.json)
 //   oobp_sim fuzz     [--seeds=N] [--base-seed=N] [--jobs=N] [--checks=<glob>]
-//                     [--no-serve] [--verbose]
+//                     [--no-serve] [--snapshot[=<path>]] [--verbose]
 //                     (seeded differential fuzzer, see src/validate; --jobs=0
 //                     uses all cores, report is byte-identical to --jobs=1)
+//   oobp_sim snapshot <build|info|verify|startup> [--flags]
+//                     (binary snapshot of the model zoo, cost models,
+//                     precomputed schedules, goldens, and perf baseline;
+//                     see src/runner/snapshot_build.h and src/store)
 //
 // Common flags: --trace=<path.json> exports the execution timeline;
 // `single --system=ooo --export-schedule=<file>` saves the computed
@@ -39,6 +43,7 @@
 #include "src/core/schedule_io.h"
 #include "src/nn/model_zoo.h"
 #include "src/runner/runner.h"
+#include "src/runner/snapshot_build.h"
 #include "src/runtime/data_parallel_engine.h"
 #include "src/runtime/hybrid_engine.h"
 #include "src/runtime/pipeline_engine.h"
@@ -344,10 +349,31 @@ int RunHybrid(const Flags& flags) {
 }
 
 int Usage() {
-  std::fprintf(stderr,
-               "usage: oobp_sim <single|dp|pipeline|hybrid|replay|bench|fuzz> "
-               "[--flags]\n"
-               "see the header comment of tools/oobp_sim.cc for details\n");
+  std::fprintf(
+      stderr,
+      "usage: oobp_sim <mode> [--flags]\n"
+      "\n"
+      "modes:\n"
+      "  single    one training iteration of a zoo model on one GPU under\n"
+      "            the xla / ooo / nimble execution systems\n"
+      "  dp        data-parallel training across N GPUs (byteps / horovod\n"
+      "            gradient sync, reverse-k search)\n"
+      "  pipeline  pipeline-parallel training (gpipe / dapple / pipedream /\n"
+      "            megatron / ooo1 / ooo2 schedules)\n"
+      "  hybrid    pipeline stages replicated into data-parallel groups\n"
+      "  replay    re-run an exported schedule artifact against the\n"
+      "            simulator and diff the timings\n"
+      "  bench     scenario runner: paper figures, serving, sweeps, fleet,\n"
+      "            cluster; golden comparison and the perf harness\n"
+      "            (`bench --help` lists its flags)\n"
+      "  fuzz      seeded differential fuzzer over schedules, memory,\n"
+      "            training, DAG, link, serving, and fleet checkers\n"
+      "            (`fuzz --help` lists its flags)\n"
+      "  snapshot  build / info / verify / startup for the binary snapshot\n"
+      "            of models, cost points, precomputed schedules, goldens,\n"
+      "            and the perf baseline (`snapshot --help` for details)\n"
+      "\n"
+      "see the header comment of tools/oobp_sim.cc for per-mode flags\n");
   return 2;
 }
 
@@ -380,6 +406,9 @@ int main(int argc, char** argv) {
   }
   if (mode == "fuzz") {
     return oobp::FuzzMain(argc, argv);
+  }
+  if (mode == "snapshot") {
+    return oobp::SnapshotMain(argc, argv);
   }
   return oobp::Usage();
 }
