@@ -15,6 +15,7 @@
 #include "src/runner/json.h"
 #include "src/runner/paper_scenarios.h"
 #include "src/runner/perf.h"
+#include "src/runner/search_scenarios.h"
 #include "src/runner/serve_scenarios.h"
 #include "src/runner/snapshot_build.h"
 #include "src/runner/sweep_scenarios.h"
@@ -292,6 +293,7 @@ int BenchMain(int argc, char** argv) {
   RegisterSweepScenarios();
   RegisterFleetScenarios();
   RegisterClusterScenarios();
+  RegisterSearchScenarios();
 
   RunnerOptions opts;
   opts.output_dir = ".";
@@ -406,6 +408,7 @@ int RunStandaloneBench(const std::string& filter) {
   RegisterSweepScenarios();
   RegisterFleetScenarios();
   RegisterClusterScenarios();
+  RegisterSearchScenarios();
   RunnerOptions opts;
   opts.filter = filter;
   opts.jobs = 1;

@@ -1,0 +1,20 @@
+// Registration of the scheduler-optimality scenarios (label "search"):
+// for representative (model, GPU) points of the fig07/fig10/fig13 sweeps,
+// run the search-based scheduler baseline (src/search) against
+// MakeOooSchedule and the in-order schedule, and report the heuristic's
+// optimality gap as golden-pinned metrics. Every schedule — heuristic and
+// searched — is fed through CheckIterationSchedule; a violation aborts the
+// scenario (machine-verified schedules, DESIGN.md §13).
+
+#ifndef OOBP_SRC_RUNNER_SEARCH_SCENARIOS_H_
+#define OOBP_SRC_RUNNER_SEARCH_SCENARIOS_H_
+
+namespace oobp {
+
+// Registers search_gap_{fig07,fig10,fig13} into ScenarioRegistry::Global();
+// idempotent (safe from multiple entry points).
+void RegisterSearchScenarios();
+
+}  // namespace oobp
+
+#endif  // OOBP_SRC_RUNNER_SEARCH_SCENARIOS_H_

@@ -19,6 +19,7 @@
 #include "src/runner/paper_scenarios.h"
 #include "src/runner/registry.h"
 #include "src/runner/runner.h"
+#include "src/runner/search_scenarios.h"
 #include "src/runner/serve_scenarios.h"
 #include "src/runner/sweep_scenarios.h"
 #include "src/sim/engine.h"
@@ -43,6 +44,7 @@ void RegisterAllScenarios() {
   RegisterSweepScenarios();
   RegisterFleetScenarios();
   RegisterClusterScenarios();
+  RegisterSearchScenarios();
 }
 
 bool ReadFileBytes(const std::string& path, std::string* out) {

@@ -378,6 +378,16 @@ void RegisterSteady(ScenarioRegistry& reg, Scenario scenario) {
 
 }  // namespace
 
+std::shared_ptr<const NnModel> Fig13ShardedBert(int layers, int micro_batch) {
+  return ShardedBert(layers, micro_batch);
+}
+
+std::shared_ptr<const NnModel> Fig13ShardedGpt3(int micro_batch) {
+  return CachedModel(
+      StrFormat("sharded-gpt3m:B%d", micro_batch),
+      [micro_batch] { return WithShardedHead(Gpt3Medium(micro_batch)); });
+}
+
 void RegisterSweepScenarios() {
   static std::once_flag once;
   std::call_once(once, [] {

@@ -11,11 +11,22 @@
 #ifndef OOBP_SRC_RUNNER_SWEEP_SCENARIOS_H_
 #define OOBP_SRC_RUNNER_SWEEP_SCENARIOS_H_
 
+#include <memory>
+
+#include "src/nn/layer.h"
+
 namespace oobp {
 
 // Registers all sweep and steady-state scenarios into
 // ScenarioRegistry::Global(); idempotent (safe from multiple entry points).
 void RegisterSweepScenarios();
+
+// The Figure 13 pre-training models (BERT / GPT-3-medium with the embedding
+// GEMMs sharded across a tensor-parallel group), memoized under the same
+// zoo keys the fig13 sweeps use so scenarios elsewhere (e.g. the search_gap
+// suite) share one cached — and one snapshot — entry per point.
+std::shared_ptr<const NnModel> Fig13ShardedBert(int layers, int micro_batch);
+std::shared_ptr<const NnModel> Fig13ShardedGpt3(int micro_batch);
 
 }  // namespace oobp
 

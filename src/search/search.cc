@@ -1,0 +1,355 @@
+#include "src/search/search.h"
+
+#include <algorithm>
+#include <limits>
+#include <utility>
+
+#include "src/common/check.h"
+#include "src/common/rng.h"
+#include "src/store/snapshot.h"
+
+namespace oobp {
+namespace {
+
+// Score of a candidate the memory cap rejected; never beats a real time.
+constexpr TimeNs kRejected = std::numeric_limits<TimeNs>::max();
+
+// Parameterized layers in descending order — the genotype layout.
+std::vector<int> WgradLayers(const TrainGraph& graph) {
+  std::vector<int> layers;
+  for (int i = graph.num_layers() - 1; i >= 0; --i) {
+    if (graph.HasWgrad(i)) layers.push_back(i);
+  }
+  return layers;
+}
+
+int ClampSlot(const TrainGraph& graph, int layer, int slot) {
+  return std::clamp(slot, MinSlot(graph, layer), MaxSlot(graph, layer));
+}
+
+// Shared state of one search: scoring, memory cap, and the per-trajectory
+// evaluation budget. Memory-rejected candidates are free (the memory model
+// is closed-form); only simulator runs consume budget.
+struct SearchContext {
+  const TrainGraph* graph = nullptr;
+  ScheduleEvaluator* eval = nullptr;
+  int64_t memory_cap = 0;
+  int evals_left = 0;
+
+  TimeNs Evaluate(const Genotype& genotype) {
+    const IterationSchedule schedule = DecodeGenotype(*graph, genotype);
+    if (eval->PeakMemory(schedule) > memory_cap) return kRejected;
+    --evals_left;
+    return eval->IterationTime(schedule);
+  }
+};
+
+// The deterministic per-gene move set of the greedy sweep: the extremes and
+// midpoint of the dependency window on the sub stream (the placements
+// MakeOooSchedule chooses between), a stream flip in place, and the
+// latest-possible main-stream placement (pure reordering, no overlap).
+std::vector<WgradGene> GreedyMoves(const TrainGraph& graph,
+                                   const WgradGene& gene) {
+  const int lo = MinSlot(graph, gene.layer);
+  const int hi = MaxSlot(graph, gene.layer);
+  return {
+      {gene.layer, lo, kSubStream},
+      {gene.layer, hi, kSubStream},
+      {gene.layer, (lo + hi) / 2, kSubStream},
+      {gene.layer, gene.slot,
+       gene.stream == kMainStream ? kSubStream : kMainStream},
+      {gene.layer, hi, kMainStream},
+  };
+}
+
+// One coordinate-descent pass framework: sweeps over genes until a full
+// sweep yields no strict improvement or the budget runs out. `moves`
+// produces the candidate genes to try for one position.
+template <typename MoveFn>
+void SweepToFixpoint(SearchContext& ctx, Genotype& cur, TimeNs& cur_time,
+                     const MoveFn& moves) {
+  bool improved = true;
+  while (improved && ctx.evals_left > 0) {
+    improved = false;
+    for (size_t gi = 0; gi < cur.size(); ++gi) {
+      for (const WgradGene& move : moves(cur[gi])) {
+        if (ctx.evals_left <= 0) return;
+        if (move == cur[gi]) continue;
+        Genotype cand = cur;
+        cand[gi] = move;
+        const TimeNs t = ctx.Evaluate(cand);
+        if (t < cur_time) {
+          cur = std::move(cand);
+          cur_time = t;
+          improved = true;
+        }
+      }
+    }
+  }
+}
+
+// Trajectory 0: pure greedy coordinate descent from the conventional
+// genotype. No randomness — this is what `beam=1` and GreedySchedule run.
+void GreedyTrajectory(SearchContext& ctx, Genotype& cur, TimeNs& cur_time) {
+  SweepToFixpoint(ctx, cur, cur_time, [&](const WgradGene& gene) {
+    return GreedyMoves(*ctx.graph, gene);
+  });
+}
+
+// Trajectories >= 1: the greedy move set plus two random placements per
+// gene per sweep, then a strict-improvement random walk until the budget
+// (or a deterministic attempt bound, for heavily cap-rejected walks) runs
+// out. All randomness flows from the caller's seeded Rng.
+void RandomTrajectory(SearchContext& ctx, Rng& rng, Genotype& cur,
+                      TimeNs& cur_time) {
+  auto random_gene = [&](int layer) {
+    const int lo = MinSlot(*ctx.graph, layer);
+    const int hi = MaxSlot(*ctx.graph, layer);
+    const int slot = lo + static_cast<int>(rng.NextBelow(hi - lo + 1));
+    const int stream = rng.NextBelow(2) == 0 ? kMainStream : kSubStream;
+    return WgradGene{layer, slot, stream};
+  };
+  SweepToFixpoint(ctx, cur, cur_time, [&](const WgradGene& gene) {
+    std::vector<WgradGene> moves = GreedyMoves(*ctx.graph, gene);
+    moves.push_back(random_gene(gene.layer));
+    moves.push_back(random_gene(gene.layer));
+    return moves;
+  });
+  if (cur.empty()) return;
+  for (int attempts = 4 * ctx.evals_left;
+       attempts > 0 && ctx.evals_left > 0; --attempts) {
+    const size_t gi = rng.NextBelow(cur.size());
+    WgradGene move = random_gene(cur[gi].layer);
+    if (move == cur[gi]) continue;
+    Genotype cand = cur;
+    cand[gi] = move;
+    const TimeNs t = ctx.Evaluate(cand);
+    if (t < cur_time) {
+      cur = std::move(cand);
+      cur_time = t;
+    }
+  }
+}
+
+// Derives the genotype closest to an existing schedule (typically
+// MakeOooSchedule's): each dW keeps its stream and maps to the slot of the
+// last backbone op issued before it, clamped into the dependency window.
+Genotype DeriveGenotype(const TrainGraph& graph,
+                        const IterationSchedule& schedule) {
+  const int L = graph.num_layers();
+  std::vector<WgradGene> by_layer(L);
+  std::vector<bool> seen(L, false);
+  int backbone_pos = -1;  // index of the last backbone (dO/F) op issued
+  for (const ScheduledOp& s : schedule.ops) {
+    switch (s.op.type) {
+      case TrainOpType::kOutputGrad:
+      case TrainOpType::kForward:
+        ++backbone_pos;
+        break;
+      case TrainOpType::kWeightGrad:
+        seen[s.op.layer] = true;
+        by_layer[s.op.layer] = {s.op.layer,
+                                ClampSlot(graph, s.op.layer,
+                                          std::max(backbone_pos, 0)),
+                                s.stream};
+        break;
+      case TrainOpType::kWeightUpdate:
+        break;  // bound to its dW by the decoder
+    }
+  }
+  Genotype genotype;
+  for (int layer : WgradLayers(graph)) {
+    genotype.push_back(seen[layer]
+                           ? by_layer[layer]
+                           : WgradGene{layer, ClampSlot(graph, layer, L - 1 - layer),
+                                       kMainStream});
+  }
+  return genotype;
+}
+
+SearchResult AssembleResult(const TrainGraph& graph, ScheduleEvaluator& eval,
+                            Genotype best, TimeNs best_time,
+                            TimeNs conventional_time) {
+  SearchResult out;
+  out.schedule = DecodeGenotype(graph, best);
+  out.genotype = std::move(best);
+  out.best_time = best_time;
+  out.conventional_time = conventional_time;
+  out.peak_memory = eval.PeakMemory(out.schedule);
+  out.evaluations = eval.evaluations();
+  // Structural self-check: the decoded gradient order must satisfy the
+  // training-graph dependencies. Callers additionally run the full
+  // CheckIterationSchedule gate (src/validate); a failure here is a decoder
+  // bug, never a property of the searched point.
+  std::vector<TrainOp> grad_order;
+  for (const ScheduledOp& s : out.schedule.ops) {
+    if (s.op.type == TrainOpType::kOutputGrad ||
+        s.op.type == TrainOpType::kWeightGrad) {
+      grad_order.push_back(s.op);
+    }
+  }
+  OOBP_CHECK(graph.ValidateBackpropOrder(grad_order));
+  return out;
+}
+
+}  // namespace
+
+int MinSlot(const TrainGraph& graph, int layer) {
+  const int L = graph.num_layers();
+  OOBP_CHECK_GE(layer, 0);
+  OOBP_CHECK_LT(layer, L);
+  // dW_i consumes dO_{i+1}, which sits at backbone index L-2-i; dW_{L-1}
+  // only needs the loss gradient and may go anywhere after dO_{L-1}.
+  return layer < L - 1 ? L - 2 - layer : 0;
+}
+
+int MaxSlot(const TrainGraph& graph, int layer) {
+  // U_i must land before F_i (backbone index L+layer), i.e. at the latest
+  // directly after backbone op L+layer-1.
+  return graph.num_layers() + layer - 1;
+}
+
+Genotype ConventionalGenotype(const TrainGraph& graph) {
+  const int L = graph.num_layers();
+  Genotype genotype;
+  for (int layer : WgradLayers(graph)) {
+    // Directly after dO_i (backbone index L-1-i), main stream — decodes to
+    // ConventionalIteration exactly.
+    genotype.push_back({layer, L - 1 - layer, kMainStream});
+  }
+  return genotype;
+}
+
+IterationSchedule DecodeGenotype(const TrainGraph& graph,
+                                 const Genotype& genotype) {
+  const int L = graph.num_layers();
+  const int backbone_size = 2 * L;
+  // Bucket genes by (clamped) slot; within a slot, descending layer order
+  // keeps the decoder a bijection on sorted genotypes.
+  std::vector<std::vector<WgradGene>> slot_genes(backbone_size);
+  for (const WgradGene& gene : genotype) {
+    OOBP_CHECK(graph.HasWgrad(gene.layer));
+    slot_genes[ClampSlot(graph, gene.layer, gene.slot)].push_back(gene);
+  }
+  for (std::vector<WgradGene>& bucket : slot_genes) {
+    std::sort(bucket.begin(), bucket.end(),
+              [](const WgradGene& a, const WgradGene& b) {
+                return a.layer > b.layer;
+              });
+  }
+
+  IterationSchedule schedule;
+  for (int pos = 0; pos < backbone_size; ++pos) {
+    const TrainOp backbone =
+        pos < L ? TrainOp{TrainOpType::kOutputGrad, L - 1 - pos}
+                : TrainOp{TrainOpType::kForward, pos - L};
+    schedule.ops.push_back({backbone, kMainStream, -1});
+    for (const WgradGene& gene : slot_genes[pos]) {
+      schedule.ops.push_back(
+          {{TrainOpType::kWeightGrad, gene.layer}, gene.stream, -1});
+      schedule.ops.push_back(
+          {{TrainOpType::kWeightUpdate, gene.layer}, gene.stream, -1});
+    }
+  }
+  return schedule;
+}
+
+SearchResult GreedySchedule(const TrainGraph& graph, const GpuSpec& gpu,
+                            const SystemProfile& profile,
+                            const SearchOptions& options) {
+  OOBP_CHECK_GE(options.budget, 0);
+  OOBP_CHECK_GE(options.memory_cap_factor, 1.0);
+  ScheduleEvaluator eval(&graph.model(), gpu, profile);
+  const IterationSchedule conventional = ConventionalIteration(graph);
+  const TimeNs conventional_time = eval.IterationTime(conventional);
+  const int64_t cap = static_cast<int64_t>(options.memory_cap_factor *
+                                           eval.PeakMemory(conventional));
+  Genotype cur = ConventionalGenotype(graph);
+  TimeNs cur_time = conventional_time;
+  SearchContext ctx{&graph, &eval, cap, options.budget};
+  GreedyTrajectory(ctx, cur, cur_time);
+  return AssembleResult(graph, eval, std::move(cur), cur_time,
+                        conventional_time);
+}
+
+SearchResult SearchSchedule(const TrainGraph& graph, const GpuSpec& gpu,
+                            const SystemProfile& profile,
+                            const SearchOptions& options) {
+  OOBP_CHECK_GE(options.beam, 1);
+  OOBP_CHECK_GE(options.budget, 0);
+  OOBP_CHECK_GE(options.memory_cap_factor, 1.0);
+  ScheduleEvaluator eval(&graph.model(), gpu, profile);
+  const IterationSchedule conventional = ConventionalIteration(graph);
+  const TimeNs conventional_time = eval.IterationTime(conventional);
+  const int64_t cap = static_cast<int64_t>(options.memory_cap_factor *
+                                           eval.PeakMemory(conventional));
+
+  // Global best starts at the in-order baseline, so the search can never
+  // return something worse; strict-improvement acceptance everywhere keeps
+  // the portfolio monotone in `beam` (every trajectory is independent, and
+  // beam B+1 evaluates a superset of beam B's candidates).
+  Genotype best = ConventionalGenotype(graph);
+  TimeNs best_time = conventional_time;
+
+  {
+    SearchContext ctx{&graph, &eval, cap, options.budget};
+    Genotype cur = ConventionalGenotype(graph);
+    TimeNs cur_time = conventional_time;
+    GreedyTrajectory(ctx, cur, cur_time);
+    if (cur_time < best_time) {
+      best = std::move(cur);
+      best_time = cur_time;
+    }
+  }
+
+  if (options.beam > 1) {
+    // Seeded trajectories start from the heuristic's own point — the search
+    // refines MakeOooSchedule rather than rediscovering it.
+    const JointScheduleResult ooo =
+        SnapshotOooSchedule(graph, gpu, profile, options.memory_cap_factor);
+    const Genotype ooo_genotype = DeriveGenotype(graph, ooo.schedule);
+    for (int j = 1; j < options.beam; ++j) {
+      SearchContext ctx{&graph, &eval, cap, options.budget};
+      Rng rng(options.seed * 0x9E3779B97F4A7C15ULL +
+              static_cast<uint64_t>(j));
+      Genotype cur = ooo_genotype;
+      TimeNs cur_time = kRejected;
+      if (ctx.evals_left > 0) cur_time = ctx.Evaluate(cur);
+      if (cur_time == kRejected) {
+        // Over the memory cap after re-decoding (or zero budget): restart
+        // from the always-admissible conventional point.
+        cur = ConventionalGenotype(graph);
+        cur_time = conventional_time;
+      }
+      RandomTrajectory(ctx, rng, cur, cur_time);
+      if (cur_time < best_time) {
+        best = std::move(cur);
+        best_time = cur_time;
+      }
+    }
+  }
+  return AssembleResult(graph, eval, std::move(best), best_time,
+                        conventional_time);
+}
+
+JointScheduleResult SnapshotSearchSchedule(const TrainGraph& graph,
+                                           const GpuSpec& gpu,
+                                           const SystemProfile& profile,
+                                           const SearchOptions& options) {
+  const uint64_t key =
+      SearchKeyHash(graph.model(), gpu, profile, options.beam, options.seed,
+                    options.budget, options.memory_cap_factor);
+  if (std::shared_ptr<const SnapshotReader> reader = ActiveSnapshot()) {
+    if (std::optional<JointScheduleResult> hit = reader->FindSchedule(key)) {
+      return *std::move(hit);
+    }
+  }
+  SearchResult searched = SearchSchedule(graph, gpu, profile, options);
+  JointScheduleResult result;
+  result.schedule = std::move(searched.schedule);
+  result.peak_memory = searched.peak_memory;
+  RecordSnapshotSchedule(key, result, gpu, profile);
+  return result;
+}
+
+}  // namespace oobp

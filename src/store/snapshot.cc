@@ -92,6 +92,19 @@ uint64_t ScheduleKeyHash(const NnModel& model, const GpuSpec& gpu,
   return acc.Digest();
 }
 
+uint64_t SearchKeyHash(const NnModel& model, const GpuSpec& gpu,
+                       const SystemProfile& profile, int beam, uint64_t seed,
+                       int budget, double memory_cap_factor) {
+  HashAccumulator acc(/*seed=*/0x73726368u);  // "srch"
+  acc.U64(ModelContentHash(model));
+  acc.Str(CostModelCacheKey(gpu, profile));
+  acc.I32(beam);
+  acc.U64(seed);
+  acc.I32(budget);
+  acc.F64(memory_cap_factor);
+  return acc.Digest();
+}
+
 SnapshotActivation ActivateSnapshot(const std::string& path,
                                     uint64_t expected_registry_hash,
                                     bool check_registry, std::string* error) {
@@ -156,6 +169,16 @@ JointScheduleResult SnapshotOooSchedule(const TrainGraph& graph,
                                        SnapshotCostEntry{gpu, profile});
   }
   return result;
+}
+
+void RecordSnapshotSchedule(uint64_t key, const JointScheduleResult& result,
+                            const GpuSpec& gpu, const SystemProfile& profile) {
+  SnapshotState& state = State();
+  std::lock_guard<std::mutex> lock(state.mu);
+  if (!state.recording) return;
+  state.recorded.schedules.emplace(key, result);
+  state.recorded.cost_models.emplace(CostModelCacheKey(gpu, profile),
+                                     SnapshotCostEntry{gpu, profile});
 }
 
 void StartSnapshotRecording(uint64_t registry_hash) {

@@ -48,6 +48,14 @@ uint64_t ScheduleKeyHash(const NnModel& model, const GpuSpec& gpu,
                          const SystemProfile& profile,
                          double memory_cap_factor);
 
+// Content-addressed identity of one SearchSchedule call (src/search): the
+// scheduling problem plus every knob the search result depends on. Lives in
+// the same key space as ScheduleKeyHash (distinct hash seed), so searched
+// schedules share the snapshot's kSchedules section.
+uint64_t SearchKeyHash(const NnModel& model, const GpuSpec& gpu,
+                       const SystemProfile& profile, int beam, uint64_t seed,
+                       int budget, double memory_cap_factor);
+
 enum class SnapshotActivation {
   kActive,  // validated, hooks installed
   kStale,   // valid file, registry hash differs — silent fallback
@@ -78,6 +86,13 @@ JointScheduleResult SnapshotOooSchedule(const TrainGraph& graph,
                                         const GpuSpec& gpu,
                                         const SystemProfile& profile,
                                         double memory_cap_factor = 1.1);
+
+// Captures an externally computed schedule under `key` when recording (the
+// hook SnapshotOooSchedule uses internally, exposed for higher layers such
+// as src/search that compute their own JointScheduleResult-shaped records).
+// Also pins the (gpu, profile) cost-model point. No-op when not recording.
+void RecordSnapshotSchedule(uint64_t key, const JointScheduleResult& result,
+                            const GpuSpec& gpu, const SystemProfile& profile);
 
 // Recording: between Start and Take, every model built through CachedModel,
 // every cost-model point built through CachedCostModel, and every schedule

@@ -27,6 +27,7 @@
 #include "src/runtime/single_gpu_engine.h"
 #include "src/serve/fleet_engine.h"
 #include "src/serve/serve_engine.h"
+#include "src/search/search.h"
 #include "src/sim/engine.h"
 #include "src/store/snapshot.h"
 #include "src/validate/schedule_checker.h"
@@ -604,6 +605,90 @@ void FleetFuzz(Rng& rng, uint64_t seed, std::vector<std::string>* errors) {
   }
 }
 
+// ---------------------------------------------------------------------------
+// Search-based scheduler baseline (src/search): machine-verified schedules,
+// never-worse-than-in-order, determinism, beam monotonicity, and a
+// differential searched-vs-MakeOooSchedule run under the SimValidator.
+
+void SearchFuzz(Rng& rng, uint64_t seed, std::vector<std::string>* errors) {
+  auto fail = [errors, seed](std::string msg) {
+    errors->push_back(StrFormat("seed %llu: search fuzz: ",
+                                static_cast<unsigned long long>(seed)) +
+                      std::move(msg));
+  };
+
+  const GpuSpec gpu = RandomGpuSpec(rng);
+  const SystemProfile profile = RandomProfile(rng);
+  const NnModel model = RandomModel(rng);
+  const TrainGraph graph(&model);
+
+  SearchOptions options;
+  options.beam = 1 + static_cast<int>(rng.NextBelow(2));      // 1 or 2
+  options.seed = rng.NextU64();
+  options.budget = 8 + static_cast<int>(rng.NextBelow(9));    // 8..16
+
+  const SearchResult searched = SearchSchedule(graph, gpu, profile, options);
+
+  // Every emitted schedule must pass the full checker gate.
+  const ScheduleCheckReport check =
+      CheckIterationSchedule(graph, searched.schedule);
+  if (!check.ok()) {
+    fail("searched schedule: " + check.ToString());
+  }
+
+  // The search can never lose to its own starting point.
+  if (searched.best_time > searched.conventional_time) {
+    fail(StrFormat("searched time %lld worse than conventional %lld",
+                   static_cast<long long>(searched.best_time),
+                   static_cast<long long>(searched.conventional_time)));
+  }
+
+  // Determinism: identical options => byte-identical schedule and score.
+  const SearchResult again = SearchSchedule(graph, gpu, profile, options);
+  if (again.schedule.ToString() != searched.schedule.ToString() ||
+      again.best_time != searched.best_time) {
+    fail("identical seed+budget produced a different schedule");
+  }
+
+  // Metamorphic: enlarging the beam never worsens the best score (the
+  // portfolio with beam B+1 evaluates a superset of beam B's candidates).
+  SearchOptions wider = options;
+  wider.beam = options.beam + 1;
+  const SearchResult wide = SearchSchedule(graph, gpu, profile, wider);
+  if (wide.best_time > searched.best_time) {
+    fail(StrFormat("beam %d best %lld worse than beam %d best %lld",
+                   wider.beam, static_cast<long long>(wide.best_time),
+                   options.beam, static_cast<long long>(searched.best_time)));
+  }
+
+  // Differential execution: searched vs MakeOooSchedule end to end under
+  // the invariant validator — both are dependency-true permutations, so
+  // both must run clean.
+  const JointScheduleResult ooo = MakeOooSchedule(graph, gpu, profile);
+  SimValidator validator;
+  TrainMetrics searched_metrics;
+  TrainMetrics ooo_metrics;
+  {
+    ValidationScope scope(&validator);
+    SingleGpuConfig cfg;
+    cfg.gpu = gpu;
+    cfg.profile = profile;
+    cfg.precompiled_issue = true;
+    cfg.measured_iterations = 2;
+    const SingleGpuEngine engine(cfg);
+    searched_metrics = engine.Run(model, searched.schedule);
+    ooo_metrics = engine.Run(model, ooo.schedule);
+  }
+  if (!validator.ok()) {
+    fail("differential run: " + validator.Summary());
+  }
+  if (searched_metrics.iteration_time <= 0 || ooo_metrics.iteration_time <= 0) {
+    fail(StrFormat("non-positive iteration time (searched %lld, ooo %lld)",
+                   static_cast<long long>(searched_metrics.iteration_time),
+                   static_cast<long long>(ooo_metrics.iteration_time)));
+  }
+}
+
 }  // namespace
 
 void FuzzOneSeed(uint64_t seed, bool include_serve, const std::string& checks,
@@ -731,6 +816,9 @@ void FuzzOneSeed(uint64_t seed, bool include_serve, const std::string& checks,
   }
   if (on("fleet") && include_serve && seed % 2 == 0) {
     FleetFuzz(rng, seed, errors);
+  }
+  if (on("search") && seed % 2 == 1) {
+    SearchFuzz(rng, seed, errors);
   }
 }
 
@@ -862,7 +950,7 @@ int FuzzMain(int argc, char** argv) {
                    "  --jobs=N       seeds per thread pool; 0 = all cores\n"
                    "  --checks=GLOBS comma-separated globs over families\n"
                    "                 schedule,memory,train,dag,link,serve,"
-                   "fleet\n"
+                   "fleet,search\n"
                    "  --snapshot[=PATH] activate a snapshot (model-cache\n"
                    "                 lookups route through it) so corruption\n"
                    "                 and lookup paths run under sanitizers\n");

@@ -23,7 +23,14 @@
 //     replica (single-request batches, same trace) never worsens the mean
 //     queueing delay, plus a sharded-simulation differential: the same
 //     fleet re-run at sim_threads=2 must reproduce the single-engine
-//     reference metrics exactly (see src/sim/sharded.h).
+//     reference metrics exactly (see src/sim/sharded.h);
+//   * on a subset of seeds, fuzzes the search-based scheduler baseline
+//     (src/search): every searched schedule must pass the full
+//     schedule_checker gate, never score worse than the in-order baseline,
+//     reproduce byte-identically for identical options, never get worse
+//     when the beam is enlarged (portfolio monotonicity), and run clean in
+//     a differential searched-vs-MakeOooSchedule execution under the
+//     SimValidator.
 //
 // All randomness flows from the seed through the repo's splitmix64 Rng, so
 // a failure reproduces with `oobp fuzz --seeds 1 --base-seed <seed>`.
@@ -47,7 +54,8 @@ struct FuzzOptions {
   // and the merged report is byte-identical for any jobs value.
   int jobs = 1;
   // Comma-separated glob list over check families: "schedule", "memory",
-  // "train", "dag", "link", "serve", "fleet". A skipped family also skips
+  // "train", "dag", "link", "serve", "fleet", "search". A skipped family
+  // also skips
   // its random draws, so repros must pass the same --checks value as the
   // failing run.
   std::string checks = "*";

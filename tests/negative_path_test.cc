@@ -1,7 +1,9 @@
 // Negative-path coverage for the user-facing entry points: malformed
 // schedule files and bad runner CLI invocations must produce a clean error
 // (nullopt / nonzero exit + message on stderr), never a crash or a silently
-// half-parsed schedule.
+// half-parsed schedule — plus proof that CheckIterationSchedule (the gate
+// every searched schedule passes through) actually rejects broken
+// schedules, not just accepts good ones.
 
 #include <gtest/gtest.h>
 
@@ -14,6 +16,7 @@
 #include "src/nn/layer_builder.h"
 #include "src/nn/train_graph.h"
 #include "src/runner/runner.h"
+#include "src/validate/schedule_checker.h"
 
 namespace oobp {
 namespace {
@@ -70,6 +73,67 @@ TEST(ScheduleIoNegativeTest, RoundTripPreservesOps) {
 TEST(ScheduleIoNegativeTest, MissingFileReturnsNullopt) {
   EXPECT_FALSE(
       ReadScheduleFile("/nonexistent/dir/schedule.txt").has_value());
+}
+
+// The tiny model's conventional iteration is
+//   [dO_1, dW_1, U_1, dO_0, dW_0, U_0, F_0, F_1]
+// (both layers have parameters), so indices below are positional.
+
+TEST(ScheduleCheckerNegativeTest, DuplicatedOpRejected) {
+  NnModel model;
+  IterationSchedule sched = TinySchedule(&model);
+  const TrainGraph graph(&model);
+  ASSERT_TRUE(CheckIterationSchedule(graph, sched).ok());
+  sched.ops.push_back(sched.ops[0]);  // second dO_1
+  const ScheduleCheckReport report = CheckIterationSchedule(graph, sched);
+  EXPECT_FALSE(report.ok());
+  EXPECT_NE(report.ToString().find("duplicate dO[1]"), std::string::npos)
+      << report.ToString();
+}
+
+TEST(ScheduleCheckerNegativeTest, CrossStreamWaitOnSubStreamOpRejected) {
+  // A wait edge must target a main-stream op: sub-stream completion order
+  // is not observable, so "wait for a sub-stream op" is a dependency
+  // inversion the engines cannot honor.
+  NnModel model;
+  IterationSchedule sched = TinySchedule(&model);
+  const TrainGraph graph(&model);
+  sched.ops[1].stream = kSubStream;    // dW_1 moved off the main stream
+  sched.ops[2].wait_for_index = 1;     // U_1 "waits" on it
+  const ScheduleCheckReport report = CheckIterationSchedule(graph, sched);
+  EXPECT_FALSE(report.ok());
+  EXPECT_NE(report.ToString().find("targets a non-main-stream op"),
+            std::string::npos)
+      << report.ToString();
+}
+
+TEST(ScheduleCheckerNegativeTest, CrossStreamProducerInversionRejected) {
+  // dW_0 hoisted onto the sub stream *before* its producer dO_1 ran: the
+  // classic cross-stream inversion a buggy search move could emit.
+  NnModel model;
+  IterationSchedule sched = TinySchedule(&model);
+  const TrainGraph graph(&model);
+  ScheduledOp wgrad0 = sched.ops[4];
+  wgrad0.stream = kSubStream;
+  sched.ops.erase(sched.ops.begin() + 4);
+  sched.ops.insert(sched.ops.begin(), wgrad0);
+  const ScheduleCheckReport report = CheckIterationSchedule(graph, sched);
+  EXPECT_FALSE(report.ok());
+  EXPECT_NE(report.ToString().find("dW[0] at 0 precedes its producer dO[1]"),
+            std::string::npos)
+      << report.ToString();
+}
+
+TEST(ScheduleCheckerNegativeTest, ForwardPointingWaitRejected) {
+  NnModel model;
+  IterationSchedule sched = TinySchedule(&model);
+  const TrainGraph graph(&model);
+  sched.ops[0].wait_for_index = 3;  // dO_1 waiting on an op that runs later
+  const ScheduleCheckReport report = CheckIterationSchedule(graph, sched);
+  EXPECT_FALSE(report.ok());
+  EXPECT_NE(report.ToString().find("does not point backwards"),
+            std::string::npos)
+      << report.ToString();
 }
 
 int CallBenchMain(std::vector<std::string> args) {

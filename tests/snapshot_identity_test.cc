@@ -23,6 +23,7 @@
 #include "src/runner/paper_scenarios.h"
 #include "src/runner/registry.h"
 #include "src/runner/runner.h"
+#include "src/runner/search_scenarios.h"
 #include "src/runner/serve_scenarios.h"
 #include "src/runner/snapshot_build.h"
 #include "src/runner/sweep_scenarios.h"
@@ -44,6 +45,7 @@ void RegisterAll() {
   RegisterSweepScenarios();
   RegisterFleetScenarios();
   RegisterClusterScenarios();
+  RegisterSearchScenarios();
 }
 
 std::string ReadFileBytes(const std::string& path) {
@@ -147,7 +149,7 @@ TEST(SnapshotIdentityTest, FullGoldenSweepIsByteIdenticalUnderJobs4) {
   for (const ScenarioRun& run : warm.runs) {
     compared += run.golden_compared ? 1 : 0;
   }
-  EXPECT_EQ(compared, 40);
+  EXPECT_EQ(compared, 43);
 }
 
 TEST(SnapshotIdentityTest, ShardedEnginesAreByteIdenticalUnderSimThreads8) {

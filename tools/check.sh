@@ -1,5 +1,5 @@
 #!/usr/bin/env bash
-# One-shot health check, eight tiers:
+# One-shot health check, nine tiers:
 #   1. Release build: unit-test tier + unit-time toy scenarios vs goldens.
 #   2. ASan+UBSan build (-DOOBP_SANITIZE=ON): unit-test tier under the
 #      sanitizers (catches lifetime bugs in the event slab / callback moves).
@@ -42,6 +42,14 @@
 #      the store-labeled ctest tier (format roundtrip + every corruption
 #      path) on the ASan build, and `snapshot startup`, which emits the
 #      cold-vs-snapshot BENCH_startup.json timings (see DESIGN.md §12).
+#   9. Search baseline: search-labeled ctest tier (the 200-seed searched-
+#      schedule property battery + the search_gap_* golden/byte-identity
+#      tests), the search_gap_* scenarios replayed against their goldens
+#      with and without the snapshot from tier 8 (the optimality-gap
+#      metrics must be byte-identical either way), and 200 ASan seeds of
+#      the search fuzz family (differential searched-vs-heuristic under
+#      the SimValidator, beam-monotonicity metamorphic; every second seed
+#      runs — see DESIGN.md §13).
 #
 # Tier matrix (tier x build):
 #   tier 1, 3, 4, 5 -> Release build    (speed; golden gates are exact)
@@ -49,6 +57,8 @@
 #   tier 7          -> TSan build       (data races in the sharded coordinator)
 #   tier 8          -> Release (build/verify/replay/startup) + ASan (store
 #                      tests; mmap + validation ladder under the sanitizers)
+#   tier 9          -> Release (search goldens + gap-report replay) + ASan
+#                      (search fuzz smoke)
 #
 # Usage: tools/check.sh [build-dir [asan-build-dir [tsan-build-dir]]]
 set -euo pipefail
@@ -137,5 +147,18 @@ ctest --test-dir "${ASAN_DIR}" -L store --output-on-failure
 
 "${BUILD_DIR}/tools/oobp" snapshot startup --path="${SNAPSHOT}" \
     --out="${BUILD_DIR}"
+
+# --- Tier 9: search baseline: goldens + gap-report replay + fuzz smoke ----
+ctest --test-dir "${BUILD_DIR}" -L search --output-on-failure
+
+"${BUILD_DIR}/tools/oobp" bench --filter 'search_gap_*' --jobs 0 \
+    --out "${BUILD_DIR}" --golden "${REPO_ROOT}/bench/golden"
+
+"${BUILD_DIR}/tools/oobp" bench --filter 'search_gap_*' --jobs 0 \
+    --snapshot="${SNAPSHOT}" \
+    --out "${BUILD_DIR}" --golden "${REPO_ROOT}/bench/golden"
+
+"${ASAN_DIR}/tools/oobp" fuzz --seeds 200 --base-seed 1 --jobs 0 \
+    --checks=search
 
 echo "check.sh: all green"

@@ -12,6 +12,13 @@
 //                     [--strategy=gpipe|dapple|pipedream|megatron|ooo1|ooo2]
 //   oobp_sim hybrid   --model=bert24 --gpus=8 --replicas=2 [--k=0]
 //   oobp_sim replay   --model=densenet121 --schedule=<file>
+//   oobp_sim search   --model=densenet121 --batch=32 [--gpu=v100|p100|titanxp]
+//                     [--beam=N] [--seed=N] [--budget=N] [--snapshot[=<path>]]
+//                     [--export-schedule=<file>]
+//                     (search-based scheduler baseline, see src/search;
+//                     prints the heuristic-vs-searched optimality gap and
+//                     machine-verifies every schedule with
+//                     CheckIterationSchedule)
 //   oobp_sim bench    [--list] [--filter=<glob>] [--jobs=N] [--out=<dir>]
 //                     [--golden[=<dir>]] [--perf] [--check[=<baseline>]]
 //                     [--param k=v]  (see src/runner; --check gates perf
@@ -48,7 +55,11 @@
 #include "src/runtime/hybrid_engine.h"
 #include "src/runtime/pipeline_engine.h"
 #include "src/runtime/single_gpu_engine.h"
+#include "src/search/evaluator.h"
+#include "src/search/search.h"
+#include "src/store/snapshot.h"
 #include "src/validate/fuzzer.h"
+#include "src/validate/schedule_checker.h"
 
 namespace oobp {
 namespace {
@@ -348,6 +359,79 @@ int RunHybrid(const Flags& flags) {
   return 0;
 }
 
+int RunSearch(const Flags& flags) {
+  const NnModel model = MakeModel(flags.Get("model", "densenet121"),
+                                  flags.GetInt("batch", 32),
+                                  flags.GetInt("image", 224));
+  const TrainGraph graph(&model);
+  const GpuSpec gpu = MakeGpu(flags.Get("gpu", "v100"));
+  const SystemProfile profile = SystemProfile::TensorFlowXla();
+
+  const std::string snapshot = flags.Get("snapshot", "");
+  if (!snapshot.empty()) {
+    // Like `fuzz --snapshot`: skip the registry check (this mode registers
+    // no scenarios); a stored search result with a matching content key is
+    // reused, everything else is computed in-process.
+    const std::string path = snapshot == "1" ? kDefaultSnapshotPath : snapshot;
+    std::string error;
+    if (ActivateSnapshot(path, /*expected_registry_hash=*/0,
+                         /*check_registry=*/false,
+                         &error) == SnapshotActivation::kError) {
+      std::fprintf(stderr, "search: snapshot: %s\n", error.c_str());
+      return 2;
+    }
+  }
+
+  SearchOptions options;
+  options.beam = flags.GetInt("beam", 4);
+  options.seed = static_cast<uint64_t>(flags.GetInt("seed", 1));
+  options.budget = flags.GetInt("budget", 400);
+
+  ScheduleEvaluator eval(&model, gpu, profile);
+  const TimeNs conventional_time =
+      eval.IterationTime(ConventionalIteration(graph));
+  const JointScheduleResult ooo = SnapshotOooSchedule(graph, gpu, profile);
+  const TimeNs ooo_time = eval.IterationTime(ooo.schedule);
+  const JointScheduleResult searched =
+      SnapshotSearchSchedule(graph, gpu, profile, options);
+  const TimeNs search_time = eval.IterationTime(searched.schedule);
+
+  // Machine-verify both schedules; a violation is a hard failure.
+  const std::pair<const char*, const IterationSchedule*> checked[] = {
+      {"ooo", &ooo.schedule}, {"searched", &searched.schedule}};
+  for (const auto& [label, schedule] : checked) {
+    const ScheduleCheckReport report = CheckIterationSchedule(graph, *schedule);
+    if (!report.ok()) {
+      std::fprintf(stderr, "search: %s schedule failed verification:\n%s\n",
+                   label, report.ToString().c_str());
+      return 1;
+    }
+  }
+
+  std::printf("schedule search: %s on %s (beam=%d seed=%d budget=%d)\n",
+              model.name.c_str(), gpu.name.c_str(), options.beam,
+              static_cast<int>(options.seed), options.budget);
+  std::printf("conventional:  %.3f ms/iter\n", ToMs(conventional_time));
+  std::printf("ooo heuristic: %.3f ms/iter  (%.3fx)\n", ToMs(ooo_time),
+              static_cast<double>(conventional_time) / ooo_time);
+  std::printf("searched:      %.3f ms/iter  (%.3fx)\n", ToMs(search_time),
+              static_cast<double>(conventional_time) / search_time);
+  std::printf("optimality gap: %.2f%% (heuristic above searched best)\n",
+              100.0 * (static_cast<double>(ooo_time) - search_time) /
+                  static_cast<double>(search_time));
+  std::printf("peak memory:   %.0f MB (searched), %.0f MB (ooo)\n",
+              searched.peak_memory / 1e6, ooo.peak_memory / 1e6);
+  std::printf("schedules verified: CheckIterationSchedule ok\n");
+
+  const std::string export_path = flags.Get("export-schedule", "");
+  if (!export_path.empty() &&
+      WriteScheduleFile(export_path, searched.schedule, model.name,
+                        model.num_layers())) {
+    std::printf("schedule written to %s\n", export_path.c_str());
+  }
+  return 0;
+}
+
 int Usage() {
   std::fprintf(
       stderr,
@@ -363,6 +447,9 @@ int Usage() {
       "  hybrid    pipeline stages replicated into data-parallel groups\n"
       "  replay    re-run an exported schedule artifact against the\n"
       "            simulator and diff the timings\n"
+      "  search    seeded beam/local-search scheduler baseline over op\n"
+      "            orderings and stream assignments; reports the\n"
+      "            MakeOooSchedule-vs-searched optimality gap\n"
       "  bench     scenario runner: paper figures, serving, sweeps, fleet,\n"
       "            cluster; golden comparison and the perf harness\n"
       "            (`bench --help` lists its flags)\n"
@@ -400,6 +487,9 @@ int main(int argc, char** argv) {
   }
   if (mode == "replay") {
     return oobp::RunReplay(flags);
+  }
+  if (mode == "search") {
+    return oobp::RunSearch(flags);
   }
   if (mode == "bench") {
     return oobp::BenchMain(argc, argv);
