@@ -1,8 +1,38 @@
 #include "src/core/schedule.h"
 
+#include "src/common/check.h"
 #include "src/common/str_util.h"
 
 namespace oobp {
+
+void SchedulePrefixState::Reset(int num_layers) {
+  OOBP_CHECK_GE(num_layers, 0);
+  next_pos = 0;
+  fwd_pos.assign(static_cast<size_t>(num_layers), -1);
+  dgrad_pos.assign(static_cast<size_t>(num_layers), -1);
+  wgrad_pos.assign(static_cast<size_t>(num_layers), -1);
+  update_pos.assign(static_cast<size_t>(num_layers), -1);
+}
+
+void SchedulePrefixState::Advance(const ScheduledOp& scheduled) {
+  const size_t i = static_cast<size_t>(scheduled.op.layer);
+  OOBP_CHECK_LT(i, fwd_pos.size());
+  switch (scheduled.op.type) {
+    case TrainOpType::kForward:
+      fwd_pos[i] = next_pos;
+      break;
+    case TrainOpType::kOutputGrad:
+      dgrad_pos[i] = next_pos;
+      break;
+    case TrainOpType::kWeightGrad:
+      wgrad_pos[i] = next_pos;
+      break;
+    case TrainOpType::kWeightUpdate:
+      update_pos[i] = next_pos;
+      break;
+  }
+  ++next_pos;
+}
 
 std::vector<TrainOp> IterationSchedule::StreamOps(int stream) const {
   std::vector<TrainOp> out;

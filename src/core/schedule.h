@@ -50,6 +50,26 @@ struct IterationSchedule {
 // updates right after each dW, then the forward pass.
 IterationSchedule ConventionalIteration(const TrainGraph& graph);
 
+// Role cursor over a schedule prefix: for each layer, the index (into
+// IterationSchedule::ops) of that layer's F / dO / dW / U op among the ops
+// consumed so far, -1 while unseen. This is the per-position state the
+// issue-plan dependency rules (BuildTrainIssuePlan) and the incremental
+// analytic evaluator (src/search/fast_eval.h) walk a schedule with; because
+// it depends only on the prefix [0, next_pos), a snapshot taken every few
+// positions lets a consumer resume mid-schedule after a point mutation and
+// re-derive only the suffix.
+struct SchedulePrefixState {
+  int next_pos = 0;  // ops [0, next_pos) have been consumed
+  std::vector<int32_t> fwd_pos;
+  std::vector<int32_t> dgrad_pos;
+  std::vector<int32_t> wgrad_pos;
+  std::vector<int32_t> update_pos;
+
+  void Reset(int num_layers);
+  // Consumes one more op (the caller passes ops[next_pos]).
+  void Advance(const ScheduledOp& scheduled);
+};
+
 }  // namespace oobp
 
 #endif  // OOBP_SRC_CORE_SCHEDULE_H_

@@ -11,6 +11,7 @@
 #include "src/common/str_util.h"
 #include "src/runner/json.h"
 #include "src/runner/registry.h"
+#include "src/search/fast_eval.h"
 #include "src/sim/engine.h"
 #include "src/store/snapshot.h"
 
@@ -30,6 +31,8 @@ struct PerfRow {
   double wall_mean_ms = 0.0;
   uint64_t events = 0;  // per single run
   double events_per_sec = 0.0;
+  uint64_t analytic_evals = 0;  // per single run; 0 off the search fast path
+  double analytic_per_sec = 0.0;
   bool ok = true;
   std::string error;
 };
@@ -46,11 +49,15 @@ bool MeasureScenario(const Scenario& scenario, const PerfOptions& opts,
     double sum_s = 0.0;
     for (int i = 0; i < opts.repeats; ++i) {
       const uint64_t events_before = SimEngine::TotalProcessedEvents();
+      const uint64_t analytic_before =
+          FastScheduleEvaluator::TotalAnalyticEvals();
       const auto start = Clock::now();
       scenario.run(opts.params);
       const double s =
           std::chrono::duration<double>(Clock::now() - start).count();
       row->events = SimEngine::TotalProcessedEvents() - events_before;
+      row->analytic_evals =
+          FastScheduleEvaluator::TotalAnalyticEvals() - analytic_before;
       sum_s += s;
       if (best_s < 0.0 || s < best_s) {
         best_s = s;
@@ -60,6 +67,9 @@ bool MeasureScenario(const Scenario& scenario, const PerfOptions& opts,
     row->wall_mean_ms = sum_s / opts.repeats * 1e3;
     row->events_per_sec =
         best_s > 0.0 ? static_cast<double>(row->events) / best_s : 0.0;
+    row->analytic_per_sec =
+        best_s > 0.0 ? static_cast<double>(row->analytic_evals) / best_s
+                     : 0.0;
     return true;
   } catch (const std::exception& e) {
     row->ok = false;
@@ -132,6 +142,33 @@ PerfCheckReport CheckPerfBaseline(const std::string& baseline_json,
           m.scenario.c_str(), static_cast<unsigned long long>(expect),
           static_cast<unsigned long long>(m.events)));
     }
+    // Analytic-evaluator gates (search fast path). The count is
+    // bit-deterministic, so any drift from the baseline hard-fails in both
+    // directions — fewer analytic evals is not an improvement, it means the
+    // search explored different candidates. The throughput floor is the
+    // evals/sec contract of the two-tier pipeline; wall-clock dependent, so
+    // only Release builds (wall_bands) enforce it.
+    if (const JsonValue* analytic = entry->Find("analytic_evals");
+        analytic != nullptr && analytic->is_number()) {
+      const uint64_t expect_evals =
+          static_cast<uint64_t>(analytic->number_value());
+      if (m.analytic_evals != expect_evals) {
+        report.failures.push_back(StrFormat(
+            "%s: analytic eval count drifted %llu -> %llu (deterministic; "
+            "re-derive the baseline only with a deliberate search change)",
+            m.scenario.c_str(), static_cast<unsigned long long>(expect_evals),
+            static_cast<unsigned long long>(m.analytic_evals)));
+      }
+    }
+    if (const JsonValue* floor = entry->Find("analytic_per_sec_floor");
+        wall_bands && floor != nullptr && floor->is_number() &&
+        floor->number_value() > 0.0 &&
+        m.analytic_per_sec < floor->number_value()) {
+      report.failures.push_back(StrFormat(
+          "%s: analytic evaluator throughput %.0f evals/s below the floor "
+          "%.0f evals/s",
+          m.scenario.c_str(), m.analytic_per_sec, floor->number_value()));
+    }
     const JsonValue* wall = entry->Find("wall_ms_best");
     if (wall_bands && wall != nullptr && wall->is_number() &&
         wall->number_value() > 0.0 &&
@@ -179,6 +216,11 @@ int RunPerf(const PerfOptions& opts) {
                     r.scenario->name.c_str(), r.wall_best_ms, r.wall_mean_ms,
                     static_cast<unsigned long long>(r.events),
                     r.events_per_sec);
+        if (r.analytic_evals > 0) {
+          std::printf("perf %-24s %38llu analytic evals  %10.0f evals/s\n",
+                      "", static_cast<unsigned long long>(r.analytic_evals),
+                      r.analytic_per_sec);
+        }
       } else {
         std::printf("perf %-24s FAILED: %s\n", r.scenario->name.c_str(),
                     r.error.c_str());
@@ -201,6 +243,11 @@ int RunPerf(const PerfOptions& opts) {
     entry.Set("wall_ms_mean", JsonValue::Number(r.wall_mean_ms));
     entry.Set("events", JsonValue::Number(static_cast<double>(r.events)));
     entry.Set("events_per_sec", JsonValue::Number(r.events_per_sec));
+    if (r.analytic_evals > 0) {
+      entry.Set("analytic_evals",
+                JsonValue::Number(static_cast<double>(r.analytic_evals)));
+      entry.Set("analytic_per_sec", JsonValue::Number(r.analytic_per_sec));
+    }
     scenarios.Set(r.scenario->name, std::move(entry));
     total_best_ms += r.wall_best_ms;
     total_events += r.events;
@@ -266,7 +313,8 @@ int RunPerf(const PerfOptions& opts) {
     std::vector<PerfSample> samples;
     for (const PerfRow& r : rows) {
       if (r.ok) {
-        samples.push_back({r.scenario->name, r.events, r.wall_best_ms});
+        samples.push_back({r.scenario->name, r.events, r.wall_best_ms,
+                           r.analytic_evals, r.analytic_per_sec});
       }
     }
     const bool wall_bands = std::string(OOBP_BUILD_TYPE) == "Release";

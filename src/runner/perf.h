@@ -52,9 +52,12 @@ struct PerfOptions {
   // tracks. The fleet/cluster scenarios honour --sim-threads, so the same
   // suite measures the sharded coordinator at any worker count against the
   // same event-count baseline (counts are thread-invariant by design).
+  // search_eval_perf tracks the analytic schedule evaluator (src/search):
+  // its throughput is measured in analytic evaluations/sec rather than
+  // simulator events/sec and gated by the baseline's floor entry.
   std::string filter =
       "fig07_*,fig10_*,fig13_*,serve_*,steady_*,fleet_rr_64,"
-      "fleet_corun_ooo_64,cluster_ps_*";
+      "fleet_corun_ooo_64,cluster_ps_*,search_eval_perf";
   int warmup = 1;                  // untimed runs per scenario
   int repeats = 3;                 // timed runs per scenario
   std::string output_dir = ".";    // BENCH_sim_perf.json lands here
@@ -71,6 +74,10 @@ struct PerfSample {
   std::string scenario;
   uint64_t events = 0;      // deterministic event count of a single run
   double wall_ms_best = 0;  // fastest timed repeat
+  // Analytic schedule evaluations (FastScheduleEvaluator) of a single run;
+  // 0 for scenarios that never touch the search's fast path.
+  uint64_t analytic_evals = 0;
+  double analytic_per_sec = 0;  // analytic_evals / best wall time
 };
 
 // Outcome of a baseline comparison. `failures` break the build (exit 1);
@@ -90,10 +97,16 @@ struct PerfCheckReport {
 //   }
 //
 // Hard failures: unparsable baseline; measured events above the baseline
-// count. Notices: measured events below baseline (improvement — re-seed the
-// baseline), scenarios missing on either side, and (only when `wall_bands`)
-// wall time above baseline * (1 + wall_band_frac). Exposed separately from
-// RunPerf so the gate's policy is unit-testable without timing anything.
+// count; measured analytic_evals differing from a baseline "analytic_evals"
+// entry (the count is bit-deterministic, so any drift means the search
+// explored different candidates); and — only when `wall_bands`, i.e. on
+// Release builds — analytic throughput below the baseline's
+// "analytic_per_sec_floor" (the ISSUE-10 evals/sec floor; wall-clock
+// dependent, so sanitizer builds skip it). Notices: measured events below
+// baseline (improvement — re-seed the baseline), scenarios missing on
+// either side, and (only when `wall_bands`) wall time above
+// baseline * (1 + wall_band_frac). Exposed separately from RunPerf so the
+// gate's policy is unit-testable without timing anything.
 PerfCheckReport CheckPerfBaseline(const std::string& baseline_json,
                                   const std::vector<PerfSample>& measured,
                                   bool wall_bands);

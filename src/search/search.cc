@@ -1,11 +1,16 @@
 #include "src/search/search.h"
 
 #include <algorithm>
+#include <cmath>
 #include <limits>
 #include <utility>
+#include <vector>
 
 #include "src/common/check.h"
 #include "src/common/rng.h"
+#include "src/search/candidate_cache.h"
+#include "src/search/fast_eval.h"
+#include "src/sim/worker_pool.h"
 #include "src/store/snapshot.h"
 
 namespace oobp {
@@ -27,20 +32,122 @@ int ClampSlot(const TrainGraph& graph, int layer, int slot) {
   return std::clamp(slot, MinSlot(graph, layer), MaxSlot(graph, layer));
 }
 
-// Shared state of one search: scoring, memory cap, and the per-trajectory
-// evaluation budget. Memory-rejected candidates are free (the memory model
-// is closed-form); only simulator runs consume budget.
+// Allocation-free DecodeGenotype: same op sequence, but the slot bucketing
+// is a single sort of the genotype (layers are unique, so (slot, -layer) is
+// a total order and equals the bucket-then-sort order) and both the sort
+// scratch and the output schedule are caller-owned, so the per-candidate
+// decode on the search's hot path reuses its buffers instead of building
+// 2L bucket vectors per call.
+void DecodeGenotypeInto(const TrainGraph& graph, const Genotype& genotype,
+                        std::vector<WgradGene>* scratch,
+                        IterationSchedule* out) {
+  const int L = graph.num_layers();
+  const int backbone_size = 2 * L;
+  scratch->clear();
+  scratch->reserve(genotype.size());
+  for (const WgradGene& gene : genotype) {
+    OOBP_CHECK(graph.HasWgrad(gene.layer));
+    WgradGene g = gene;
+    g.slot = ClampSlot(graph, gene.layer, gene.slot);
+    scratch->push_back(g);
+  }
+  std::sort(scratch->begin(), scratch->end(),
+            [](const WgradGene& a, const WgradGene& b) {
+              return a.slot != b.slot ? a.slot < b.slot : a.layer > b.layer;
+            });
+
+  out->ops.clear();
+  out->ops.reserve(static_cast<size_t>(backbone_size) + 2 * scratch->size());
+  size_t gi = 0;
+  for (int pos = 0; pos < backbone_size; ++pos) {
+    const TrainOp backbone =
+        pos < L ? TrainOp{TrainOpType::kOutputGrad, L - 1 - pos}
+                : TrainOp{TrainOpType::kForward, pos - L};
+    out->ops.push_back({backbone, kMainStream, -1});
+    for (; gi < scratch->size() && (*scratch)[gi].slot == pos; ++gi) {
+      const WgradGene& gene = (*scratch)[gi];
+      out->ops.push_back(
+          {{TrainOpType::kWeightGrad, gene.layer}, gene.stream, -1});
+      out->ops.push_back(
+          {{TrainOpType::kWeightUpdate, gene.layer}, gene.stream, -1});
+    }
+  }
+}
+
+// Per-trajectory evaluation pipeline: mode dispatch, memory cap, budget, and
+// audit bookkeeping. Exact mode reproduces the original candidate accounting
+// bit-for-bit (the memory check is closed-form and free; every scored
+// candidate is one simulator run). Two-tier mode scores candidates with the
+// incremental analytic evaluator behind the content-addressed cache and
+// budgets analytic evaluations; the simulator is touched only for the
+// deterministic audit sample here and the trajectory best in RunTrajectory.
+// Both modes take the memory cap from the incremental liveness walk, which
+// is bit-identical to ScheduleEvaluator::PeakMemory (pinned by
+// fast_eval_test) but resumes from the last common schedule prefix instead
+// of recomputing from scratch per candidate.
 struct SearchContext {
   const TrainGraph* graph = nullptr;
-  ScheduleEvaluator* eval = nullptr;
+  ScheduleEvaluator* sim = nullptr;       // exact scorer (Tier B)
+  FastScheduleEvaluator* fast = nullptr;  // memory walk + Tier A
+  CandidateCache* cache = nullptr;        // two-tier mode only
   int64_t memory_cap = 0;
   int evals_left = 0;
+  int audit_interval = 0;  // two-tier mode only; <= 0 disables audits
+  bool two_tier = false;
+
+  // Stats the wrappers can't recover from the evaluators afterwards.
+  int64_t memory_rejections = 0;
+  int64_t audit_samples = 0;
+  double audit_err_sum = 0.0;
+  double audit_err_max = 0.0;
+
+  // Decode buffers, reused across candidates (the context is
+  // single-threaded; only the evaluators read `schedule` and they keep
+  // their own copies of whatever they diff against).
+  std::vector<WgradGene> decode_scratch;
+  IterationSchedule schedule;
 
   TimeNs Evaluate(const Genotype& genotype) {
-    const IterationSchedule schedule = DecodeGenotype(*graph, genotype);
-    if (eval->PeakMemory(schedule) > memory_cap) return kRejected;
+    if (!two_tier) {
+      DecodeGenotypeInto(*graph, genotype, &decode_scratch, &schedule);
+      if (fast->PeakMemory(schedule) > memory_cap) {
+        ++memory_rejections;
+        return kRejected;
+      }
+      --evals_left;
+      return sim->IterationTime(schedule);
+    }
+    const uint64_t hash = CandidateCache::Hash(genotype);
+    if (const CandidateCache::Score* hit = cache->Lookup(genotype, hash)) {
+      return hit->time;
+    }
+    DecodeGenotypeInto(*graph, genotype, &decode_scratch, &schedule);
+    const int64_t peak = fast->PeakMemory(schedule);
+    if (peak > memory_cap) {
+      ++memory_rejections;
+      cache->Insert(genotype, {kRejected, peak}, hash);
+      return kRejected;
+    }
     --evals_left;
-    return eval->IterationTime(schedule);
+    const TimeNs t = fast->IterationTime(schedule);
+    cache->Insert(genotype, {t, peak}, hash);
+    // Deterministic 1-in-K audit: the K-th, 2K-th, ... analytic evaluation
+    // of this trajectory is re-scored by the simulator (outside the budget)
+    // and the relative error recorded. The cache guarantees the counter
+    // advances once per distinct candidate, so the sample is reproducible
+    // at any thread count.
+    if (audit_interval > 0 && fast->evaluations() % audit_interval == 0) {
+      const TimeNs exact = sim->IterationTime(schedule);
+      ++audit_samples;
+      const double err =
+          exact > 0 ? std::abs(static_cast<double>(t) -
+                               static_cast<double>(exact)) /
+                          static_cast<double>(exact)
+                    : (t == exact ? 0.0 : 1.0);
+      audit_err_sum += err;
+      audit_err_max = std::max(audit_err_max, err);
+    }
+    return t;
   }
 };
 
@@ -167,16 +274,105 @@ Genotype DeriveGenotype(const TrainGraph& graph,
   return genotype;
 }
 
+// Everything a finished trajectory hands back to the coordinator. In
+// two-tier mode `time` is a simulator score of `genotype` (Tier B) — no
+// analytic number crosses this boundary, so every value that can become the
+// reported best_time is exact.
+struct TrajectoryOutcome {
+  Genotype genotype;
+  TimeNs time = kRejected;
+  int64_t sim_evals = 0;
+  int64_t analytic_evals = 0;
+  uint64_t cache_hits = 0;
+  uint64_t cache_misses = 0;
+  int64_t memory_rejections = 0;
+  int64_t audit_samples = 0;
+  double audit_err_sum = 0.0;
+  double audit_err_max = 0.0;
+};
+
+// One trajectory of the portfolio, self-contained: private evaluators,
+// cache, and Rng, so trajectories are pure functions of their index and may
+// run on any worker thread in any order.
+TrajectoryOutcome RunTrajectory(const TrainGraph& graph, const GpuSpec& gpu,
+                                const SystemProfile& profile,
+                                const SearchOptions& options, int j,
+                                const Genotype& conventional_genotype,
+                                TimeNs conventional_time, int64_t cap,
+                                const Genotype* ooo_genotype) {
+  const bool two_tier = options.eval_mode == SearchEvalMode::kTwoTier;
+  ScheduleEvaluator sim(&graph.model(), gpu, profile);
+  FastScheduleEvaluator fast(&graph.model(), gpu, profile);
+  CandidateCache cache;
+  SearchContext ctx{&graph,
+                    &sim,
+                    &fast,
+                    two_tier ? &cache : nullptr,
+                    cap,
+                    options.budget,
+                    two_tier ? options.audit_interval : 0,
+                    two_tier};
+  Genotype cur;
+  TimeNs cur_time = kRejected;
+  if (j == 0) {
+    cur = conventional_genotype;
+    if (two_tier) {
+      // The trajectory's internal currency is analytic time, so the greedy
+      // baseline must be analytic too (one budgeted evaluation).
+      if (ctx.evals_left > 0) cur_time = ctx.Evaluate(cur);
+    } else {
+      cur_time = conventional_time;  // scored once by the coordinator
+    }
+    GreedyTrajectory(ctx, cur, cur_time);
+  } else {
+    Rng rng(options.seed * 0x9E3779B97F4A7C15ULL + static_cast<uint64_t>(j));
+    cur = *ooo_genotype;
+    if (ctx.evals_left > 0) cur_time = ctx.Evaluate(cur);
+    if (cur_time == kRejected) {
+      // Over the memory cap after re-decoding (or zero budget): restart
+      // from the always-admissible conventional point.
+      cur = conventional_genotype;
+      if (two_tier) {
+        if (ctx.evals_left > 0) cur_time = ctx.Evaluate(cur);
+      } else {
+        cur_time = conventional_time;
+      }
+    }
+    RandomTrajectory(ctx, rng, cur, cur_time);
+  }
+
+  TrajectoryOutcome out;
+  if (two_tier) {
+    // Tier B: the only number that escapes a two-tier trajectory is a
+    // simulator score of its final point.
+    out.time = sim.IterationTime(DecodeGenotype(graph, cur));
+  } else {
+    out.time = cur_time;
+  }
+  out.genotype = std::move(cur);
+  out.sim_evals = sim.evaluations();
+  out.analytic_evals = fast.evaluations();
+  out.cache_hits = cache.hits();
+  out.cache_misses = cache.misses();
+  out.memory_rejections = ctx.memory_rejections;
+  out.audit_samples = ctx.audit_samples;
+  out.audit_err_sum = ctx.audit_err_sum;
+  out.audit_err_max = ctx.audit_err_max;
+  return out;
+}
+
 SearchResult AssembleResult(const TrainGraph& graph, ScheduleEvaluator& eval,
                             Genotype best, TimeNs best_time,
-                            TimeNs conventional_time) {
+                            TimeNs conventional_time,
+                            const SearchStats& stats) {
   SearchResult out;
   out.schedule = DecodeGenotype(graph, best);
   out.genotype = std::move(best);
   out.best_time = best_time;
   out.conventional_time = conventional_time;
   out.peak_memory = eval.PeakMemory(out.schedule);
-  out.evaluations = eval.evaluations();
+  out.evaluations = stats.sim_evals;
+  out.stats = stats;
   // Structural self-check: the decoded gradient order must satisfy the
   // training-graph dependencies. Callers additionally run the full
   // CheckIterationSchedule gate (src/validate); a failure here is a decoder
@@ -222,54 +418,22 @@ Genotype ConventionalGenotype(const TrainGraph& graph) {
 
 IterationSchedule DecodeGenotype(const TrainGraph& graph,
                                  const Genotype& genotype) {
-  const int L = graph.num_layers();
-  const int backbone_size = 2 * L;
-  // Bucket genes by (clamped) slot; within a slot, descending layer order
-  // keeps the decoder a bijection on sorted genotypes.
-  std::vector<std::vector<WgradGene>> slot_genes(backbone_size);
-  for (const WgradGene& gene : genotype) {
-    OOBP_CHECK(graph.HasWgrad(gene.layer));
-    slot_genes[ClampSlot(graph, gene.layer, gene.slot)].push_back(gene);
-  }
-  for (std::vector<WgradGene>& bucket : slot_genes) {
-    std::sort(bucket.begin(), bucket.end(),
-              [](const WgradGene& a, const WgradGene& b) {
-                return a.layer > b.layer;
-              });
-  }
-
+  // Genes bucket by (clamped) slot with descending layer order within a
+  // slot, which keeps the decoder a bijection on sorted genotypes; the
+  // hot-path helper realizes the same order with a single sort.
+  std::vector<WgradGene> scratch;
   IterationSchedule schedule;
-  for (int pos = 0; pos < backbone_size; ++pos) {
-    const TrainOp backbone =
-        pos < L ? TrainOp{TrainOpType::kOutputGrad, L - 1 - pos}
-                : TrainOp{TrainOpType::kForward, pos - L};
-    schedule.ops.push_back({backbone, kMainStream, -1});
-    for (const WgradGene& gene : slot_genes[pos]) {
-      schedule.ops.push_back(
-          {{TrainOpType::kWeightGrad, gene.layer}, gene.stream, -1});
-      schedule.ops.push_back(
-          {{TrainOpType::kWeightUpdate, gene.layer}, gene.stream, -1});
-    }
-  }
+  DecodeGenotypeInto(graph, genotype, &scratch, &schedule);
   return schedule;
 }
 
 SearchResult GreedySchedule(const TrainGraph& graph, const GpuSpec& gpu,
                             const SystemProfile& profile,
                             const SearchOptions& options) {
-  OOBP_CHECK_GE(options.budget, 0);
-  OOBP_CHECK_GE(options.memory_cap_factor, 1.0);
-  ScheduleEvaluator eval(&graph.model(), gpu, profile);
-  const IterationSchedule conventional = ConventionalIteration(graph);
-  const TimeNs conventional_time = eval.IterationTime(conventional);
-  const int64_t cap = static_cast<int64_t>(options.memory_cap_factor *
-                                           eval.PeakMemory(conventional));
-  Genotype cur = ConventionalGenotype(graph);
-  TimeNs cur_time = conventional_time;
-  SearchContext ctx{&graph, &eval, cap, options.budget};
-  GreedyTrajectory(ctx, cur, cur_time);
-  return AssembleResult(graph, eval, std::move(cur), cur_time,
-                        conventional_time);
+  // Trajectory 0 only: the portfolio at beam=1 (`seed` is unused there).
+  SearchOptions greedy = options;
+  greedy.beam = 1;
+  return SearchSchedule(graph, gpu, profile, greedy);
 }
 
 SearchResult SearchSchedule(const TrainGraph& graph, const GpuSpec& gpu,
@@ -278,67 +442,86 @@ SearchResult SearchSchedule(const TrainGraph& graph, const GpuSpec& gpu,
   OOBP_CHECK_GE(options.beam, 1);
   OOBP_CHECK_GE(options.budget, 0);
   OOBP_CHECK_GE(options.memory_cap_factor, 1.0);
+  OOBP_CHECK_GE(options.threads, 1);
   ScheduleEvaluator eval(&graph.model(), gpu, profile);
   const IterationSchedule conventional = ConventionalIteration(graph);
   const TimeNs conventional_time = eval.IterationTime(conventional);
   const int64_t cap = static_cast<int64_t>(options.memory_cap_factor *
                                            eval.PeakMemory(conventional));
+  const Genotype conventional_genotype = ConventionalGenotype(graph);
+
+  // Trajectory inputs that must come from the coordinator: the snapshot
+  // store round-trip in SnapshotOooSchedule is not a worker-thread citizen,
+  // and hoisting it keeps every trajectory a pure function of its index.
+  // Seeded trajectories start from the heuristic's own point — the search
+  // refines MakeOooSchedule rather than rediscovering it.
+  Genotype ooo_genotype;
+  if (options.beam > 1) {
+    const JointScheduleResult ooo =
+        SnapshotOooSchedule(graph, gpu, profile, options.memory_cap_factor);
+    ooo_genotype = DeriveGenotype(graph, ooo.schedule);
+  }
+
+  // The portfolio: every trajectory owns its evaluators, cache, and Rng, so
+  // the pool may run them in any order on any worker; the index-ordered
+  // merge below makes the result byte-identical at every thread count.
+  std::vector<TrajectoryOutcome> outcomes(options.beam);
+  WorkerPool pool(std::min(options.threads, options.beam));
+  pool.Run(static_cast<size_t>(options.beam), [&](size_t j, int) {
+    outcomes[j] = RunTrajectory(graph, gpu, profile, options,
+                                static_cast<int>(j), conventional_genotype,
+                                conventional_time, cap,
+                                options.beam > 1 ? &ooo_genotype : nullptr);
+  });
 
   // Global best starts at the in-order baseline, so the search can never
   // return something worse; strict-improvement acceptance everywhere keeps
   // the portfolio monotone in `beam` (every trajectory is independent, and
   // beam B+1 evaluates a superset of beam B's candidates).
-  Genotype best = ConventionalGenotype(graph);
+  Genotype best = conventional_genotype;
   TimeNs best_time = conventional_time;
-
-  {
-    SearchContext ctx{&graph, &eval, cap, options.budget};
-    Genotype cur = ConventionalGenotype(graph);
-    TimeNs cur_time = conventional_time;
-    GreedyTrajectory(ctx, cur, cur_time);
-    if (cur_time < best_time) {
-      best = std::move(cur);
-      best_time = cur_time;
+  SearchStats stats;
+  stats.sim_evals = eval.evaluations();
+  double audit_err_sum = 0.0;
+  for (TrajectoryOutcome& o : outcomes) {
+    if (o.time < best_time) {
+      best = std::move(o.genotype);
+      best_time = o.time;
     }
+    stats.sim_evals += o.sim_evals;
+    stats.analytic_evals += o.analytic_evals;
+    stats.cache_hits += o.cache_hits;
+    stats.cache_misses += o.cache_misses;
+    stats.memory_rejections += o.memory_rejections;
+    stats.audit_samples += o.audit_samples;
+    audit_err_sum += o.audit_err_sum;
+    stats.audit_max_rel_err = std::max(stats.audit_max_rel_err,
+                                       o.audit_err_max);
   }
-
-  if (options.beam > 1) {
-    // Seeded trajectories start from the heuristic's own point — the search
-    // refines MakeOooSchedule rather than rediscovering it.
-    const JointScheduleResult ooo =
-        SnapshotOooSchedule(graph, gpu, profile, options.memory_cap_factor);
-    const Genotype ooo_genotype = DeriveGenotype(graph, ooo.schedule);
-    for (int j = 1; j < options.beam; ++j) {
-      SearchContext ctx{&graph, &eval, cap, options.budget};
-      Rng rng(options.seed * 0x9E3779B97F4A7C15ULL +
-              static_cast<uint64_t>(j));
-      Genotype cur = ooo_genotype;
-      TimeNs cur_time = kRejected;
-      if (ctx.evals_left > 0) cur_time = ctx.Evaluate(cur);
-      if (cur_time == kRejected) {
-        // Over the memory cap after re-decoding (or zero budget): restart
-        // from the always-admissible conventional point.
-        cur = ConventionalGenotype(graph);
-        cur_time = conventional_time;
-      }
-      RandomTrajectory(ctx, rng, cur, cur_time);
-      if (cur_time < best_time) {
-        best = std::move(cur);
-        best_time = cur_time;
-      }
-    }
+  if (stats.audit_samples > 0) {
+    stats.audit_mean_rel_err =
+        audit_err_sum / static_cast<double>(stats.audit_samples);
   }
   return AssembleResult(graph, eval, std::move(best), best_time,
-                        conventional_time);
+                        conventional_time, stats);
 }
 
 JointScheduleResult SnapshotSearchSchedule(const TrainGraph& graph,
                                            const GpuSpec& gpu,
                                            const SystemProfile& profile,
                                            const SearchOptions& options) {
+  // The evaluator version participates in the content key: bumping
+  // FastScheduleEvaluator::kVersion (or switching modes) silently
+  // invalidates schedules searched under the old pipeline instead of
+  // replaying them.
+  const int evaluator_version =
+      options.eval_mode == SearchEvalMode::kTwoTier
+          ? FastScheduleEvaluator::kVersion
+          : 0;
   const uint64_t key =
       SearchKeyHash(graph.model(), gpu, profile, options.beam, options.seed,
-                    options.budget, options.memory_cap_factor);
+                    options.budget, options.memory_cap_factor,
+                    evaluator_version);
   if (std::shared_ptr<const SnapshotReader> reader = ActiveSnapshot()) {
     if (std::optional<JointScheduleResult> hit = reader->FindSchedule(key)) {
       return *std::move(hit);

@@ -2,6 +2,7 @@
 
 #include <algorithm>
 #include <chrono>
+#include <thread>
 
 #include "src/common/check.h"
 
@@ -19,7 +20,8 @@ uint64_t Mix(uint64_t z) {
 
 }  // namespace
 
-ShardedSim::ShardedSim(int num_lps, int num_threads) {
+ShardedSim::ShardedSim(int num_lps, int num_threads)
+    : pool_(std::min(num_threads, num_lps)) {
   OOBP_CHECK_GE(num_lps, 0);
   control_.SetSeqSource(&shared_seq_);
   lps_.reserve(static_cast<size_t>(num_lps));
@@ -27,25 +29,9 @@ ShardedSim::ShardedSim(int num_lps, int num_threads) {
     lps_.push_back(std::make_unique<SimEngine>());
     lps_.back()->SetSeqSource(&shared_seq_);
   }
-  const int workers = std::min(num_threads, num_lps);
-  if (workers > 1) {
-    workers_.reserve(static_cast<size_t>(workers));
-    for (int w = 0; w < workers; ++w) {
-      workers_.emplace_back([this, w] { WorkerLoop(w); });
-    }
-  }
 }
 
-ShardedSim::~ShardedSim() {
-  {
-    std::lock_guard<std::mutex> lock(mu_);
-    stop_ = true;
-  }
-  cv_work_.notify_all();
-  for (std::thread& t : workers_) {
-    t.join();
-  }
-}
+ShardedSim::~ShardedSim() = default;
 
 uint64_t ShardedSim::processed_events() const {
   uint64_t total = control_.processed_events();
@@ -77,45 +63,15 @@ void ShardedSim::RunOne(const Task& task) {
 
 void ShardedSim::RunTasks(std::vector<Task> staged) {
   ++window_;
-  if (workers_.empty() || staged.size() <= 1) {
-    // Inline reference path: identical per-LP calls in LP index order.
-    // Iterates the staged batch directly — tasks_ stays untouched, so a
-    // worker oversleeping a previous window can never observe this path.
-    for (const Task& task : staged) {
-      RunOne(task);
-    }
-    return;
-  }
-  std::unique_lock<std::mutex> lock(mu_);
-  tasks_ = std::move(staged);
-  next_task_ = 0;
-  done_tasks_ = 0;
-  ++generation_;
-  cv_work_.notify_all();
-  cv_done_.wait(lock, [&] { return done_tasks_ == tasks_.size(); });
-  tasks_.clear();
-}
-
-void ShardedSim::WorkerLoop(int worker) {
-  uint64_t seen = 0;
-  std::unique_lock<std::mutex> lock(mu_);
-  while (true) {
-    cv_work_.wait(lock, [&] { return stop_ || generation_ != seen; });
-    if (stop_) {
-      return;
-    }
-    seen = generation_;
-    while (next_task_ < tasks_.size()) {
-      const Task task = tasks_[next_task_++];
-      lock.unlock();
+  pool_.Run(staged.size(), [this, &staged](size_t i, int worker) {
+    const Task& task = staged[i];
+    if (worker >= 0) {
+      // Inline executions skip the perturbation, matching the pre-pool
+      // behavior the determinism battery pins.
       MaybePerturb(worker, task.lp);
-      RunOne(task);
-      lock.lock();
-      if (++done_tasks_ == tasks_.size()) {
-        cv_done_.notify_one();
-      }
     }
-  }
+    RunOne(task);
+  });
 }
 
 void ShardedSim::AdvanceAllTo(TimeNs t, uint64_t tie_seq_bound) {

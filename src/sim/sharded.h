@@ -53,16 +53,14 @@
 #define OOBP_SRC_SIM_SHARDED_H_
 
 #include <atomic>
-#include <condition_variable>
 #include <cstdint>
 #include <limits>
 #include <memory>
-#include <mutex>
-#include <thread>
 #include <vector>
 
 #include "src/common/time.h"
 #include "src/sim/engine.h"
+#include "src/sim/worker_pool.h"
 
 namespace oobp {
 
@@ -104,7 +102,7 @@ class ShardedSim {
   ShardedSim& operator=(const ShardedSim&) = delete;
 
   int num_lps() const { return static_cast<int>(lps_.size()); }
-  int num_workers() const { return static_cast<int>(workers_.size()); }
+  int num_workers() const { return pool_.num_workers(); }
   SimEngine* lp(int i) { return lps_[static_cast<size_t>(i)].get(); }
   SimEngine* control_engine() { return &control_; }
 
@@ -138,14 +136,12 @@ class ShardedSim {
   };
   static constexpr TimeNs kDrain = std::numeric_limits<TimeNs>::max();
 
-  void WorkerLoop(int worker);
   void RunOne(const Task& task);
-  // Executes `staged` (inline or on the pool). On the pool path the batch is
-  // published into tasks_ under mu_ — tasks_ is touched ONLY under the mutex
-  // because a worker that overslept one window can wake during the next
-  // window's staging and inspect it. Establishes happens-before in both
-  // directions: workers see all coordinator writes made before the call; the
-  // coordinator sees all worker writes on return.
+  // Executes `staged` on the shared WorkerPool (inline in LP index order
+  // when the pool is inert or the batch has a single task — the reference
+  // path). The pool's Run establishes happens-before in both directions:
+  // workers see all coordinator writes made before the call; the coordinator
+  // sees all worker writes on return.
   void RunTasks(std::vector<Task> staged);
   void MaybePerturb(int worker, int lp);
 
@@ -153,18 +149,9 @@ class ShardedSim {
   std::vector<std::unique_ptr<SimEngine>> lps_;
   std::atomic<uint64_t> shared_seq_{1};  // 0 is the null-TimerHandle seq
 
-  // Worker pool state, all guarded by mu_ — including every access to
-  // tasks_ (tasks are coarse — one LP advance — so contention is nil and
-  // the protocol is trivially race-free).
-  std::vector<std::thread> workers_;
-  std::mutex mu_;
-  std::condition_variable cv_work_;
-  std::condition_variable cv_done_;
-  std::vector<Task> tasks_;
-  size_t next_task_ = 0;
-  size_t done_tasks_ = 0;
-  uint64_t generation_ = 0;
-  bool stop_ = false;
+  // Shared persistent pool (src/sim/worker_pool.h); tasks are coarse — one
+  // LP window advance — so contention is nil.
+  WorkerPool pool_;
 
   uint64_t perturb_seed_ = 0;
   uint64_t window_ = 0;  // barrier counter, feeds the perturbation hash

@@ -1,0 +1,73 @@
+#include "src/sim/worker_pool.h"
+
+#include "src/common/check.h"
+
+namespace oobp {
+
+WorkerPool::WorkerPool(int num_threads) {
+  if (num_threads <= 1) {
+    return;
+  }
+  workers_.reserve(static_cast<size_t>(num_threads));
+  for (int w = 0; w < num_threads; ++w) {
+    workers_.emplace_back([this, w] { WorkerLoop(w); });
+  }
+}
+
+WorkerPool::~WorkerPool() {
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    stop_ = true;
+  }
+  cv_work_.notify_all();
+  for (std::thread& t : workers_) {
+    t.join();
+  }
+}
+
+void WorkerPool::Run(size_t count,
+                     const std::function<void(size_t, int)>& fn) {
+  if (workers_.empty() || count <= 1) {
+    // Inline reference path: identical calls in index order on the caller's
+    // thread. fn_/count_ stay untouched, so a worker oversleeping a previous
+    // batch can never observe this path.
+    for (size_t i = 0; i < count; ++i) {
+      fn(i, /*worker=*/-1);
+    }
+    return;
+  }
+  std::unique_lock<std::mutex> lock(mu_);
+  OOBP_CHECK(fn_ == nullptr) << "WorkerPool::Run is not reentrant";
+  fn_ = &fn;
+  count_ = count;
+  next_task_ = 0;
+  done_tasks_ = 0;
+  ++generation_;
+  cv_work_.notify_all();
+  cv_done_.wait(lock, [&] { return done_tasks_ == count_; });
+  fn_ = nullptr;
+}
+
+void WorkerPool::WorkerLoop(int worker) {
+  uint64_t seen = 0;
+  std::unique_lock<std::mutex> lock(mu_);
+  while (true) {
+    cv_work_.wait(lock, [&] { return stop_ || generation_ != seen; });
+    if (stop_) {
+      return;
+    }
+    seen = generation_;
+    while (next_task_ < count_) {
+      const size_t task = next_task_++;
+      const std::function<void(size_t, int)>* fn = fn_;
+      lock.unlock();
+      (*fn)(task, worker);
+      lock.lock();
+      if (++done_tasks_ == count_) {
+        cv_done_.notify_one();
+      }
+    }
+  }
+}
+
+}  // namespace oobp

@@ -94,7 +94,8 @@ uint64_t ScheduleKeyHash(const NnModel& model, const GpuSpec& gpu,
 
 uint64_t SearchKeyHash(const NnModel& model, const GpuSpec& gpu,
                        const SystemProfile& profile, int beam, uint64_t seed,
-                       int budget, double memory_cap_factor) {
+                       int budget, double memory_cap_factor,
+                       int evaluator_version) {
   HashAccumulator acc(/*seed=*/0x73726368u);  // "srch"
   acc.U64(ModelContentHash(model));
   acc.Str(CostModelCacheKey(gpu, profile));
@@ -102,6 +103,7 @@ uint64_t SearchKeyHash(const NnModel& model, const GpuSpec& gpu,
   acc.U64(seed);
   acc.I32(budget);
   acc.F64(memory_cap_factor);
+  acc.I32(evaluator_version);
   return acc.Digest();
 }
 

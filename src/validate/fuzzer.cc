@@ -27,6 +27,7 @@
 #include "src/runtime/single_gpu_engine.h"
 #include "src/serve/fleet_engine.h"
 #include "src/serve/serve_engine.h"
+#include "src/search/evaluator.h"
 #include "src/search/search.h"
 #include "src/sim/engine.h"
 #include "src/store/snapshot.h"
@@ -659,6 +660,61 @@ void SearchFuzz(Rng& rng, uint64_t seed, std::vector<std::string>* errors) {
     fail(StrFormat("beam %d best %lld worse than beam %d best %lld",
                    wider.beam, static_cast<long long>(wide.best_time),
                    options.beam, static_cast<long long>(searched.best_time)));
+  }
+
+  // Two-tier evaluation pipeline (analytic Tier A + candidate cache +
+  // simulator Tier B): schedules must pass the checker gate, never lose to
+  // the starting point, audit cleanly (Tier A is bit-exact, so every audit
+  // error is exactly zero), reproduce run-to-run byte-for-byte including
+  // the pipeline accounting, and be invariant to the worker-thread count.
+  SearchOptions tt = options;
+  tt.eval_mode = SearchEvalMode::kTwoTier;
+  tt.audit_interval = 4;  // dense audits: small budgets need the coverage
+  tt.threads = 1;
+  const SearchResult fast = SearchSchedule(graph, gpu, profile, tt);
+  const ScheduleCheckReport fast_check =
+      CheckIterationSchedule(graph, fast.schedule);
+  if (!fast_check.ok()) {
+    fail("two-tier searched schedule: " + fast_check.ToString());
+  }
+  if (fast.best_time > fast.conventional_time) {
+    fail(StrFormat("two-tier time %lld worse than conventional %lld",
+                   static_cast<long long>(fast.best_time),
+                   static_cast<long long>(fast.conventional_time)));
+  }
+  // Only Tier-B simulator scores escape a two-tier trajectory: a fresh
+  // exact evaluator must reproduce best_time bit-for-bit.
+  ScheduleEvaluator rescore(&model, gpu, profile);
+  if (rescore.IterationTime(fast.schedule) != fast.best_time) {
+    fail(StrFormat("two-tier best_time %lld is not the exact score %lld of "
+                   "its schedule",
+                   static_cast<long long>(fast.best_time),
+                   static_cast<long long>(
+                       rescore.IterationTime(fast.schedule))));
+  }
+  if (fast.stats.audit_max_rel_err != 0.0) {
+    fail(StrFormat("analytic evaluator drifted from the simulator: audit "
+                   "max rel err %g over %lld samples",
+                   fast.stats.audit_max_rel_err,
+                   static_cast<long long>(fast.stats.audit_samples)));
+  }
+  auto same_run = [&](const SearchResult& other) {
+    return other.schedule.ToString() == fast.schedule.ToString() &&
+           other.best_time == fast.best_time &&
+           other.stats.analytic_evals == fast.stats.analytic_evals &&
+           other.stats.sim_evals == fast.stats.sim_evals &&
+           other.stats.cache_hits == fast.stats.cache_hits &&
+           other.stats.cache_misses == fast.stats.cache_misses &&
+           other.stats.memory_rejections == fast.stats.memory_rejections &&
+           other.stats.audit_samples == fast.stats.audit_samples;
+  };
+  if (!same_run(SearchSchedule(graph, gpu, profile, tt))) {
+    fail("two-tier rerun diverged (schedule, score, or pipeline stats)");
+  }
+  SearchOptions tt_mt = tt;
+  tt_mt.threads = 3;
+  if (!same_run(SearchSchedule(graph, gpu, profile, tt_mt))) {
+    fail("two-tier run at threads=3 diverged from threads=1");
   }
 
   // Differential execution: searched vs MakeOooSchedule end to end under

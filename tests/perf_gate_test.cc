@@ -78,6 +78,77 @@ TEST(PerfGateTest, WallBandOnlyWhenEnabled) {
   EXPECT_TRUE(CheckPerfBaseline(kBaseline, ok, true).notices.empty());
 }
 
+// Analytic-evaluator entries (ISSUE-10): the eval count is deterministic,
+// so drift in EITHER direction is a hard failure; the evals/sec floor is
+// wall-clock dependent and only gates when wall bands are on.
+const char* kAnalyticBaseline = R"({
+  "scenarios": {
+    "search_eval_perf": {"events": 100, "wall_ms_best": 200.0,
+                         "analytic_evals": 4000,
+                         "analytic_per_sec_floor": 8000.0}
+  }
+})";
+
+PerfSample AnalyticSample(uint64_t evals, double per_sec) {
+  PerfSample s;
+  s.scenario = "search_eval_perf";
+  s.events = 100;
+  s.wall_ms_best = 200.0;
+  s.analytic_evals = evals;
+  s.analytic_per_sec = per_sec;
+  return s;
+}
+
+TEST(PerfGateTest, AnalyticEvalDriftFailsBothDirections) {
+  EXPECT_TRUE(
+      CheckPerfBaseline(kAnalyticBaseline, {AnalyticSample(4000, 20000.0)},
+                        false)
+          .ok());
+  for (const uint64_t drifted : {3999u, 4001u}) {
+    const PerfCheckReport report = CheckPerfBaseline(
+        kAnalyticBaseline, {AnalyticSample(drifted, 20000.0)}, false);
+    EXPECT_FALSE(report.ok()) << "evals " << drifted << " should hard-fail";
+    ASSERT_EQ(report.failures.size(), 1u);
+    EXPECT_NE(report.failures[0].find("drifted"), std::string::npos);
+  }
+}
+
+TEST(PerfGateTest, AnalyticFloorOnlyWhenWallBandsOn) {
+  // Below the floor: fails on Release (wall bands on)...
+  const PerfCheckReport banded = CheckPerfBaseline(
+      kAnalyticBaseline, {AnalyticSample(4000, 7000.0)}, true);
+  EXPECT_FALSE(banded.ok());
+  ASSERT_EQ(banded.failures.size(), 1u);
+  EXPECT_NE(banded.failures[0].find("floor"), std::string::npos);
+  // ...but never on sanitizer/debug builds (arbitrarily slower).
+  EXPECT_TRUE(CheckPerfBaseline(kAnalyticBaseline,
+                                {AnalyticSample(4000, 7000.0)}, false)
+                  .ok());
+  // Above the floor: silent.
+  EXPECT_TRUE(CheckPerfBaseline(kAnalyticBaseline,
+                                {AnalyticSample(4000, 8001.0)}, true)
+                  .ok());
+}
+
+TEST(PerfGateTest, EntriesWithoutAnalyticFieldsIgnoreAnalyticStats) {
+  // The plain-simulator baseline entries say nothing about analytic evals:
+  // whatever the sample carries must not gate.
+  PerfSample s;
+  s.scenario = "fig07_resnet50";
+  s.events = 1000;
+  s.wall_ms_best = 10.0;
+  s.analytic_evals = 123;
+  s.analytic_per_sec = 1.0;
+  PerfSample other;
+  other.scenario = "serve_only_resnet50";
+  other.events = 500;
+  other.wall_ms_best = 4.0;
+  const PerfCheckReport report =
+      CheckPerfBaseline(kBaseline, {s, other}, true);
+  EXPECT_TRUE(report.ok());
+  EXPECT_TRUE(report.notices.empty());
+}
+
 TEST(PerfGateTest, MalformedBaselineFails) {
   EXPECT_FALSE(CheckPerfBaseline("not json", {}, false).ok());
   EXPECT_FALSE(CheckPerfBaseline("[1,2]", {}, false).ok());

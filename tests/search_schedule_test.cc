@@ -24,6 +24,7 @@
 #include "src/nn/layer_builder.h"
 #include "src/nn/train_graph.h"
 #include "src/search/evaluator.h"
+#include "src/search/fast_eval.h"
 #include "src/search/search.h"
 #include "src/store/snapshot.h"
 #include "src/validate/schedule_checker.h"
@@ -263,12 +264,17 @@ TEST(SearchScheduleTest, SearchKeyHashSeparatesEveryKnob) {
   const NnModel model = RandomModel(rng);
   const GpuSpec gpu = GpuSpec::V100();
   const SystemProfile profile = SystemProfile::TensorFlowXla();
-  const uint64_t base = SearchKeyHash(model, gpu, profile, 4, 1, 400, 1.1);
-  EXPECT_NE(base, SearchKeyHash(model, gpu, profile, 5, 1, 400, 1.1));
-  EXPECT_NE(base, SearchKeyHash(model, gpu, profile, 4, 2, 400, 1.1));
-  EXPECT_NE(base, SearchKeyHash(model, gpu, profile, 4, 1, 401, 1.1));
-  EXPECT_NE(base, SearchKeyHash(model, gpu, profile, 4, 1, 400, 1.2));
-  EXPECT_NE(base, SearchKeyHash(model, GpuSpec::P100(), profile, 4, 1, 400, 1.1));
+  const uint64_t base = SearchKeyHash(model, gpu, profile, 4, 1, 400, 1.1, 0);
+  EXPECT_NE(base, SearchKeyHash(model, gpu, profile, 5, 1, 400, 1.1, 0));
+  EXPECT_NE(base, SearchKeyHash(model, gpu, profile, 4, 2, 400, 1.1, 0));
+  EXPECT_NE(base, SearchKeyHash(model, gpu, profile, 4, 1, 401, 1.1, 0));
+  EXPECT_NE(base, SearchKeyHash(model, gpu, profile, 4, 1, 400, 1.2, 0));
+  EXPECT_NE(base,
+            SearchKeyHash(model, GpuSpec::P100(), profile, 4, 1, 400, 1.1, 0));
+  // A scoring-pipeline revision must key differently: old snapshots go
+  // stale instead of replaying under the new evaluator.
+  EXPECT_NE(base, SearchKeyHash(model, gpu, profile, 4, 1, 400, 1.1,
+                                FastScheduleEvaluator::kVersion));
   // Searched keys must never collide with the heuristic's key space for the
   // same scheduling problem (both live in the snapshot's schedules section).
   EXPECT_NE(base, ScheduleKeyHash(model, gpu, profile, 1.1));

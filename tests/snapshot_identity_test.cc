@@ -149,7 +149,7 @@ TEST(SnapshotIdentityTest, FullGoldenSweepIsByteIdenticalUnderJobs4) {
   for (const ScenarioRun& run : warm.runs) {
     compared += run.golden_compared ? 1 : 0;
   }
-  EXPECT_EQ(compared, 43);
+  EXPECT_EQ(compared, 46);
 }
 
 TEST(SnapshotIdentityTest, ShardedEnginesAreByteIdenticalUnderSimThreads8) {

@@ -42,14 +42,22 @@
 #      the store-labeled ctest tier (format roundtrip + every corruption
 #      path) on the ASan build, and `snapshot startup`, which emits the
 #      cold-vs-snapshot BENCH_startup.json timings (see DESIGN.md §12).
-#   9. Search baseline: search-labeled ctest tier (the 200-seed searched-
-#      schedule property battery + the search_gap_* golden/byte-identity
-#      tests), the search_gap_* scenarios replayed against their goldens
-#      with and without the snapshot from tier 8 (the optimality-gap
-#      metrics must be byte-identical either way), and 200 ASan seeds of
-#      the search fuzz family (differential searched-vs-heuristic under
-#      the SimValidator, beam-monotonicity metamorphic; every second seed
-#      runs — see DESIGN.md §13).
+#   9. Search baseline + two-tier evaluation pipeline: search-labeled ctest
+#      tier (the 200-seed searched-schedule property battery, the
+#      search_gap_* golden/byte-identity tests, the analytic-evaluator
+#      bit-exactness battery, and the parallel-trajectory byte-identity
+#      test at threads 1/4/8), the search_gap_* scenarios replayed against
+#      their goldens with and without the snapshot from tier 8 (the
+#      optimality-gap metrics must be byte-identical either way), the
+#      two-tier scenarios (search_deep_fig07, search_eval_fidelity,
+#      search_eval_perf) against their goldens, a perf smoke of the
+#      analytic evaluator gated by the perf baseline's analytic-evals count
+#      and evals/sec floor, a TSan run of the parallel trajectory portfolio
+#      (threads > beam-count collapse included), and 200 ASan seeds of the
+#      search fuzz family (differential searched-vs-heuristic under the
+#      SimValidator, beam-monotonicity metamorphic, two-tier bit-identity
+#      incl. threads=3 and zero audit error; every second seed runs — see
+#      DESIGN.md §13-14).
 #
 # Tier matrix (tier x build):
 #   tier 1, 3, 4, 5 -> Release build    (speed; golden gates are exact)
@@ -157,6 +165,26 @@ ctest --test-dir "${BUILD_DIR}" -L search --output-on-failure
 "${BUILD_DIR}/tools/oobp" bench --filter 'search_gap_*' --jobs 0 \
     --snapshot="${SNAPSHOT}" \
     --out "${BUILD_DIR}" --golden "${REPO_ROOT}/bench/golden"
+
+# Two-tier pipeline goldens: deep-budget gap refresh, analytic-vs-simulator
+# fidelity (rank corr >= 0.95, rel err <= 5%), and the eval-perf counters.
+"${BUILD_DIR}/tools/oobp" bench \
+    --filter 'search_deep_fig07,search_eval_fidelity,search_eval_perf' \
+    --jobs 0 --out "${BUILD_DIR}" --golden "${REPO_ROOT}/bench/golden"
+
+# Analytic-evaluator perf smoke: the deterministic eval count must match
+# the baseline exactly and Release throughput must clear the evals/sec
+# floor (bench/perf_baseline.json, "analytic_per_sec_floor").
+"${BUILD_DIR}/tools/oobp" bench --perf --warmup 0 --repeats 1 --jobs 0 \
+    --filter search_eval_perf \
+    --check="${REPO_ROOT}/bench/perf_baseline.json" \
+    --out "${BUILD_DIR}"
+
+# Parallel trajectory portfolio under TSan: more workers than trajectories
+# exercises the pool's cap; the run only has to be race-free (scores are
+# byte-identity-checked by search_threads_identity_test in the ctest tier).
+"${TSAN_DIR}/tools/oobp" search --model=densenet121 --eval=two-tier \
+    --beam=4 --budget=150 --seed=7 --threads=8
 
 "${ASAN_DIR}/tools/oobp" fuzz --seeds 200 --base-seed 1 --jobs 0 \
     --checks=search

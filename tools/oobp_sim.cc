@@ -14,11 +14,17 @@
 //   oobp_sim replay   --model=densenet121 --schedule=<file>
 //   oobp_sim search   --model=densenet121 --batch=32 [--gpu=v100|p100|titanxp]
 //                     [--beam=N] [--seed=N] [--budget=N] [--snapshot[=<path>]]
+//                     [--eval=exact|two-tier] [--audit-interval=N]
+//                     [--threads=N | --sim-threads=N]
 //                     [--export-schedule=<file>]
 //                     (search-based scheduler baseline, see src/search;
 //                     prints the heuristic-vs-searched optimality gap and
 //                     machine-verifies every schedule with
-//                     CheckIterationSchedule)
+//                     CheckIterationSchedule. --eval=two-tier scores
+//                     candidates with the incremental analytic evaluator
+//                     and defaults the budget to 4000; --threads runs the
+//                     trajectory portfolio on a worker pool, byte-identical
+//                     for any N)
 //   oobp_sim bench    [--list] [--filter=<glob>] [--jobs=N] [--out=<dir>]
 //                     [--golden[=<dir>]] [--perf] [--check[=<baseline>]]
 //                     [--param k=v]  (see src/runner; --check gates perf
@@ -386,6 +392,20 @@ int RunSearch(const Flags& flags) {
   options.beam = flags.GetInt("beam", 4);
   options.seed = static_cast<uint64_t>(flags.GetInt("seed", 1));
   options.budget = flags.GetInt("budget", 400);
+  // --threads (alias --sim-threads, matching the bench runner) parallelizes
+  // the trajectory portfolio; results are byte-identical for any value.
+  options.threads =
+      std::max(1, flags.GetInt("threads", flags.GetInt("sim-threads", 1)));
+  const std::string eval_mode = flags.Get("eval", "exact");
+  if (eval_mode == "two-tier") {
+    options.eval_mode = SearchEvalMode::kTwoTier;
+    options.budget = flags.GetInt("budget", 4000);
+  } else if (eval_mode != "exact") {
+    std::fprintf(stderr, "search: unknown --eval=%s (exact|two-tier)\n",
+                 eval_mode.c_str());
+    return 2;
+  }
+  options.audit_interval = flags.GetInt("audit-interval", 256);
 
   ScheduleEvaluator eval(&model, gpu, profile);
   const TimeNs conventional_time =
@@ -408,9 +428,11 @@ int RunSearch(const Flags& flags) {
     }
   }
 
-  std::printf("schedule search: %s on %s (beam=%d seed=%d budget=%d)\n",
+  std::printf("schedule search: %s on %s (beam=%d seed=%d budget=%d "
+              "eval=%s)\n",
               model.name.c_str(), gpu.name.c_str(), options.beam,
-              static_cast<int>(options.seed), options.budget);
+              static_cast<int>(options.seed), options.budget,
+              eval_mode.c_str());
   std::printf("conventional:  %.3f ms/iter\n", ToMs(conventional_time));
   std::printf("ooo heuristic: %.3f ms/iter  (%.3fx)\n", ToMs(ooo_time),
               static_cast<double>(conventional_time) / ooo_time);
